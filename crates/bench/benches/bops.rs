@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the BOPS estimator: throughput vs dataset
+//! size, vs dimensionality, vs number of grid levels — the cost model
+//! behind the Table 5 headline (O((N+M)·levels·D)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sjpl_core::streaming::Side;
+use sjpl_core::{bops_plot_cross, bops_plot_self, BopsConfig, FitOptions, StreamingBops};
+use sjpl_datagen::{galaxy, manifold, uniform};
+use sjpl_geom::{Aabb, Point};
+
+fn bops_vs_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bops/size");
+    for n in [1_000usize, 4_000, 16_000, 64_000] {
+        let (a, b) = galaxy::correlated_pair(n, n, 7);
+        g.throughput(Throughput::Elements(2 * n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| bops_plot_cross(&a, &b, &BopsConfig::default()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bops_vs_dimension(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bops/dimension");
+    let n = 8_000;
+    let d2 = uniform::unit_cube::<2>(n, 1);
+    let d4 = uniform::unit_cube::<4>(n, 1);
+    let d8 = uniform::unit_cube::<8>(n, 1);
+    let d16 = manifold::eigenfaces_like(n, 1);
+    g.bench_function("2d", |b| {
+        b.iter(|| bops_plot_self(&d2, &BopsConfig::default()).unwrap())
+    });
+    g.bench_function("4d", |b| {
+        b.iter(|| bops_plot_self(&d4, &BopsConfig::default()).unwrap())
+    });
+    g.bench_function("8d", |b| {
+        b.iter(|| bops_plot_self(&d8, &BopsConfig::default()).unwrap())
+    });
+    g.bench_function("16d", |b| {
+        b.iter(|| bops_plot_self(&d16, &BopsConfig::high_dimensional()).unwrap())
+    });
+    g.finish();
+}
+
+fn bops_vs_levels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bops/levels");
+    let (a, b) = galaxy::correlated_pair(16_000, 16_000, 3);
+    for levels in [4u32, 8, 12, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |bench, &l| {
+            bench.iter(|| bops_plot_cross(&a, &b, &BopsConfig::dyadic(l)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn streaming_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bops/streaming");
+    let bounds = Aabb {
+        lo: Point([0.0, 0.0]),
+        hi: Point([1.0, 1.0]),
+    };
+    let (a, b) = galaxy::correlated_pair(20_000, 20_000, 5);
+    // Insert throughput: one full load per iteration.
+    g.throughput(Throughput::Elements(40_000));
+    g.bench_function("insert_40k", |bench| {
+        bench.iter(|| {
+            let mut s = StreamingBops::new(bounds, 10).unwrap();
+            s.load(&a, &b).unwrap();
+            s
+        })
+    });
+    // Refit cost after the sketch is warm (O(levels²), size-independent).
+    let mut warm = StreamingBops::new(bounds, 10).unwrap();
+    warm.load(&a, &b).unwrap();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("refit_law", |bench| {
+        bench.iter(|| warm.law(&FitOptions::default()).unwrap())
+    });
+    // Single-point update against the warm sketch.
+    g.bench_function("single_insert_remove", |bench| {
+        let p = Point([0.37, 0.61]);
+        bench.iter(|| {
+            warm.insert(Side::A, &p).unwrap();
+            warm.remove(Side::A, &p).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bops_vs_size, bops_vs_dimension, bops_vs_levels, streaming_updates
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion benchmarks for the dataset generators — establishes that
+//! generation cost is negligible next to the joins it feeds (so the Table 5
+//! timings are not polluted by generator noise).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sjpl_datagen::{boundary, galaxy, manifold, roads, sierpinski, water};
+
+fn generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datagen");
+    let n = 10_000;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("sierpinski", |b| b.iter(|| sierpinski::triangle(n, 1)));
+    g.bench_function("streets", |b| b.iter(|| roads::street_network(n, 1)));
+    g.bench_function("water", |b| b.iter(|| water::drainage(n, 1)));
+    g.bench_function("political", |b| b.iter(|| boundary::nested_boundaries(n, 1)));
+    g.bench_function("galaxy_pair", |b| b.iter(|| galaxy::correlated_pair(n, n, 1)));
+    g.bench_function("eigenfaces_16d", |b| b.iter(|| manifold::eigenfaces_like(n, 1)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = generators
+}
+criterion_main!(benches);

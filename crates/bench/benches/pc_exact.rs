@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for the exact quadratic PC-plot pass — the
+//! baseline BOPS beats in Table 5 — including the scaling curve that shows
+//! the quadratic blow-up and the effect of the multi-threaded pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sjpl_core::{pc_plot_cross, PcPlotConfig};
+use sjpl_datagen::galaxy;
+
+fn pc_vs_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pc_exact/size");
+    for n in [500usize, 1_000, 2_000, 4_000] {
+        let (a, b) = galaxy::correlated_pair(n, n, 7);
+        g.throughput(Throughput::Elements((n * n) as u64));
+        let cfg = PcPlotConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| pc_plot_cross(&a, &b, &cfg).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn pc_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pc_exact/threads");
+    let (a, b) = galaxy::correlated_pair(4_000, 4_000, 9);
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = PcPlotConfig {
+            threads,
+            ..Default::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, _| {
+                bench.iter(|| pc_plot_cross(&a, &b, &cfg).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = pc_vs_size, pc_threads
+}
+criterion_main!(benches);

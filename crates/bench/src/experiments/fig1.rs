@@ -1,0 +1,41 @@
+//! Figure 1: the pair-count plot of CA-str × CA-wat, in linear and log-log
+//! scales — linear scales look like an explosion, log-log is a clean line.
+
+use sjpl_core::{pc_plot_cross, FitOptions, PcPlotConfig};
+
+use crate::data::Workbench;
+use crate::report::Report;
+
+pub fn run(w: &Workbench, r: &mut Report) {
+    r.section(
+        "Figure 1",
+        "PC-plot of streets × water, linear vs log-log",
+        "in linear scales PC(r) hugs the axes; in log-log scales it is \
+         almost a straight line over a significant range (Law 1).",
+    );
+    let plot = pc_plot_cross(&w.geo.streets, &w.geo.water, &PcPlotConfig::default())
+        .expect("pc plot");
+    let series: Vec<(f64, f64)> = plot
+        .radii()
+        .iter()
+        .zip(plot.counts().iter())
+        .map(|(&x, &c)| (x, c as f64))
+        .collect();
+    r.series("PC(r) str x wat", &series);
+    let law = plot.fit(&FitOptions::default()).expect("fit");
+    r.finding(&format!(
+        "log-log fit over usable range [{:.2e}, {:.2e}]: slope {:.3}, r^2 = {:.4} — \
+         a straight line, while the same data in linear scales spans {:.0}x in y over \
+         the first decade of x.",
+        law.fit.x_lo,
+        law.fit.x_hi,
+        law.exponent,
+        law.fit.line.r_squared,
+        series.last().map(|&(_, y)| y).unwrap_or(1.0)
+            / series
+                .iter()
+                .find(|&&(_, y)| y > 0.0)
+                .map(|&(_, y)| y)
+                .unwrap_or(1.0)
+    ));
+}

@@ -1,0 +1,70 @@
+//! Figure 3: the effect of sampling on PC-plots — pol × wat and galaxy
+//! dev × exp at 100/20/10/5% samples give parallel lines.
+
+use sjpl_core::{pc_plot_cross, PcPlotConfig};
+use sjpl_geom::PointSet;
+
+use crate::data::Workbench;
+use crate::experiments::{f3, sampled};
+use crate::report::Report;
+
+const RATES: [f64; 4] = [1.0, 0.2, 0.1, 0.05];
+
+fn panel(r: &mut Report, label: &str, a: &PointSet<2>, b: &PointSet<2>, range: (f64, f64)) {
+    let cfg = PcPlotConfig {
+        radius_range: Some(range),
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    let mut slopes = Vec::new();
+    for (i, &rate) in RATES.iter().enumerate() {
+        let sa = sampled(a, rate, 1000 + i as u64);
+        let sb = sampled(b, rate, 2000 + i as u64);
+        // One common radius window + full-range fit, so the slopes are
+        // comparable (the sampled plots are shifted copies).
+        let law = pc_plot_cross(&sa, &sb, &cfg)
+            .expect("plot")
+            .fit_full_range()
+            .expect("fit");
+        slopes.push(law.exponent);
+        rows.push(vec![
+            format!("{:.0}%", rate * 100.0),
+            sa.len().to_string(),
+            sb.len().to_string(),
+            f3(law.exponent),
+            format!("{:.3e}", law.k),
+        ]);
+    }
+    r.line(&format!("--- {label} ---"));
+    r.table(&["sampling", "N(a)", "N(b)", "alpha", "K"], &rows);
+    let spread = slopes.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - slopes.iter().cloned().fold(f64::INFINITY, f64::min);
+    r.finding(&format!(
+        "{label}: slope spread across sampling rates is {spread:.3} — the plots \
+         are parallel (Observation 3); only the constant K drops with the \
+         sampling rate product."
+    ));
+}
+
+pub fn run(w: &Workbench, r: &mut Report) {
+    r.section(
+        "Figure 3",
+        "Sampling leaves the PC-plot slope unchanged",
+        "PC-plots of 20/10/5% samples are linear and parallel to the full \
+         dataset's plot, shifted down by log(pa*pb).",
+    );
+    panel(
+        r,
+        "CA pol x wat",
+        &w.geo.political,
+        &w.geo.water,
+        (3e-3, 3e-1),
+    );
+    panel(
+        r,
+        "Galaxy dev x exp",
+        &w.geo.galaxy_dev,
+        &w.geo.galaxy_exp,
+        (3e-3, 3e-1),
+    );
+}

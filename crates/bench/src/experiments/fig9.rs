@@ -1,0 +1,62 @@
+//! Figure 9: the 16-d Eigenfaces datasets — the law survives high
+//! dimensionality, and the exponents sit far below the embedding dimension.
+
+use crate::data::Workbench;
+use crate::experiments::{bops_cross_law, bops_self_law, f3, pc_cross_law, pc_self_law};
+use crate::report::Report;
+
+pub fn run(w: &Workbench, r: &mut Report) {
+    r.section(
+        "Figure 9",
+        "Eigenfaces (16-d): self lyf, self tyf, cross lyf × tyf",
+        "the power law remains accurate in 16 dimensions; exponents 4.49 \
+         (lyf self) to 6.73 (cross) — intrinsic dimensionality 4.5–6.7, \
+         nowhere near E = 16, so uniformity assumptions are hopeless.",
+    );
+    let panels = [
+        (
+            "lyf self",
+            pc_self_law(&w.lyf),
+            bops_self_law(&w.lyf),
+            4.49,
+        ),
+        (
+            "tyf self",
+            pc_self_law(&w.tyf),
+            bops_self_law(&w.tyf),
+            5.4,
+        ),
+        (
+            "lyf x tyf",
+            pc_cross_law(&w.lyf, &w.tyf),
+            bops_cross_law(&w.lyf, &w.tyf),
+            6.73,
+        ),
+    ];
+    let rows: Vec<Vec<String>> = panels
+        .iter()
+        .map(|(name, law, bops, paper)| {
+            vec![
+                (*name).into(),
+                f3(law.exponent),
+                f3(bops.exponent),
+                format!("{paper:.2}"),
+                format!("{:.4}", law.fit.line.r_squared),
+            ]
+        })
+        .collect();
+    r.table(
+        &["join", "alpha (PC)", "alpha (BOPS)", "alpha (paper)", "r^2"],
+        &rows,
+    );
+    let max_alpha = panels
+        .iter()
+        .map(|(_, law, _, _)| law.exponent)
+        .fold(f64::NEG_INFINITY, f64::max);
+    r.finding(&format!(
+        "exponents top out at {} — a fraction of the embedding dimension 16. \
+         A uniformity-based estimator would use 16 in the exponent and be off \
+         by orders of magnitude, exactly the paper's point.",
+        f3(max_alpha)
+    ));
+}

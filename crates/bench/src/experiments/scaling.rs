@@ -1,0 +1,59 @@
+//! Scaling study (extends Table 5): PC-plot vs BOPS cost as the dataset
+//! grows — the quadratic-vs-linear separation that makes BOPS "the whole
+//! concept of the pair-count exponent practical" (paper conclusions).
+
+use std::time::Instant;
+
+use sjpl_core::{bops_plot_cross, pc_plot_cross, BopsConfig, PcPlotConfig};
+use sjpl_datagen::galaxy;
+
+use crate::data::Workbench;
+use crate::report::Report;
+
+pub fn run(_w: &Workbench, r: &mut Report) {
+    r.section(
+        "Scaling",
+        "PC-plot vs BOPS wall-clock as N grows",
+        "(extends Table 5) the PC-plot cost is quadratic in N, BOPS is \
+         linear; the gap therefore widens without bound — the paper saw 4 \
+         orders of magnitude at ~70k points on 1999 hardware.",
+    );
+    let pc_cfg = PcPlotConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    let mut pc_series = Vec::new();
+    let mut bops_series = Vec::new();
+    for n in [1_000usize, 2_000, 4_000, 8_000, 16_000] {
+        let (a, b) = galaxy::correlated_pair(n, n, 0xca11);
+        let t0 = Instant::now();
+        let _ = pc_plot_cross(&a, &b, &pc_cfg).expect("pc");
+        let pc = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let _ = bops_plot_cross(&a, &b, &BopsConfig::default()).expect("bops");
+        let bops = t0.elapsed().as_secs_f64();
+        pc_series.push((n as f64, pc));
+        bops_series.push((n as f64, bops));
+        rows.push(vec![
+            n.to_string(),
+            format!("{pc:.4}"),
+            format!("{bops:.5}"),
+            format!("{:.0}x", pc / bops.max(1e-9)),
+        ]);
+    }
+    r.table(&["N (per set)", "PC-plot (s)", "BOPS (s)", "speedup"], &rows);
+    // Empirical growth orders from the two timing series.
+    let order = |series: &[(f64, f64)]| {
+        let (n0, t0) = series[0];
+        let (n1, t1) = series[series.len() - 1];
+        (t1 / t0.max(1e-9)).ln() / (n1 / n0).ln()
+    };
+    r.finding(&format!(
+        "empirical growth order: PC-plot ~ N^{:.2} (theory 2), BOPS ~ N^{:.2} \
+         (theory 1); the speedup column grows with N exactly as the paper's \
+         Table 5 implies.",
+        order(&pc_series),
+        order(&bops_series)
+    ));
+}

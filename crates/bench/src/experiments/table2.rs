@@ -1,0 +1,72 @@
+//! Table 2: self-join pair-count exponents at 100/20/10/5% sampling —
+//! sampling has negligible effect on the exponent.
+
+use sjpl_core::{pc_plot_self, PcPlotConfig};
+use sjpl_geom::PointSet;
+
+use crate::data::Workbench;
+use crate::experiments::{f3, sampled};
+use crate::report::Report;
+
+const RATES: [f64; 4] = [1.0, 0.2, 0.1, 0.05];
+
+fn column(set: &PointSet<2>, seed: u64) -> Vec<f64> {
+    // Common radius window + full-range fit: the comparison is between
+    // shifted copies of one curve (see Observation 3), so the window must
+    // not float per rate.
+    let cfg = PcPlotConfig {
+        radius_range: Some((3e-3, 3e-1)),
+        ..Default::default()
+    };
+    RATES
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let s = sampled(set, rate, seed + i as u64);
+            pc_plot_self(&s, &cfg)
+                .expect("plot")
+                .fit_full_range()
+                .expect("fit")
+                .exponent
+        })
+        .collect()
+}
+
+pub fn run(w: &Workbench, r: &mut Report) {
+    r.section(
+        "Table 2",
+        "Self-join exponents vs sampling rate",
+        "paper values (100% row): dev 1.876, exp 1.928, pol 1.650, \
+         wat 1.529, str 1.838; the columns barely move down to 5% sampling.",
+    );
+    let g = &w.geo;
+    let cols = [
+        ("dev", column(&g.galaxy_dev, 100)),
+        ("exp", column(&g.galaxy_exp, 200)),
+        ("pol", column(&g.political, 300)),
+        ("wat", column(&g.water, 400)),
+        ("str", column(&g.streets, 500)),
+    ];
+    let mut rows = Vec::new();
+    for (i, &rate) in RATES.iter().enumerate() {
+        let mut row = vec![format!("{:.0}%", rate * 100.0)];
+        for (_, col) in &cols {
+            row.push(f3(col[i]));
+        }
+        rows.push(row);
+    }
+    r.table(&["sampling", "dev", "exp", "pol", "wat", "str"], &rows);
+    let max_drift = cols
+        .iter()
+        .map(|(_, col)| {
+            col.iter()
+                .map(|&v| (v - col[0]).abs())
+                .fold(0.0f64, f64::max)
+        })
+        .fold(0.0f64, f64::max);
+    r.finding(&format!(
+        "worst exponent drift across all datasets and sampling rates: \
+         {max_drift:.3} — same shape as the paper's Table 2, where the \
+         worst drift is ≈ 0.22 (CA-str at 5%)."
+    ));
+}

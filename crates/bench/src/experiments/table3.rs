@@ -1,0 +1,84 @@
+//! Table 3: cross-join exponents from PC plots vs BOPS plots, at four
+//! sampling rates — BOPS matches PC at every rate.
+
+use sjpl_core::{bops_plot_cross, pc_plot_cross, BopsConfig, PcPlotConfig};
+use sjpl_geom::PointSet;
+
+use crate::data::Workbench;
+use crate::experiments::{f3, sampled};
+use crate::report::Report;
+
+const RATES: [f64; 4] = [1.0, 0.2, 0.1, 0.05];
+
+fn pair_columns(a: &PointSet<2>, b: &PointSet<2>, seed: u64) -> Vec<(f64, f64)> {
+    RATES
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let sa = sampled(a, rate, seed + i as u64);
+            let sb = sampled(b, rate, seed + 50 + i as u64);
+            let bops = bops_plot_cross(&sa, &sb, &BopsConfig::default())
+                .expect("bops")
+                .fit(&sjpl_core::FitOptions::default())
+                .expect("bops fit");
+            // PC fitted over the BOPS-covered window for a like-for-like
+            // exponent comparison.
+            let cfg = PcPlotConfig {
+                radius_range: Some((bops.fit.x_lo, bops.fit.x_hi)),
+                ..Default::default()
+            };
+            let pc = pc_plot_cross(&sa, &sb, &cfg)
+                .expect("pc")
+                .fit_full_range()
+                .expect("pc fit");
+            (pc.exponent, bops.exponent)
+        })
+        .collect()
+}
+
+pub fn run(w: &Workbench, r: &mut Report) {
+    r.section(
+        "Table 3",
+        "Cross-join exponents: PC vs BOPS under sampling",
+        "paper: dev x exp 1.915 (PC) / 1.963 (BOPS); pol x wat 1.835/1.819; \
+         pol x str 1.783/1.743 — PC and BOPS agree within a few percent at \
+         every sampling rate.",
+    );
+    let g = &w.geo;
+    let joins = [
+        ("dev x exp", pair_columns(&g.galaxy_dev, &g.galaxy_exp, 600)),
+        ("pol x wat", pair_columns(&g.political, &g.water, 700)),
+        ("pol x str", pair_columns(&g.political, &g.streets, 800)),
+    ];
+    let mut rows = Vec::new();
+    for (i, &rate) in RATES.iter().enumerate() {
+        let mut row = vec![format!("{:.0}%", rate * 100.0)];
+        for (_, cols) in &joins {
+            row.push(f3(cols[i].0));
+            row.push(f3(cols[i].1));
+        }
+        rows.push(row);
+    }
+    r.table(
+        &[
+            "sampling",
+            "devxexp PC",
+            "devxexp BOPS",
+            "polxwat PC",
+            "polxwat BOPS",
+            "polxstr PC",
+            "polxstr BOPS",
+        ],
+        &rows,
+    );
+    let worst = joins
+        .iter()
+        .flat_map(|(_, cols)| cols.iter())
+        .map(|&(pc, bops)| (pc - bops).abs() / pc)
+        .fold(0.0f64, f64::max);
+    r.finding(&format!(
+        "worst PC-vs-BOPS exponent disagreement across all joins and rates: \
+         {:.1}% — the paper reports <= 9% with typical values below 5%.",
+        worst * 100.0
+    ));
+}

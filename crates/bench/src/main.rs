@@ -1,0 +1,138 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation
+//! section (Section 5) on the synthetic stand-in datasets.
+//!
+//! ```text
+//! repro <experiment> [--scale <x>] [--seed <n>] [--markdown <path>]
+//!
+//! experiments:
+//!   fig1   fig2   fig3   fig4   fig8   fig9   fig10
+//!   table2 table3 table4 table5
+//!   extrapolate   scaling   ablation
+//!   all           run everything (use --markdown to write EXPERIMENTS.md)
+//! ```
+//!
+//! `--scale` multiplies the default dataset sizes (1.0 ≈ the paper's scale
+//! divided by ~4; default 0.5 keeps the quadratic ground-truth passes under
+//! a minute on a laptop). Absolute numbers therefore differ from the paper;
+//! the *shapes* — who wins, by what factor, where the plots bend — are the
+//! reproduction target.
+
+mod data;
+mod experiments;
+mod report;
+
+use std::process::ExitCode;
+
+use report::Report;
+
+/// Shared experiment configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Dataset-size multiplier.
+    pub scale: f64,
+    /// Master seed for all generators.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            scale: 0.5,
+            seed: 0x5eed_2000,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let mut cfg = Config::default();
+    let mut markdown: Option<String> = None;
+    let mut cmd: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                cfg.scale = argv
+                    .get(i)
+                    .ok_or("missing value for --scale")?
+                    .parse()
+                    .map_err(|_| "bad --scale value")?;
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = argv
+                    .get(i)
+                    .ok_or("missing value for --seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed value")?;
+            }
+            "--markdown" => {
+                i += 1;
+                markdown = Some(
+                    argv.get(i)
+                        .ok_or("missing value for --markdown")?
+                        .clone(),
+                );
+            }
+            other if cmd.is_none() && !other.starts_with('-') => {
+                cmd = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+        i += 1;
+    }
+    let cmd = cmd.ok_or(
+        "usage: repro <fig1|fig2|fig3|fig4|fig8|fig9|fig10|table2|table3|table4|table5|extrapolate|scaling|ablation|all> \
+         [--scale x] [--seed n] [--markdown path]",
+    )?;
+
+    let mut report = Report::new();
+    let data = data::Workbench::new(&cfg);
+    type Exp = fn(&data::Workbench, &mut Report);
+    let all: &[(&str, Exp)] = &[
+        ("fig1", experiments::fig1::run),
+        ("fig2", experiments::fig2::run),
+        ("fig3", experiments::fig3::run),
+        ("fig4", experiments::fig4::run),
+        ("fig8", experiments::fig8::run),
+        ("fig9", experiments::fig9::run),
+        ("fig10", experiments::fig10::run),
+        ("table2", experiments::table2::run),
+        ("table3", experiments::table3::run),
+        ("table4", experiments::table4::run),
+        ("table5", experiments::table5::run),
+        ("extrapolate", experiments::extrapolate::run),
+        ("scaling", experiments::scaling::run),
+        ("ablation", experiments::ablation::run),
+    ];
+    if cmd == "all" {
+        report.header(&cfg);
+        for (name, f) in all {
+            eprintln!(">>> running {name}");
+            f(&data, &mut report);
+        }
+    } else if let Some((_, f)) = all.iter().find(|(n, _)| *n == cmd) {
+        report.header(&cfg);
+        f(&data, &mut report);
+    } else {
+        return Err(format!("unknown experiment {cmd:?}"));
+    }
+
+    print!("{}", report.text());
+    if let Some(path) = markdown {
+        std::fs::write(&path, report.markdown()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote markdown report to {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,161 @@
+//! Tiny hand-rolled argument parser — two positional CSV paths plus a
+//! handful of `--flag value` options. Small enough that a dependency would
+//! cost more than it saves.
+
+use sjpl_geom::Metric;
+
+/// Parsed common options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Positional arguments (dataset paths, counts, seeds…).
+    pub positional: Vec<String>,
+    /// `--radius` / `-r`.
+    pub radius: Option<f64>,
+    /// `--bins`.
+    pub bins: Option<usize>,
+    /// `--levels`.
+    pub levels: Option<u32>,
+    /// `--ratio` (BOPS grid-side shrink factor).
+    pub ratio: Option<f64>,
+    /// `--metric` (`l1`, `l2`, `linf`, or a number for Lp).
+    pub metric: Option<Metric>,
+    /// `--threads`.
+    pub threads: Option<usize>,
+    /// `--method` (`pc` or `bops`).
+    pub method: Option<String>,
+    /// `--algo` (join algorithm name).
+    pub algo: Option<String>,
+    /// `-k` (neighbor count).
+    pub k: Option<usize>,
+}
+
+/// Parses `argv` into [`Options`].
+pub fn parse(argv: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        positional: Vec::new(),
+        radius: None,
+        bins: None,
+        levels: None,
+        ratio: None,
+        metric: None,
+        threads: None,
+        method: None,
+        algo: None,
+        k: None,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = &argv[i];
+        let mut take_value = |name: &str| -> Result<String, String> {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--radius" | "-r" => {
+                let v = take_value("--radius")?;
+                o.radius = Some(v.parse().map_err(|_| format!("bad radius {v:?}"))?);
+            }
+            "--bins" => {
+                let v = take_value("--bins")?;
+                o.bins = Some(v.parse().map_err(|_| format!("bad bins {v:?}"))?);
+            }
+            "--levels" => {
+                let v = take_value("--levels")?;
+                o.levels = Some(v.parse().map_err(|_| format!("bad levels {v:?}"))?);
+            }
+            "--ratio" => {
+                let v = take_value("--ratio")?;
+                o.ratio = Some(v.parse().map_err(|_| format!("bad ratio {v:?}"))?);
+            }
+            "--threads" => {
+                let v = take_value("--threads")?;
+                o.threads = Some(v.parse().map_err(|_| format!("bad threads {v:?}"))?);
+            }
+            "--metric" => {
+                let v = take_value("--metric")?;
+                o.metric = Some(parse_metric(&v)?);
+            }
+            "--method" => {
+                o.method = Some(take_value("--method")?);
+            }
+            "--algo" => {
+                o.algo = Some(take_value("--algo")?);
+            }
+            "-k" => {
+                let v = take_value("-k")?;
+                o.k = Some(v.parse().map_err(|_| format!("bad k {v:?}"))?);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            _ => o.positional.push(arg.clone()),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+/// Parses a metric name: `l1`, `l2`, `linf`, or a positive number `p`.
+pub fn parse_metric(s: &str) -> Result<Metric, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "l1" => Ok(Metric::L1),
+        "l2" => Ok(Metric::L2),
+        "linf" | "loo" | "chebyshev" => Ok(Metric::Linf),
+        other => {
+            let p: f64 = other
+                .trim_start_matches('l')
+                .parse()
+                .map_err(|_| format!("unknown metric {s:?} (use l1, l2, linf, or a number)"))?;
+            if p < 1.0 {
+                return Err(format!("Lp metric needs p >= 1, got {p}"));
+            }
+            Ok(Metric::Lp(p))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_and_flags_mix() {
+        let o = parse(&sv(&["a.csv", "-r", "0.5", "b.csv", "--bins", "20"])).unwrap();
+        assert_eq!(o.positional, vec!["a.csv", "b.csv"]);
+        assert_eq!(o.radius, Some(0.5));
+        assert_eq!(o.bins, Some(20));
+    }
+
+    #[test]
+    fn metric_names_parse() {
+        assert_eq!(parse_metric("l1").unwrap(), Metric::L1);
+        assert_eq!(parse_metric("L2").unwrap(), Metric::L2);
+        assert_eq!(parse_metric("linf").unwrap(), Metric::Linf);
+        assert_eq!(parse_metric("3").unwrap(), Metric::Lp(3.0));
+        assert_eq!(parse_metric("l2.5").unwrap(), Metric::Lp(2.5));
+        assert!(parse_metric("0.5").is_err());
+        assert!(parse_metric("euclid").is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&sv(&["a.csv", "--radius"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert!(parse(&sv(&["--frobnicate", "1"])).is_err());
+    }
+
+    #[test]
+    fn bad_numbers_are_errors() {
+        assert!(parse(&sv(&["-r", "abc"])).is_err());
+        assert!(parse(&sv(&["--bins", "-3"])).is_err());
+    }
+}

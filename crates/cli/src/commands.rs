@@ -1,0 +1,626 @@
+//! Subcommand implementations.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+
+use sjpl_core::{
+    bops_plot_cross, bops_plot_self, pc_plot_cross, pc_plot_self, BopsConfig, FitOptions,
+    PairCountLaw, PcPlotConfig,
+};
+use sjpl_geom::{read_csv, write_csv, Metric, PointSet};
+use sjpl_index::{pair_count, self_pair_count, JoinAlgorithm};
+
+use crate::args::{parse, Options};
+
+const USAGE: &str = "\
+usage: sjpl <command> [args]
+
+commands:
+  generate <kind> <n> <seed> <out.csv>   synthesize a dataset
+      kinds: uniform | sierpinski | cantor | streets | rails | water |
+             political | galaxy-dev | galaxy-exp | eigenfaces
+  pc-plot  <a.csv> [b.csv]               exact (quadratic) PC plot + fitted law
+  bops     <a.csv> [b.csv]               linear-time BOPS plot + fitted law
+  estimate <a.csv> [b.csv] -r <radius>   O(1) selectivity estimate
+  join     <a.csv> [b.csv] -r <radius>   exact distance-join count
+  dim      <a.csv>                       correlation fractal dimension
+  info     <a.csv>                       dataset summary + quick law fit
+  sample   <in.csv> <rate> <seed> <out.csv>   fixed-rate sample of a dataset
+  knn      <a.csv> <x,y,...> -k <k>      k nearest neighbors of a query point
+  catalog-add <cat.tsv> <name> <a.csv> [b.csv]   fit a law, store it
+  catalog-estimate <cat.tsv> <name> -r <radius>  O(1) estimate from stored law
+
+options:
+  -r, --radius <r>     query radius (estimate, join)
+  --bins <n>           PC-plot radii count            [default 40]
+  --levels <n>         BOPS grid levels               [default 12]
+  --ratio <x>          BOPS grid-side shrink factor   [default 0.5; 0.8 if dim > 6]
+  --metric <m>         l1 | l2 | linf | <p>           [default linf]
+  --threads <n>        worker threads for PC plots
+  --method <m>         pc | bops (estimate, catalog-add)  [default bops]
+  --algo <a>           nested-loop | grid | kd-tree | r-tree | plane-sweep | z-order
+  -k <n>               neighbor count for knn         [default 1]";
+
+/// Entry point used by `main` (and by the tests).
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(format!("no command given\n{USAGE}"));
+    };
+    let opts = parse(rest)?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "pc-plot" => dispatch_dim(&opts, CmdKind::PcPlot),
+        "bops" => dispatch_dim(&opts, CmdKind::Bops),
+        "estimate" => dispatch_dim(&opts, CmdKind::Estimate),
+        "join" => dispatch_dim(&opts, CmdKind::Join),
+        "dim" => dispatch_dim(&opts, CmdKind::Dim),
+        "info" => dispatch_dim(&opts, CmdKind::Info),
+        "sample" => dispatch_dim(&opts, CmdKind::Sample),
+        "knn" => dispatch_dim(&opts, CmdKind::Knn),
+        "catalog-add" => cmd_catalog_add(&opts),
+        "catalog-estimate" => cmd_catalog_estimate(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn cmd_catalog_add(o: &Options) -> Result<(), String> {
+    // Positional: <cat.tsv> <name> <a.csv> [b.csv] — the dim dispatch keys
+    // off the *third* positional, so handle the reshuffle here and delegate.
+    if o.positional.len() < 3 {
+        return Err("catalog-add needs: <cat.tsv> <name> <a.csv> [b.csv]".to_owned());
+    }
+    let mut rearranged = o.clone();
+    rearranged.positional = o.positional[2..].to_vec();
+    let dim = detect_dim(&rearranged.positional[0])?;
+    macro_rules! go {
+        ($($d:literal),*) => {
+            match dim {
+                $($d => catalog_add_typed::<$d>(o, &rearranged),)*
+                other => Err(format!("unsupported dimensionality {other} (1–16 supported)")),
+            }
+        };
+    }
+    go!(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)
+}
+
+fn catalog_add_typed<const D: usize>(orig: &Options, data_opts: &Options) -> Result<(), String> {
+    use sjpl_core::LawCatalog;
+    let cat_path = &orig.positional[0];
+    let name = &orig.positional[1];
+    let (a, b) = load_sets::<D>(data_opts)?;
+    let bops_cfg = BopsConfig {
+        levels: orig.levels.unwrap_or(12),
+        ratio: orig.ratio.unwrap_or(if D > 6 { 0.8 } else { 0.5 }),
+    };
+    let pc_cfg = PcPlotConfig::default();
+    let fit_opts = FitOptions::default();
+    let law = match (orig.method.as_deref().unwrap_or("bops"), &b) {
+        ("bops", Some(b)) => bops_plot_cross(&a, b, &bops_cfg).and_then(|p| p.fit(&fit_opts)),
+        ("bops", None) => bops_plot_self(&a, &bops_cfg).and_then(|p| p.fit(&fit_opts)),
+        ("pc", Some(b)) => pc_plot_cross(&a, b, &pc_cfg).and_then(|p| p.fit(&fit_opts)),
+        ("pc", None) => pc_plot_self(&a, &pc_cfg).and_then(|p| p.fit(&fit_opts)),
+        (m, _) => return Err(format!("unknown method {m:?}")),
+    }
+    .map_err(|e| e.to_string())?;
+    let mut cat = if std::path::Path::new(cat_path).exists() {
+        LawCatalog::load(cat_path).map_err(|e| e.to_string())?
+    } else {
+        LawCatalog::new()
+    };
+    cat.insert(name.clone(), law);
+    cat.save(cat_path).map_err(|e| e.to_string())?;
+    println!(
+        "stored law {name:?} (alpha {:.4}, K {:.4e}) in {cat_path} ({} laws total)",
+        law.exponent,
+        law.k,
+        cat.len()
+    );
+    Ok(())
+}
+
+fn cmd_catalog_estimate(o: &Options) -> Result<(), String> {
+    use sjpl_core::{LawCatalog, SelectivityEstimator};
+    let [cat_path, name] = o.positional.as_slice() else {
+        return Err("catalog-estimate needs: <cat.tsv> <name> -r <radius>".to_owned());
+    };
+    let r = o.radius.ok_or("catalog-estimate needs --radius")?;
+    let cat = LawCatalog::load(cat_path).map_err(|e| e.to_string())?;
+    let law = cat
+        .get(name)
+        .ok_or_else(|| format!("no law named {name:?} in {cat_path}"))?;
+    let est = SelectivityEstimator::from_law(*law);
+    println!(
+        "law {name:?}: PC(r) = {:.4e} * r^{:.4}",
+        law.k, law.exponent
+    );
+    println!(
+        "estimate at r = {r}: pairs ≈ {:.1}, selectivity ≈ {:.4e}{}",
+        est.estimate_pair_count(r),
+        est.estimate_selectivity(r),
+        if law.in_fitted_range(r) {
+            ""
+        } else {
+            "   (extrapolated outside fitted range)"
+        }
+    );
+    Ok(())
+}
+
+fn cmd_generate(o: &Options) -> Result<(), String> {
+    let [kind, n, seed, out] = o.positional.as_slice() else {
+        return Err("generate needs: <kind> <n> <seed> <out.csv>".to_owned());
+    };
+    let n: usize = n.parse().map_err(|_| format!("bad count {n:?}"))?;
+    let seed: u64 = seed.parse().map_err(|_| format!("bad seed {seed:?}"))?;
+    use sjpl_datagen as dg;
+    match kind.as_str() {
+        "uniform" => write_out(out, &dg::uniform::unit_cube::<2>(n, seed)),
+        "sierpinski" => write_out(out, &dg::sierpinski::triangle(n, seed)),
+        "cantor" => write_out(out, &dg::cantor::dust::<2>(n, seed)),
+        "streets" => write_out(out, &dg::roads::street_network(n, seed)),
+        "rails" => write_out(out, &dg::roads::rail_network(n, seed)),
+        "water" => write_out(out, &dg::water::drainage(n, seed)),
+        "political" => write_out(out, &dg::boundary::nested_boundaries(n, seed)),
+        "galaxy-dev" => write_out(out, &dg::galaxy::correlated_pair(n, 16, seed).0),
+        "galaxy-exp" => write_out(out, &dg::galaxy::correlated_pair(16, n, seed).1),
+        "eigenfaces" => write_out(out, &dg::manifold::eigenfaces_like(n, seed)),
+        other => Err(format!("unknown dataset kind {other:?}")),
+    }
+}
+
+fn write_out<const D: usize>(path: &str, set: &PointSet<D>) -> Result<(), String> {
+    write_csv(path, set).map_err(|e| e.to_string())?;
+    println!("wrote {} points ({}-d) to {path}", set.len(), D);
+    Ok(())
+}
+
+enum CmdKind {
+    PcPlot,
+    Bops,
+    Estimate,
+    Join,
+    Dim,
+    Info,
+    Sample,
+    Knn,
+}
+
+/// Detects the dimensionality of the first CSV and dispatches to the
+/// const-generic implementation.
+fn dispatch_dim(o: &Options, kind: CmdKind) -> Result<(), String> {
+    let first = o
+        .positional
+        .first()
+        .ok_or_else(|| "need at least one dataset path".to_owned())?;
+    let dim = detect_dim(first)?;
+    macro_rules! go {
+        ($($d:literal),*) => {
+            match dim {
+                $($d => run_typed::<$d>(o, kind),)*
+                other => Err(format!("unsupported dimensionality {other} (1–16 supported)")),
+            }
+        };
+    }
+    go!(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)
+}
+
+/// Reads the first data row of a CSV and counts its fields.
+fn detect_dim(path: &str) -> Result<usize, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    for line in BufReader::new(file).lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = t.split(',').collect();
+        if fields.iter().all(|f| f.trim().parse::<f64>().is_ok()) {
+            return Ok(fields.len());
+        }
+        // Header line: keep scanning.
+    }
+    Err(format!("{path}: no data rows found"))
+}
+
+fn load_sets<const D: usize>(o: &Options) -> Result<(PointSet<D>, Option<PointSet<D>>), String> {
+    let a: PointSet<D> =
+        read_csv(&o.positional[0]).map_err(|e| format!("{}: {e}", o.positional[0]))?;
+    let b = match o.positional.get(1) {
+        Some(p) => Some(read_csv::<D>(p).map_err(|e| format!("{p}: {e}"))?),
+        None => None,
+    };
+    Ok((a, b))
+}
+
+fn print_law(law: &PairCountLaw) {
+    println!(
+        "law: PC(r) = {:.6e} * r^{:.4}   (fit r^2 = {:.4}, usable range [{:.3e}, {:.3e}])",
+        law.k, law.exponent, law.fit.line.r_squared, law.fit.x_lo, law.fit.x_hi
+    );
+    println!("exponent alpha = {:.4}", law.exponent);
+    println!("extrapolated r_min ≈ {:.4e}", law.r_min());
+}
+
+fn run_typed<const D: usize>(o: &Options, kind: CmdKind) -> Result<(), String> {
+    // Commands whose extra positionals are not dataset paths.
+    match kind {
+        CmdKind::Sample => return run_sample::<D>(o),
+        CmdKind::Knn => return run_knn::<D>(o),
+        _ => {}
+    }
+    let (a, b) = load_sets::<D>(o)?;
+    let metric = o.metric.unwrap_or(Metric::Linf);
+    let fit_opts = FitOptions::default();
+    let pc_cfg = PcPlotConfig {
+        metric,
+        bins: o.bins.unwrap_or(40),
+        radius_range: None,
+        threads: o
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+    };
+    // High embedding dimensions need the gentler grid-side schedule or the
+    // dyadic levels jump straight from "one occupied cell" to "all
+    // singletons".
+    let bops_default = if D > 6 {
+        BopsConfig::high_dimensional()
+    } else {
+        BopsConfig::default()
+    };
+    let bops_cfg = BopsConfig {
+        levels: o.levels.unwrap_or(bops_default.levels),
+        ratio: o.ratio.unwrap_or(bops_default.ratio),
+    };
+    match kind {
+        CmdKind::PcPlot => {
+            let plot = match &b {
+                Some(b) => pc_plot_cross(&a, b, &pc_cfg),
+                None => pc_plot_self(&a, &pc_cfg),
+            }
+            .map_err(|e| e.to_string())?;
+            println!("# radius, pair_count");
+            for (&r, &c) in plot.radii().iter().zip(plot.counts().iter()) {
+                println!("{r:.6e}, {c}");
+            }
+            print_law(&plot.fit(&fit_opts).map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        CmdKind::Bops => {
+            let plot = match &b {
+                Some(b) => bops_plot_cross(&a, b, &bops_cfg),
+                None => bops_plot_self(&a, &bops_cfg),
+            }
+            .map_err(|e| e.to_string())?;
+            println!("# radius (s/2), bops");
+            for (&r, &v) in plot.radii().iter().zip(plot.values().iter()) {
+                println!("{r:.6e}, {v}");
+            }
+            print_law(&plot.fit(&fit_opts).map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        CmdKind::Estimate => {
+            let r = o.radius.ok_or("estimate needs --radius")?;
+            let method = o.method.as_deref().unwrap_or("bops");
+            let law = match (method, &b) {
+                ("bops", Some(b)) => bops_plot_cross(&a, b, &bops_cfg)
+                    .and_then(|p| p.fit(&fit_opts)),
+                ("bops", None) => bops_plot_self(&a, &bops_cfg).and_then(|p| p.fit(&fit_opts)),
+                ("pc", Some(b)) => pc_plot_cross(&a, b, &pc_cfg).and_then(|p| p.fit(&fit_opts)),
+                ("pc", None) => pc_plot_self(&a, &pc_cfg).and_then(|p| p.fit(&fit_opts)),
+                (m, _) => return Err(format!("unknown method {m:?} (pc or bops)")),
+            }
+            .map_err(|e| e.to_string())?;
+            print_law(&law);
+            println!(
+                "estimate at r = {r}: pairs ≈ {:.1}, selectivity ≈ {:.4e}{}",
+                law.pair_count(r),
+                law.selectivity(r),
+                if law.in_fitted_range(r) {
+                    ""
+                } else {
+                    "   (extrapolated outside fitted range)"
+                }
+            );
+            Ok(())
+        }
+        CmdKind::Join => {
+            let r = o.radius.ok_or("join needs --radius")?;
+            let algo = match o.algo.as_deref().unwrap_or("kd-tree") {
+                "nested-loop" => JoinAlgorithm::NestedLoop,
+                "grid" => JoinAlgorithm::Grid,
+                "kd-tree" => JoinAlgorithm::KdTree,
+                "r-tree" => JoinAlgorithm::RTree,
+                "plane-sweep" => JoinAlgorithm::PlaneSweep,
+                "z-order" => JoinAlgorithm::ZOrder,
+                other => return Err(format!("unknown algorithm {other:?}")),
+            };
+            let t0 = std::time::Instant::now();
+            let (count, denom) = match &b {
+                Some(b) => (
+                    pair_count(algo, a.points(), b.points(), r, metric),
+                    a.len() as f64 * b.len() as f64,
+                ),
+                None => (
+                    self_pair_count(algo, a.points(), r, metric),
+                    a.len() as f64 * (a.len() as f64 - 1.0) / 2.0,
+                ),
+            };
+            println!(
+                "exact count = {count} (selectivity {:.4e}) via {} in {:.2?}",
+                count as f64 / denom.max(1.0),
+                algo.name(),
+                t0.elapsed()
+            );
+            Ok(())
+        }
+        CmdKind::Dim => {
+            let plot = bops_plot_self(&a, &bops_cfg).map_err(|e| e.to_string())?;
+            let law = plot.fit(&fit_opts).map_err(|e| e.to_string())?;
+            println!(
+                "correlation fractal dimension D2 ≈ {:.4} (fit r^2 = {:.4}; embedding E = {D})",
+                law.exponent, law.fit.line.r_squared
+            );
+            Ok(())
+        }
+        CmdKind::Info => {
+            println!("dataset: {} ({} points, {}-d)", a.name(), a.len(), D);
+            let bb = a.bbox();
+            let fmt_pt = |p: &sjpl_geom::Point<D>| {
+                let cs: Vec<String> = (0..D).map(|i| format!("{:.4}", p[i])).collect();
+                format!("({})", cs.join(", "))
+            };
+            println!("bbox: {} .. {}", fmt_pt(&bb.lo), fmt_pt(&bb.hi));
+            if let Ok(c) = a.centroid() {
+                println!("centroid: {}", fmt_pt(&c));
+            }
+            match bops_plot_self(&a, &bops_cfg).and_then(|p| p.fit(&fit_opts)) {
+                Ok(law) => {
+                    println!(
+                        "quick self-join law (BOPS): alpha = {:.3}, K = {:.3e}, r^2 = {:.4}",
+                        law.exponent, law.k, law.fit.line.r_squared
+                    );
+                    println!(
+                        "intrinsic dimension ≈ {:.2} of embedding {D}; extrapolated \
+                         closest-pair distance ≈ {:.3e}",
+                        law.exponent,
+                        law.r_min()
+                    );
+                }
+                Err(e) => println!("quick law fit unavailable: {e}"),
+            }
+            Ok(())
+        }
+        CmdKind::Sample | CmdKind::Knn => unreachable!("handled before dataset loading"),
+    }
+}
+
+fn run_sample<const D: usize>(o: &Options) -> Result<(), String> {
+    use rand::SeedableRng;
+    let [input, rate, seed, output] = o.positional.as_slice() else {
+        return Err("sample needs: <in.csv> <rate> <seed> <out.csv>".to_owned());
+    };
+    let rate: f64 = rate.parse().map_err(|_| format!("bad rate {rate:?}"))?;
+    let seed: u64 = seed.parse().map_err(|_| format!("bad seed {seed:?}"))?;
+    let set: PointSet<D> = read_csv(input).map_err(|e| format!("{input}: {e}"))?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let sample = sjpl_stats::sampling::sample_rate(set.points(), rate, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let out = PointSet::<D>::new(set.name(), sample);
+    write_csv(output, &out).map_err(|e| e.to_string())?;
+    println!(
+        "sampled {} of {} points ({:.1}%) into {output}",
+        out.len(),
+        set.len(),
+        100.0 * out.len() as f64 / set.len().max(1) as f64
+    );
+    Ok(())
+}
+
+fn run_knn<const D: usize>(o: &Options) -> Result<(), String> {
+    use sjpl_index::KdTree;
+    let [input, query] = o.positional.as_slice() else {
+        return Err("knn needs: <a.csv> <x,y,...> [-k n]".to_owned());
+    };
+    let set: PointSet<D> = read_csv(input).map_err(|e| format!("{input}: {e}"))?;
+    let fields: Vec<&str> = query.split(',').collect();
+    if fields.len() != D {
+        return Err(format!(
+            "query point has {} coordinates; dataset is {D}-dimensional",
+            fields.len()
+        ));
+    }
+    let mut coords = [0.0f64; D];
+    for (c, f) in coords.iter_mut().zip(fields.iter()) {
+        *c = f
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad coordinate {f:?}"))?;
+    }
+    let q = sjpl_geom::Point::new(coords);
+    let metric = o.metric.unwrap_or(Metric::Linf);
+    let k = o.k.unwrap_or(1);
+    let tree = KdTree::build(set.points());
+    let hits = tree.nearest_k(&q, k, metric);
+    println!("# rank, distance, point");
+    for (rank, (d, p)) in hits.iter().enumerate() {
+        let coords: Vec<String> = (0..D).map(|i| format!("{}", p[i])).collect();
+        println!("{}, {d:.6e}, ({})", rank + 1, coords.join(", "));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("sjpl_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn generate_then_analyze_roundtrip() {
+        let dir = tmpdir();
+        let path = dir.join("sier.csv");
+        let p = path.to_str().unwrap();
+        run(&sv(&["generate", "sierpinski", "3000", "7", p])).unwrap();
+        run(&sv(&["dim", p])).unwrap();
+        run(&sv(&["info", p])).unwrap();
+        run(&sv(&["bops", p, "--levels", "8"])).unwrap();
+        run(&sv(&["pc-plot", p, "--bins", "16"])).unwrap();
+        run(&sv(&["estimate", p, "-r", "0.05"])).unwrap();
+        run(&sv(&["estimate", p, "-r", "0.05", "--method", "pc"])).unwrap();
+        run(&sv(&["join", p, "-r", "0.05", "--algo", "grid"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cross_join_via_two_files() {
+        let dir = tmpdir();
+        let pa = dir.join("a.csv");
+        let pb = dir.join("b.csv");
+        run(&sv(&["generate", "streets", "800", "1", pa.to_str().unwrap()])).unwrap();
+        run(&sv(&["generate", "water", "800", "2", pb.to_str().unwrap()])).unwrap();
+        run(&sv(&[
+            "bops",
+            pa.to_str().unwrap(),
+            pb.to_str().unwrap(),
+            "--levels",
+            "8",
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "join",
+            pa.to_str().unwrap(),
+            pb.to_str().unwrap(),
+            "-r",
+            "0.02",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(run(&sv(&[])).is_err());
+        assert!(run(&sv(&["frobnicate"])).is_err());
+        assert!(run(&sv(&["generate", "nope", "10", "1", "/tmp/x.csv"])).is_err());
+        assert!(run(&sv(&["pc-plot"])).is_err());
+        assert!(run(&sv(&["pc-plot", "/nonexistent/file.csv"])).is_err());
+        assert!(run(&sv(&["estimate", "/nonexistent/file.csv"])).is_err());
+    }
+
+    #[test]
+    fn detect_dim_reads_first_data_row() {
+        let dir = tmpdir();
+        let p = dir.join("d4.csv");
+        std::fs::write(&p, "# comment\nx,y,z,w\n1,2,3,4\n").unwrap();
+        assert_eq!(detect_dim(p.to_str().unwrap()).unwrap(), 4);
+        let empty = dir.join("empty.csv");
+        std::fs::write(&empty, "# only comments\n").unwrap();
+        assert!(detect_dim(empty.to_str().unwrap()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eigenfaces_generate_is_16d() {
+        let dir = tmpdir();
+        let p = dir.join("faces.csv");
+        run(&sv(&["generate", "eigenfaces", "3000", "3", p.to_str().unwrap()])).unwrap();
+        assert_eq!(detect_dim(p.to_str().unwrap()).unwrap(), 16);
+        // 16-d: the high-dimensional BOPS schedule kicks in by default.
+        run(&sv(&["dim", p.to_str().unwrap()])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn help_succeeds() {
+        run(&sv(&["help"])).unwrap();
+    }
+
+    #[test]
+    fn sample_command_writes_a_subset() {
+        let dir = tmpdir();
+        let full = dir.join("full.csv");
+        let sub = dir.join("sub.csv");
+        run(&sv(&["generate", "uniform", "1000", "1", full.to_str().unwrap()])).unwrap();
+        run(&sv(&[
+            "sample",
+            full.to_str().unwrap(),
+            "0.1",
+            "7",
+            sub.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let s: sjpl_geom::PointSet<2> = read_csv(&sub).unwrap();
+        assert_eq!(s.len(), 100);
+        assert!(run(&sv(&["sample", full.to_str().unwrap(), "2.0", "7", sub.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn knn_command_works() {
+        let dir = tmpdir();
+        let p = dir.join("pts.csv");
+        std::fs::write(&p, "0,0\n1,0\n0,1\n5,5\n").unwrap();
+        run(&sv(&["knn", p.to_str().unwrap(), "0.1,0.1", "-k", "2"])).unwrap();
+        // Wrong arity in the query point.
+        assert!(run(&sv(&["knn", p.to_str().unwrap(), "0.1", "-k", "2"])).is_err());
+        assert!(run(&sv(&["knn", p.to_str().unwrap(), "a,b"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn catalog_roundtrip_via_cli() {
+        let dir = tmpdir();
+        let data = dir.join("g.csv");
+        let cat = dir.join("laws.tsv");
+        run(&sv(&["generate", "galaxy-dev", "2000", "3", data.to_str().unwrap()])).unwrap();
+        run(&sv(&[
+            "catalog-add",
+            cat.to_str().unwrap(),
+            "galaxy_self",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "catalog-estimate",
+            cat.to_str().unwrap(),
+            "galaxy_self",
+            "-r",
+            "0.05",
+        ]))
+        .unwrap();
+        // Unknown name errors cleanly.
+        assert!(run(&sv(&[
+            "catalog-estimate",
+            cat.to_str().unwrap(),
+            "nope",
+            "-r",
+            "0.05",
+        ]))
+        .is_err());
+        // A second law lands in the same file.
+        run(&sv(&[
+            "catalog-add",
+            cat.to_str().unwrap(),
+            "galaxy_self_pc",
+            data.to_str().unwrap(),
+            "--method",
+            "pc",
+        ]))
+        .unwrap();
+        let loaded = sjpl_core::LawCatalog::load(&cat).unwrap();
+        assert_eq!(loaded.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,30 @@
+//! `sjpl` — pair-count-law spatial-join selectivity estimation over CSV
+//! point files.
+//!
+//! ```text
+//! sjpl generate <kind> <n> <seed> <out.csv>     synthesize a dataset
+//! sjpl pc-plot <a.csv> [b.csv] [opts]           exact (quadratic) PC plot + law
+//! sjpl bops <a.csv> [b.csv] [opts]              linear BOPS plot + law
+//! sjpl estimate <a.csv> [b.csv] -r <radius>     O(1) selectivity estimate
+//! sjpl join <a.csv> [b.csv] -r <radius>         exact distance-join count
+//! sjpl dim <a.csv>                              correlation fractal dimension
+//! ```
+//!
+//! One CSV file ⇒ self join; two ⇒ cross join. The point dimensionality is
+//! detected from the file (1–16 supported).
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

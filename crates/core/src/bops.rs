@@ -1,0 +1,438 @@
+//! The Box-Occupancy-Product-Sum (BOPS) — the paper's linear-time
+//! estimator of the pair-count plot (Section 4, Lemma 1, Figure 7).
+//!
+//! For a grid of cell side `s`, `BOPS(s) = Σᵢ C_{A,i} · C_{B,i}` where
+//! `C_{A,i}`, `C_{B,i}` are the cell occupancies of the two sets. Lemma 1:
+//! `PC(s/2) ≈ BOPS(s)`, so plotting `BOPS(s)` against `s/2` in log-log
+//! scales and fitting a line recovers the pair-count exponent in O(N+M)
+//! per grid level instead of O(N·M).
+//!
+//! Following Figure 7 verbatim: normalize the joint address space to the
+//! unit hyper-cube (valid by Observation 2), then for each grid side
+//! `s = 1/2^j` count occupancies in one pass and sum the products.
+//! Occupancies live in a hash map keyed by cell coordinates, so memory is
+//! proportional to *occupied* cells — essential for the 16-d eigenfaces
+//! case where a dense grid is unthinkable.
+
+use std::collections::HashMap;
+
+use sjpl_geom::{NormalizeInfo, PointSet};
+use sjpl_stats::{fit_loglog, FitOptions};
+
+use crate::{CoreError, JoinKind, PairCountLaw};
+
+/// Configuration for a BOPS plot.
+#[derive(Clone, Copy, Debug)]
+pub struct BopsConfig {
+    /// Number of grid levels. Level `j` (0-based) uses cell side
+    /// `s = 0.5 · ratio^j`, so the paper's `s = 1/2^j` progression is the
+    /// default (`ratio = 0.5`).
+    pub levels: u32,
+    /// Side shrink factor between consecutive levels, in `(0, 1)`.
+    ///
+    /// **Extension over the paper:** in high embedding dimensions a dyadic
+    /// progression jumps occupancies by up to `2^D` per level, leaving too
+    /// few non-degenerate plot points to fit; a gentler ratio (e.g. `0.8`)
+    /// samples the usable scale range much more densely at the same
+    /// asymptotic cost.
+    pub ratio: f64,
+}
+
+impl Default for BopsConfig {
+    fn default() -> Self {
+        BopsConfig {
+            levels: 12,
+            ratio: 0.5,
+        }
+    }
+}
+
+impl BopsConfig {
+    /// A dyadic configuration (`s = 1/2^j`) with the given level count —
+    /// exactly the paper's Figure 7 grid schedule.
+    pub fn dyadic(levels: u32) -> Self {
+        BopsConfig { levels, ratio: 0.5 }
+    }
+
+    /// A configuration tuned for high embedding dimensions: gentle side
+    /// shrink so several levels carry non-trivial occupancy products.
+    pub fn high_dimensional() -> Self {
+        BopsConfig {
+            levels: 16,
+            ratio: 0.8,
+        }
+    }
+
+    fn sides(&self) -> Vec<f64> {
+        // Finest first, so radii come out ascending.
+        (0..self.levels)
+            .rev()
+            .map(|j| 0.5 * self.ratio.powi(j as i32))
+            .collect()
+    }
+}
+
+/// A BOPS plot: `BOPS(s)` for grid sides `s = 1/2^j`, exposed at the
+/// equivalent radii `r = s/2` (in the *original* coordinate space) per
+/// Lemma 1, so it is directly comparable to — and substitutable for — a
+/// [`crate::PcPlot`].
+#[derive(Clone, Debug)]
+pub struct BopsPlot {
+    radii: Vec<f64>,
+    values: Vec<f64>,
+    sides_normalized: Vec<f64>,
+    kind: JoinKind,
+    n: usize,
+    m: usize,
+}
+
+impl BopsPlot {
+    /// Equivalent radii `s/2` in original coordinates (descending grid
+    /// side ⇒ ascending level; radii are returned ascending).
+    pub fn radii(&self) -> &[f64] {
+        &self.radii
+    }
+
+    /// `BOPS(s)` values aligned with [`BopsPlot::radii`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The normalized grid sides `s = 1/2^j`, aligned with the radii.
+    pub fn sides_normalized(&self) -> &[f64] {
+        &self.sides_normalized
+    }
+
+    /// Cross or self join.
+    pub fn kind(&self) -> JoinKind {
+        self.kind
+    }
+
+    /// `(r, BOPS)` pairs with non-zero values, ready for a log-log fit.
+    pub fn nonzero_points(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (&r, &v) in self.radii.iter().zip(self.values.iter()) {
+            if v > 0.0 {
+                xs.push(r);
+                ys.push(v);
+            }
+        }
+        (xs, ys)
+    }
+
+    /// Fits the pair-count law from the BOPS plot (the corollary to
+    /// Lemma 1: BOPS follows the same power law with the same exponent).
+    pub fn fit(&self, opts: &FitOptions) -> Result<PairCountLaw, CoreError> {
+        let (xs, ys) = self.nonzero_points();
+        if xs.is_empty() {
+            return Err(CoreError::NoPairs);
+        }
+        let needed = opts.min_points.max(2);
+        if xs.len() < needed {
+            return Err(CoreError::NotEnoughPlotPoints {
+                found: xs.len(),
+                needed,
+            });
+        }
+        let fit = fit_loglog(&xs, &ys, opts)?;
+        Ok(PairCountLaw {
+            exponent: fit.exponent,
+            k: fit.k,
+            fit,
+            kind: self.kind,
+            n: self.n,
+            m: self.m,
+        })
+    }
+
+    /// Fits the law using **all** non-empty plot points, without usable-
+    /// range selection (see [`crate::PcPlot::fit_full_range`] for when this
+    /// is the right tool).
+    pub fn fit_full_range(&self) -> Result<PairCountLaw, CoreError> {
+        let (xs, ys) = self.nonzero_points();
+        if xs.is_empty() {
+            return Err(CoreError::NoPairs);
+        }
+        let fit = sjpl_stats::fit_loglog_full_range(&xs, &ys)?;
+        Ok(PairCountLaw {
+            exponent: fit.exponent,
+            k: fit.k,
+            fit,
+            kind: self.kind,
+            n: self.n,
+            m: self.m,
+        })
+    }
+}
+
+#[inline]
+fn cell_key<const D: usize>(p: &sjpl_geom::Point<D>, cells_per_axis: u64, s: f64) -> [u32; D] {
+    let mut k = [0u32; D];
+    for i in 0..D {
+        // Normalized coordinates lie in [0,1]; the point at exactly 1.0
+        // belongs to the last cell.
+        let idx = (p[i] / s) as u64;
+        k[i] = idx.min(cells_per_axis - 1) as u32;
+    }
+    k
+}
+
+#[inline]
+fn cells_per_axis(s: f64) -> u64 {
+    (1.0 / s).ceil() as u64
+}
+
+fn check_cfg(cfg: &BopsConfig) -> Result<(), CoreError> {
+    if cfg.levels == 0 {
+        return Err(CoreError::BadConfig("levels must be >= 1".to_owned()));
+    }
+    if !(cfg.ratio > 0.0 && cfg.ratio < 1.0) {
+        return Err(CoreError::BadConfig(format!(
+            "ratio {} must lie in (0, 1)",
+            cfg.ratio
+        )));
+    }
+    let finest = 0.5 * cfg.ratio.powi(cfg.levels as i32 - 1);
+    if cells_per_axis(finest) > u32::MAX as u64 {
+        return Err(CoreError::BadConfig(format!(
+            "finest cell side {finest:.3e} exceeds the cell-coordinate width; \
+             reduce levels or raise ratio"
+        )));
+    }
+    Ok(())
+}
+
+/// Builds the BOPS plot of a cross join — the Figure 7 algorithm.
+/// O((N+M) · levels · D) time, memory proportional to occupied cells.
+pub fn bops_plot_cross<const D: usize>(
+    a: &PointSet<D>,
+    b: &PointSet<D>,
+    cfg: &BopsConfig,
+) -> Result<BopsPlot, CoreError> {
+    check_cfg(cfg)?;
+    if a.is_empty() || b.is_empty() {
+        return Err(CoreError::Geom(sjpl_geom::GeomError::EmptySet));
+    }
+    let info = NormalizeInfo::from_sets(&[a, b])?;
+    let na = a.normalized(&info);
+    let nb = b.normalized(&info);
+    let mut radii = Vec::with_capacity(cfg.levels as usize);
+    let mut values = Vec::with_capacity(cfg.levels as usize);
+    let mut sides = Vec::with_capacity(cfg.levels as usize);
+    for s in cfg.sides() {
+        let cells = cells_per_axis(s);
+        let mut occ: HashMap<[u32; D], (u64, u64)> = HashMap::new();
+        for p in na.iter() {
+            occ.entry(cell_key(p, cells, s)).or_insert((0, 0)).0 += 1;
+        }
+        for p in nb.iter() {
+            occ.entry(cell_key(p, cells, s)).or_insert((0, 0)).1 += 1;
+        }
+        let bops: u64 = occ.values().map(|&(ca, cb)| ca * cb).sum();
+        radii.push(info.invert_dist(s / 2.0));
+        values.push(bops as f64);
+        sides.push(s);
+    }
+    Ok(BopsPlot {
+        radii,
+        values,
+        sides_normalized: sides,
+        kind: JoinKind::Cross,
+        n: a.len(),
+        m: b.len(),
+    })
+}
+
+/// Builds the BOPS plot of a self join. With `A == B` the product-sum
+/// specializes to `Σᵢ C_i(C_i − 1)/2` — each cell's unordered within-cell
+/// pairs, matching Definition 1's self-join convention (the classic
+/// `Σ C_i²` box-counting sum has the same slope but double-counts pairs
+/// and includes self-pairs, biasing the *constant* K).
+pub fn bops_plot_self<const D: usize>(
+    a: &PointSet<D>,
+    cfg: &BopsConfig,
+) -> Result<BopsPlot, CoreError> {
+    check_cfg(cfg)?;
+    if a.len() < 2 {
+        return Err(CoreError::Geom(sjpl_geom::GeomError::EmptySet));
+    }
+    let info = NormalizeInfo::from_sets(&[a])?;
+    let na = a.normalized(&info);
+    let mut radii = Vec::with_capacity(cfg.levels as usize);
+    let mut values = Vec::with_capacity(cfg.levels as usize);
+    let mut sides = Vec::with_capacity(cfg.levels as usize);
+    for s in cfg.sides() {
+        let cells = cells_per_axis(s);
+        let mut occ: HashMap<[u32; D], u64> = HashMap::new();
+        for p in na.iter() {
+            *occ.entry(cell_key(p, cells, s)).or_insert(0) += 1;
+        }
+        let bops: u64 = occ.values().map(|&c| c * (c - 1) / 2).sum();
+        radii.push(info.invert_dist(s / 2.0));
+        values.push(bops as f64);
+        sides.push(s);
+    }
+    Ok(BopsPlot {
+        radii,
+        values,
+        sides_normalized: sides,
+        kind: JoinKind::SelfJoin,
+        n: a.len(),
+        m: a.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjpl_geom::Point;
+
+    fn uniform(n: usize, seed: u64) -> PointSet<2> {
+        sjpl_datagen::uniform::unit_cube::<2>(n, seed)
+    }
+
+    #[test]
+    fn coarsest_level_sums_to_full_product() {
+        // At j = 0 the whole space would be one cell; at j = 1 there are
+        // 2^D cells. Sanity-check against a hand construction: two points
+        // per quadrant.
+        let a = PointSet::new(
+            "a",
+            vec![
+                Point([0.1, 0.1]),
+                Point([0.9, 0.1]),
+                Point([0.1, 0.9]),
+                Point([0.9, 0.9]),
+            ],
+        );
+        let b = a.clone();
+        let cfg = BopsConfig::dyadic(1);
+        let plot = bops_plot_cross(&a, &b, &cfg).unwrap();
+        // Each quadrant holds 1 a-point and 1 b-point: BOPS = 4.
+        assert_eq!(plot.values(), &[4.0]);
+    }
+
+    #[test]
+    fn self_bops_counts_within_cell_unordered_pairs() {
+        // 3 points in one quadrant, 1 in another: Σ C(C−1)/2 = 3.
+        let a = PointSet::new(
+            "a",
+            vec![
+                Point([0.1, 0.1]),
+                Point([0.2, 0.1]),
+                Point([0.1, 0.2]),
+                Point([0.9, 0.9]),
+            ],
+        );
+        let plot = bops_plot_self(&a, &BopsConfig::dyadic(1)).unwrap();
+        assert_eq!(plot.values(), &[3.0]);
+        assert_eq!(plot.kind(), JoinKind::SelfJoin);
+    }
+
+    #[test]
+    fn radii_are_ascending_and_match_levels() {
+        let a = uniform(200, 1);
+        let b = uniform(200, 2);
+        let cfg = BopsConfig::dyadic(6);
+        let plot = bops_plot_cross(&a, &b, &cfg).unwrap();
+        assert_eq!(plot.radii().len(), 6);
+        for w in plot.radii().windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Finest side = 2^-6, coarsest = 2^-1.
+        assert!((plot.sides_normalized()[0] - 0.015625).abs() < 1e-12);
+        assert!((plot.sides_normalized()[5] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bops_values_are_monotone_in_cell_side() {
+        // Coarser cells can only merge cells, which never decreases the
+        // product-sum.
+        let a = uniform(500, 3);
+        let b = uniform(400, 4);
+        let plot = bops_plot_cross(&a, &b, &BopsConfig::dyadic(8)).unwrap();
+        for w in plot.values().windows(2) {
+            assert!(w[0] <= w[1], "BOPS not monotone: {w:?}");
+        }
+        // At a side of 1/2 the four-cell sum is within [NM/4, NM].
+        let last = *plot.values().last().unwrap();
+        assert!(last <= (500.0 * 400.0));
+    }
+
+    #[test]
+    fn uniform_2d_bops_exponent_is_near_2() {
+        let a = uniform(6_000, 5);
+        let b = uniform(6_000, 6);
+        let plot = bops_plot_cross(&a, &b, &BopsConfig::dyadic(10)).unwrap();
+        let law = plot.fit(&FitOptions::default()).unwrap();
+        assert!(
+            (law.exponent - 2.0).abs() < 0.25,
+            "uniform BOPS exponent {}",
+            law.exponent
+        );
+    }
+
+    #[test]
+    fn normalization_maps_radii_back_to_original_units() {
+        // The same data at 10× scale must give radii 10× larger with the
+        // same BOPS values (Observation 2 in action).
+        let a = uniform(300, 7);
+        let scaled = PointSet::new(
+            "scaled",
+            a.iter().map(|p| *p * 10.0).collect::<Vec<_>>(),
+        );
+        let p1 = bops_plot_self(&a, &BopsConfig::dyadic(6)).unwrap();
+        let p2 = bops_plot_self(&scaled, &BopsConfig::dyadic(6)).unwrap();
+        assert_eq!(p1.values(), p2.values());
+        for (r1, r2) in p1.radii().iter().zip(p2.radii().iter()) {
+            assert!((r2 / r1 - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let a = uniform(50, 8);
+        assert!(matches!(
+            bops_plot_self(&a, &BopsConfig::dyadic(0)),
+            Err(CoreError::BadConfig(_))
+        ));
+        assert!(matches!(
+            bops_plot_self(&a, &BopsConfig::dyadic(32)),
+            Err(CoreError::BadConfig(_))
+        ));
+        let empty = PointSet::<2>::empty("e");
+        assert!(bops_plot_self(&empty, &BopsConfig::default()).is_err());
+        assert!(bops_plot_cross(&empty, &a, &BopsConfig::default()).is_err());
+    }
+
+    #[test]
+    fn separated_sets_fit_yields_no_pairs() {
+        let a = PointSet::new("a", vec![Point([0.0, 0.0]); 3]);
+        let b = PointSet::new("b", vec![Point([1000.0, 1000.0]); 3]);
+        let plot = bops_plot_cross(&a, &b, &BopsConfig::dyadic(8)).unwrap();
+        assert!(matches!(
+            plot.fit(&FitOptions::default()),
+            Err(CoreError::NoPairs)
+        ));
+    }
+
+    #[test]
+    fn point_at_upper_boundary_is_counted() {
+        // x = 1.0 after normalization must land in the last cell, not fall
+        // off the grid.
+        let a = PointSet::new("a", vec![Point([0.0, 0.0]), Point([1.0, 1.0])]);
+        let plot = bops_plot_self(&a, &BopsConfig::dyadic(3)).unwrap();
+        // No panic and zero within-cell pairs at every level (points are in
+        // opposite corners).
+        assert!(plot.values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn high_dimensional_bops_works() {
+        let a = sjpl_datagen::manifold::eigenfaces_like(800, 9);
+        let plot = bops_plot_self(&a, &BopsConfig::dyadic(8)).unwrap();
+        assert_eq!(plot.values().len(), 8);
+        assert!(*plot.values().last().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Persistence for fitted laws — the paper's "previously kept statistics
+//! on the PC plot" (Section 4.3), i.e. what a query optimizer would store
+//! in its catalog.
+//!
+//! The format is a deliberately simple line-oriented text file (one law per
+//! line, tab-separated, `#` comments), so catalogs diff cleanly in version
+//! control and need no extra dependencies:
+//!
+//! ```text
+//! # name   kind   n   m   exponent   k   x_lo   x_hi   r_squared
+//! str_x_wat   cross   62933   72066   1.743   3.1e7   1.2e-3   0.25   0.9991
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use sjpl_stats::{LineFit, LogLogFit};
+
+use crate::{CoreError, JoinKind, PairCountLaw};
+
+/// A named collection of fitted pair-count laws.
+#[derive(Default)]
+pub struct LawCatalog {
+    laws: BTreeMap<String, PairCountLaw>,
+}
+
+impl LawCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored laws.
+    pub fn len(&self) -> usize {
+        self.laws.len()
+    }
+
+    /// `true` when no laws are stored.
+    pub fn is_empty(&self) -> bool {
+        self.laws.is_empty()
+    }
+
+    /// Stores (or replaces) a law under `name`.
+    pub fn insert(&mut self, name: impl Into<String>, law: PairCountLaw) {
+        self.laws.insert(name.into(), law);
+    }
+
+    /// Looks up a law by name.
+    pub fn get(&self, name: &str) -> Option<&PairCountLaw> {
+        self.laws.get(name)
+    }
+
+    /// Removes a law; returns it if present.
+    pub fn remove(&mut self, name: &str) -> Option<PairCountLaw> {
+        self.laws.remove(name)
+    }
+
+    /// Iterates over `(name, law)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PairCountLaw)> {
+        self.laws.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Serializes the catalog to a writer.
+    pub fn save_writer<W: Write>(&self, mut w: W) -> Result<(), CoreError> {
+        writeln!(w, "# sjpl law catalog v1").map_err(io_err)?;
+        writeln!(w, "# name\tkind\tn\tm\texponent\tk\tx_lo\tx_hi\tr_squared").map_err(io_err)?;
+        for (name, law) in &self.laws {
+            if name.contains(['\t', '\n']) {
+                return Err(CoreError::BadConfig(format!(
+                    "law name {name:?} contains a tab or newline"
+                )));
+            }
+            let kind = match law.kind {
+                JoinKind::Cross => "cross",
+                JoinKind::SelfJoin => "self",
+            };
+            let mut line = String::new();
+            write!(
+                line,
+                "{name}\t{kind}\t{}\t{}\t{:e}\t{:e}\t{:e}\t{:e}\t{:e}",
+                law.n, law.m, law.exponent, law.k, law.fit.x_lo, law.fit.x_hi,
+                law.fit.line.r_squared
+            )
+            .expect("writing to String cannot fail");
+            writeln!(w, "{line}").map_err(io_err)?;
+        }
+        w.flush().map_err(io_err)
+    }
+
+    /// Saves the catalog to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let f = std::fs::File::create(path).map_err(io_err)?;
+        self.save_writer(std::io::BufWriter::new(f))
+    }
+
+    /// Loads a catalog from a reader.
+    pub fn load_reader<R: Read>(r: R) -> Result<Self, CoreError> {
+        let mut catalog = LawCatalog::new();
+        for (idx, line) in BufReader::new(r).lines().enumerate() {
+            let line = line.map_err(io_err)?;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = t.split('\t').collect();
+            if fields.len() != 9 {
+                return Err(CoreError::BadConfig(format!(
+                    "catalog line {}: expected 9 tab-separated fields, got {}",
+                    idx + 1,
+                    fields.len()
+                )));
+            }
+            let parse = |s: &str| -> Result<f64, CoreError> {
+                s.parse()
+                    .map_err(|_| CoreError::BadConfig(format!("bad number {s:?} on line {}", idx + 1)))
+            };
+            let kind = match fields[1] {
+                "cross" => JoinKind::Cross,
+                "self" => JoinKind::SelfJoin,
+                other => {
+                    return Err(CoreError::BadConfig(format!(
+                        "unknown join kind {other:?} on line {}",
+                        idx + 1
+                    )))
+                }
+            };
+            let n: usize = fields[2]
+                .parse()
+                .map_err(|_| CoreError::BadConfig(format!("bad n on line {}", idx + 1)))?;
+            let m: usize = fields[3]
+                .parse()
+                .map_err(|_| CoreError::BadConfig(format!("bad m on line {}", idx + 1)))?;
+            let exponent = parse(fields[4])?;
+            let k = parse(fields[5])?;
+            let x_lo = parse(fields[6])?;
+            let x_hi = parse(fields[7])?;
+            let r_squared = parse(fields[8])?;
+            // Reconstruct a minimal fit: only (k, exponent, range, r²)
+            // survive the round-trip; per-point residual detail does not.
+            let fit = LogLogFit {
+                exponent,
+                k,
+                line: LineFit {
+                    slope: exponent,
+                    intercept: k.log10(),
+                    correlation: r_squared.max(0.0).sqrt(),
+                    r_squared,
+                    rmse: 0.0,
+                    n: 0,
+                },
+                range_start: 0,
+                range_end: 0,
+                x_lo,
+                x_hi,
+            };
+            catalog.insert(
+                fields[0],
+                PairCountLaw {
+                    exponent,
+                    k,
+                    fit,
+                    kind,
+                    n,
+                    m,
+                },
+            );
+        }
+        Ok(catalog)
+    }
+
+    /// Loads a catalog from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let f = std::fs::File::open(path).map_err(io_err)?;
+        Self::load_reader(f)
+    }
+}
+
+fn io_err(e: std::io::Error) -> CoreError {
+    CoreError::Geom(sjpl_geom::GeomError::Io(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pc_plot_self, FitOptions, PcPlotConfig, SelectivityEstimator};
+    use sjpl_datagen::uniform;
+
+    fn make_law() -> PairCountLaw {
+        let a = uniform::unit_cube::<2>(800, 1);
+        pc_plot_self(&a, &PcPlotConfig::default())
+            .unwrap()
+            .fit(&FitOptions::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_that_matters() {
+        let law = make_law();
+        let mut cat = LawCatalog::new();
+        cat.insert("uniform_self", law);
+        let mut buf = Vec::new();
+        cat.save_writer(&mut buf).unwrap();
+        let back = LawCatalog::load_reader(&buf[..]).unwrap();
+        let got = back.get("uniform_self").unwrap();
+        assert_eq!(got.exponent, law.exponent);
+        assert_eq!(got.k, law.k);
+        assert_eq!(got.kind, law.kind);
+        assert_eq!((got.n, got.m), (law.n, law.m));
+        assert_eq!(got.fit.x_lo, law.fit.x_lo);
+        assert_eq!(got.fit.x_hi, law.fit.x_hi);
+        // A reloaded law answers queries identically.
+        let e1 = SelectivityEstimator::from_law(law);
+        let e2 = SelectivityEstimator::from_law(*got);
+        for r in [0.01, 0.1, 0.5] {
+            assert_eq!(e1.estimate_pair_count(r), e2.estimate_pair_count(r));
+            assert_eq!(e1.estimate_selectivity(r), e2.estimate_selectivity(r));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("sjpl_catalog_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.tsv");
+        let mut cat = LawCatalog::new();
+        cat.insert("a", make_law());
+        cat.insert("b", make_law());
+        cat.save(&path).unwrap();
+        let back = LawCatalog::load(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(back.get("a").is_some() && back.get("b").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn insert_replace_remove() {
+        let mut cat = LawCatalog::new();
+        assert!(cat.is_empty());
+        let law = make_law();
+        cat.insert("x", law);
+        let mut modified = law;
+        modified.exponent += 1.0;
+        cat.insert("x", modified);
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.get("x").unwrap().exponent, law.exponent + 1.0);
+        assert!(cat.remove("x").is_some());
+        assert!(cat.remove("x").is_none());
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(LawCatalog::load_reader("one\ttwo\n".as_bytes()).is_err());
+        assert!(
+            LawCatalog::load_reader("n\tcross\t1\t2\tx\t1\t1\t1\t1\n".as_bytes()).is_err()
+        );
+        assert!(
+            LawCatalog::load_reader("n\tdiagonal\t1\t2\t1\t1\t1\t1\t1\n".as_bytes()).is_err()
+        );
+        let mut cat = LawCatalog::new();
+        cat.insert("bad\tname", make_law());
+        let mut buf = Vec::new();
+        assert!(cat.save_writer(&mut buf).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# comment\n\n# another\n";
+        let cat = LawCatalog::load_reader(text.as_bytes()).unwrap();
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut cat = LawCatalog::new();
+        cat.insert("zeta", make_law());
+        cat.insert("alpha", make_law());
+        let names: Vec<&str> = cat.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the core pipeline.
+
+use std::fmt;
+
+use sjpl_geom::GeomError;
+use sjpl_stats::StatsError;
+
+/// Errors from building plots or fitting the pair-count law.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A geometry-layer failure (empty sets, degenerate points, I/O).
+    Geom(GeomError),
+    /// A statistics-layer failure (fit degeneracy, bad parameters).
+    Stats(StatsError),
+    /// The plot had too few non-empty points to fit a law.
+    NotEnoughPlotPoints {
+        /// Non-empty plot points available.
+        found: usize,
+        /// Minimum required by the fit options.
+        needed: usize,
+    },
+    /// All pair counts were zero — the sets are farther apart than the
+    /// largest probed radius.
+    NoPairs,
+    /// A configuration value was invalid (non-positive radius bounds,
+    /// zero levels, inverted ranges…).
+    BadConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Geom(e) => write!(f, "geometry error: {e}"),
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::NotEnoughPlotPoints { found, needed } => write!(
+                f,
+                "only {found} non-empty plot points; need at least {needed} to fit a power law"
+            ),
+            CoreError::NoPairs => {
+                write!(f, "no qualifying pairs at any probed radius")
+            }
+            CoreError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Geom(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeomError> for CoreError {
+    fn from(e: GeomError) -> Self {
+        CoreError::Geom(e)
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::from(GeomError::EmptySet);
+        assert!(e.to_string().contains("geometry"));
+        assert!(e.source().is_some());
+        let e = CoreError::NotEnoughPlotPoints {
+            found: 2,
+            needed: 5,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains('5'));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Correlation fractal dimension `D₂`.
+//!
+//! Observation 1 of the paper: for a self join the pair-count exponent *is*
+//! the correlation fractal dimension of the dataset ([BF 95]). These
+//! helpers expose that special case under its traditional name, with both
+//! the fast BOPS path and the exact quadratic path.
+
+use std::collections::HashMap;
+
+use sjpl_geom::{NormalizeInfo, PointSet};
+use sjpl_stats::{fit_line, FitOptions};
+
+use crate::{bops_plot_self, pc_plot_self, BopsConfig, CoreError, PcPlotConfig};
+
+/// Estimates the correlation dimension `D₂` of a point-set by the linear
+/// BOPS method (`levels` grid refinements).
+pub fn correlation_dimension_bops<const D: usize>(
+    a: &PointSet<D>,
+    levels: u32,
+) -> Result<f64, CoreError> {
+    let plot = bops_plot_self(a, &BopsConfig::dyadic(levels))?;
+    Ok(plot.fit(&FitOptions::default())?.exponent)
+}
+
+/// Estimates `D₂` by the exact (quadratic) pair-count plot — slower,
+/// more accurate; the paper's "PC plot estimation".
+pub fn correlation_dimension_exact<const D: usize>(
+    a: &PointSet<D>,
+    cfg: &PcPlotConfig,
+) -> Result<f64, CoreError> {
+    let plot = pc_plot_self(a, cfg)?;
+    Ok(plot.fit(&FitOptions::default())?.exponent)
+}
+
+/// Estimates the generalized (Rényi) dimension `D_q` by box counting —
+/// the multifractal spectrum the fractal-dimension literature the paper
+/// builds on ([BF 95]) defines:
+///
+/// * `q = 0` — box-counting (capacity) dimension: `log(#occupied cells)`
+///   vs `log(1/s)`.
+/// * `q = 1` — information dimension: `Σ p_i·log p_i` vs `log s`.
+/// * `q = 2` — the correlation dimension `D₂` (Observation 1's special
+///   case; up to self-pair treatment this matches
+///   [`correlation_dimension_bops`]).
+/// * general `q` — `log(Σ p_i^q) / (q−1)` vs `log s`.
+///
+/// For monofractals all `D_q` coincide; for real (multifractal) data `D_q`
+/// is non-increasing in `q`. The slope is fitted over the grid levels
+/// `s = 1/2^j, j = 1..=levels`.
+///
+/// # Errors
+/// Propagates empty-set/degenerate-config errors; needs at least 2 levels.
+pub fn generalized_dimension<const D: usize>(
+    a: &PointSet<D>,
+    q: f64,
+    levels: u32,
+) -> Result<f64, CoreError> {
+    if levels < 2 {
+        return Err(CoreError::BadConfig("need at least 2 levels".to_owned()));
+    }
+    if a.is_empty() {
+        return Err(CoreError::Geom(sjpl_geom::GeomError::EmptySet));
+    }
+    let info = NormalizeInfo::from_sets(&[a])?;
+    let na = a.normalized(&info);
+    let n = na.len() as f64;
+    let mut xs = Vec::with_capacity(levels as usize);
+    let mut ys = Vec::with_capacity(levels as usize);
+    for j in 1..=levels {
+        let s = 0.5f64.powi(j as i32);
+        let cells = 1u64 << j;
+        let mut occ: HashMap<[u32; D], u64> = HashMap::new();
+        for p in na.iter() {
+            let mut key = [0u32; D];
+            for (i, k) in key.iter_mut().enumerate() {
+                *k = (((p[i] / s) as u64).min(cells - 1)) as u32;
+            }
+            *occ.entry(key).or_insert(0) += 1;
+        }
+        let y = if (q - 1.0).abs() < 1e-9 {
+            // Information dimension: D1 = lim Σ p log p / log s.
+            occ.values()
+                .map(|&c| {
+                    let p = c as f64 / n;
+                    p * p.ln()
+                })
+                .sum::<f64>()
+        } else {
+            let sum: f64 = occ.values().map(|&c| (c as f64 / n).powf(q)).sum();
+            sum.ln() / (q - 1.0)
+        };
+        xs.push(s.ln());
+        ys.push(y);
+    }
+    // D_q is the slope of y against log s (for q = 1 the Σp·log p form is
+    // already in "slope vs log s" shape).
+    let fit = fit_line(&xs, &ys)?;
+    Ok(fit.slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjpl_datagen::{cantor, diagonal, sierpinski, uniform};
+
+    #[test]
+    fn sierpinski_dimension_matches_closed_form() {
+        let s = sierpinski::triangle(20_000, 1);
+        let d2 = correlation_dimension_bops(&s, 10).unwrap();
+        assert!(
+            (d2 - sierpinski::SIERPINSKI_D2).abs() < 0.12,
+            "Sierpinski D2: got {d2}, want ≈ {}",
+            sierpinski::SIERPINSKI_D2
+        );
+    }
+
+    #[test]
+    fn cantor_dust_dimension_matches_closed_form() {
+        let c = cantor::dust::<2>(20_000, 2);
+        let want = 2.0 * cantor::CANTOR_D2_PER_AXIS;
+        let d2 = correlation_dimension_bops(&c, 10).unwrap();
+        assert!((d2 - want).abs() < 0.15, "Cantor D2: got {d2}, want {want}");
+    }
+
+    #[test]
+    fn diagonal_line_has_dimension_1_in_any_embedding() {
+        let l2 = diagonal::line::<2>(8_000, 3);
+        let l4 = diagonal::line::<4>(8_000, 3);
+        let d2 = correlation_dimension_bops(&l2, 10).unwrap();
+        let d4 = correlation_dimension_bops(&l4, 10).unwrap();
+        assert!((d2 - 1.0).abs() < 0.1, "2-d embedding: {d2}");
+        assert!((d4 - 1.0).abs() < 0.1, "4-d embedding: {d4}");
+    }
+
+    #[test]
+    fn uniform_square_has_dimension_2() {
+        let u = uniform::unit_cube::<2>(10_000, 4);
+        let d2 = correlation_dimension_bops(&u, 9).unwrap();
+        assert!((d2 - 2.0).abs() < 0.2, "uniform D2 {d2}");
+    }
+
+    #[test]
+    fn generalized_dimensions_of_uniform_data_are_all_2() {
+        let u = uniform::unit_cube::<2>(20_000, 8);
+        for q in [0.0, 1.0, 2.0, 3.0] {
+            let dq = generalized_dimension(&u, q, 7).unwrap();
+            assert!((dq - 2.0).abs() < 0.25, "D_{q} = {dq}");
+        }
+    }
+
+    #[test]
+    fn generalized_dimensions_are_non_increasing_in_q() {
+        // A strongly inhomogeneous set (galaxy clusters) is multifractal:
+        // D0 >= D1 >= D2 (up to estimation noise).
+        let g = sjpl_datagen::galaxy::cluster_process(15_000, 9);
+        let d0 = generalized_dimension(&g, 0.0, 8).unwrap();
+        let d1 = generalized_dimension(&g, 1.0, 8).unwrap();
+        let d2 = generalized_dimension(&g, 2.0, 8).unwrap();
+        assert!(d0 >= d1 - 0.1, "D0 {d0} < D1 {d1}");
+        assert!(d1 >= d2 - 0.1, "D1 {d1} < D2 {d2}");
+    }
+
+    #[test]
+    fn d2_by_generalized_matches_bops_dimension() {
+        let s = sierpinski::triangle(15_000, 10);
+        let dq = generalized_dimension(&s, 2.0, 9).unwrap();
+        let bops = correlation_dimension_bops(&s, 9).unwrap();
+        assert!(
+            (dq - bops).abs() < 0.2,
+            "generalized D2 {dq} vs BOPS {bops}"
+        );
+    }
+
+    #[test]
+    fn generalized_dimension_validates_input() {
+        let u = uniform::unit_cube::<2>(100, 1);
+        assert!(generalized_dimension(&u, 2.0, 1).is_err());
+        let empty = sjpl_geom::PointSet::<2>::empty("e");
+        assert!(generalized_dimension(&empty, 2.0, 5).is_err());
+    }
+
+    #[test]
+    fn exact_and_bops_dimensions_agree() {
+        let s = sierpinski::triangle(4_000, 5);
+        let fast = correlation_dimension_bops(&s, 9).unwrap();
+        let slow = correlation_dimension_exact(&s, &PcPlotConfig::default()).unwrap();
+        // The paper reports ≤ 9% disagreement; allow that here.
+        assert!(
+            (fast - slow).abs() / slow < 0.09,
+            "bops {fast} vs exact {slow}"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Helpers for the invariance experiments (Observations 2–4).
+//!
+//! The pair-count exponent is invariant to affine transforms, sampling, and
+//! the choice of Lp metric. The integration tests and the benchmark harness
+//! verify those claims on generated data; these helpers build the random
+//! transforms they apply.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sjpl_geom::{Affine, PointSet};
+
+/// A random rotation of `R^D`, composed from Givens rotations in every
+/// coordinate plane `(i, j)` with independent uniform angles. Products of
+/// Givens rotations generate SO(D), so repeated draws explore the full
+/// rotation group.
+pub fn random_rotation<const D: usize>(seed: u64) -> Affine<D> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = Affine::<D>::identity();
+    for i in 0..D {
+        for j in (i + 1)..D {
+            let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+            acc = Affine::rotation(i, j, theta).compose(&acc);
+        }
+    }
+    acc
+}
+
+/// Returns a copy of `set` with its points in a seeded random order.
+/// Pair counts are order-free, so every pipeline result must be identical
+/// on the shuffle — a cheap but effective metamorphic test.
+pub fn shuffled_copy<const D: usize>(set: &PointSet<D>, seed: u64) -> PointSet<D> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = set.points().to_vec();
+    for i in (1..pts.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        pts.swap(i, j);
+    }
+    PointSet::new(set.name(), pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjpl_geom::{Metric, Point};
+
+    #[test]
+    fn random_rotation_preserves_l2_distances() {
+        let rot = random_rotation::<4>(42);
+        let a = Point([0.1, 0.9, -0.4, 2.0]);
+        let b = Point([1.0, 0.0, 0.3, -1.0]);
+        let d0 = Metric::L2.dist(&a, &b);
+        let d1 = Metric::L2.dist(&rot.apply(&a), &rot.apply(&b));
+        assert!((d0 - d1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_seeds_give_different_rotations() {
+        let r1 = random_rotation::<3>(1);
+        let r2 = random_rotation::<3>(2);
+        let p = Point([1.0, 0.0, 0.0]);
+        assert!(r1.apply(&p).dist_linf(&r2.apply(&p)) > 1e-6);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let set = sjpl_datagen::uniform::unit_cube::<2>(100, 7);
+        let shuffled = shuffled_copy(&set, 3);
+        assert_eq!(shuffled.len(), set.len());
+        assert_ne!(shuffled.points(), set.points());
+        let mut a: Vec<_> = set
+            .iter()
+            .map(|p| (p[0].to_bits(), p[1].to_bits()))
+            .collect();
+        let mut b: Vec<_> = shuffled
+            .iter()
+            .map(|p| (p[0].to_bits(), p[1].to_bits()))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,331 @@
+//! Incrementally maintained BOPS — selectivity statistics that stay fresh
+//! under inserts and deletes.
+//!
+//! A query optimizer does not want to rescan its tables to refresh
+//! statistics. Because `BOPS(s) = Σᵢ C_{A,i}·C_{B,i}` is a sum of per-cell
+//! products, a single point insertion into cell `i` of set `A` changes the
+//! sum by exactly `C_{B,i}` (and symmetrically) — so the whole BOPS plot
+//! can be maintained in **O(levels · D)** per update, and the pair-count
+//! law re-fitted on demand in O(levels²). This is an extension beyond the
+//! paper (which computes BOPS in one batch pass), in the spirit of its
+//! "previously kept statistics" usage.
+//!
+//! The address space must be fixed up front (a bounding box that all future
+//! points fall into), because renormalizing would invalidate every cell
+//! count. Points outside the declared box are rejected.
+
+use std::collections::HashMap;
+
+use sjpl_geom::{Aabb, Point, PointSet};
+use sjpl_stats::{fit_loglog, FitOptions};
+
+use crate::{CoreError, JoinKind, PairCountLaw};
+
+/// Which side of the join a streamed point belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// First point-set (`A`).
+    A,
+    /// Second point-set (`B`).
+    B,
+}
+
+struct Level<const D: usize> {
+    side_len: f64,
+    cells_per_axis: u64,
+    occ: HashMap<[u32; D], (u64, u64)>,
+    /// Current Σ C_A·C_B for this level, maintained incrementally.
+    bops: u64,
+}
+
+/// An incrementally maintained cross-join BOPS sketch.
+pub struct StreamingBops<const D: usize> {
+    bounds: Aabb<D>,
+    scale: f64,
+    levels: Vec<Level<D>>,
+    n: usize,
+    m: usize,
+}
+
+impl<const D: usize> StreamingBops<D> {
+    /// Creates a sketch over the fixed address space `bounds`, with grid
+    /// sides `s = 1/2^j, j = 1..=levels` (after normalizing `bounds` to the
+    /// unit cube).
+    ///
+    /// # Errors
+    /// Rejects empty/degenerate bounds and out-of-range level counts.
+    pub fn new(bounds: Aabb<D>, levels: u32) -> Result<Self, CoreError> {
+        if bounds.is_empty() {
+            return Err(CoreError::BadConfig("empty bounding box".to_owned()));
+        }
+        if levels == 0 || levels > 31 {
+            return Err(CoreError::BadConfig(format!(
+                "levels {levels} outside 1..=31"
+            )));
+        }
+        let extent = bounds.longest_extent();
+        if !extent.is_finite() || extent <= 0.0 {
+            return Err(CoreError::BadConfig(
+                "bounding box has zero or non-finite extent".to_owned(),
+            ));
+        }
+        let levels = (1..=levels)
+            .map(|j| Level {
+                side_len: 0.5f64.powi(j as i32),
+                cells_per_axis: 1u64 << j,
+                occ: HashMap::new(),
+                bops: 0,
+            })
+            .collect();
+        Ok(StreamingBops {
+            bounds,
+            scale: 1.0 / extent,
+            levels,
+            n: 0,
+            m: 0,
+        })
+    }
+
+    /// Number of points inserted into each side, `(N, M)`.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.n, self.m)
+    }
+
+    fn key(&self, p: &Point<D>, level: &Level<D>) -> [u32; D] {
+        let mut k = [0u32; D];
+        for i in 0..D {
+            let x = (p[i] - self.bounds.lo[i]) * self.scale;
+            k[i] = (((x / level.side_len) as u64).min(level.cells_per_axis - 1)) as u32;
+        }
+        k
+    }
+
+    /// Inserts a point on the given side. O(levels · D).
+    ///
+    /// # Errors
+    /// Rejects points outside the declared bounding box.
+    pub fn insert(&mut self, side: Side, p: &Point<D>) -> Result<(), CoreError> {
+        if !self.bounds.contains(p) {
+            return Err(CoreError::BadConfig(format!(
+                "point outside the declared address space: {p:?}"
+            )));
+        }
+        for li in 0..self.levels.len() {
+            let key = self.key(p, &self.levels[li]);
+            let level = &mut self.levels[li];
+            let entry = level.occ.entry(key).or_insert((0, 0));
+            match side {
+                Side::A => {
+                    level.bops += entry.1;
+                    entry.0 += 1;
+                }
+                Side::B => {
+                    level.bops += entry.0;
+                    entry.1 += 1;
+                }
+            }
+        }
+        match side {
+            Side::A => self.n += 1,
+            Side::B => self.m += 1,
+        }
+        Ok(())
+    }
+
+    /// Removes a previously inserted point. O(levels · D).
+    ///
+    /// # Errors
+    /// Rejects removals of points that were never inserted on that side
+    /// (detected per cell, so a *different* point mapping to the same cells
+    /// at every level is indistinguishable — as with any sketch).
+    pub fn remove(&mut self, side: Side, p: &Point<D>) -> Result<(), CoreError> {
+        if !self.bounds.contains(p) {
+            return Err(CoreError::BadConfig(
+                "point outside the declared address space".to_owned(),
+            ));
+        }
+        // Validate before mutating so a failed removal leaves the sketch
+        // unchanged.
+        for level in &self.levels {
+            let key = self.key(p, level);
+            let occupied = level.occ.get(&key).map_or(0, |e| match side {
+                Side::A => e.0,
+                Side::B => e.1,
+            });
+            if occupied == 0 {
+                return Err(CoreError::BadConfig(
+                    "removing a point that is not in the sketch".to_owned(),
+                ));
+            }
+        }
+        for li in 0..self.levels.len() {
+            let key = self.key(p, &self.levels[li]);
+            let level = &mut self.levels[li];
+            let entry = level.occ.get_mut(&key).expect("validated above");
+            match side {
+                Side::A => {
+                    entry.0 -= 1;
+                    level.bops -= entry.1;
+                }
+                Side::B => {
+                    entry.1 -= 1;
+                    level.bops -= entry.0;
+                }
+            }
+            if *entry == (0, 0) {
+                level.occ.remove(&key);
+            }
+        }
+        match side {
+            Side::A => self.n -= 1,
+            Side::B => self.m -= 1,
+        }
+        Ok(())
+    }
+
+    /// The current BOPS plot as `(radius, BOPS)` pairs in original
+    /// coordinates, ascending radius.
+    pub fn plot(&self) -> Vec<(f64, f64)> {
+        self.levels
+            .iter()
+            .rev()
+            .map(|l| (l.side_len / 2.0 / self.scale, l.bops as f64))
+            .collect()
+    }
+
+    /// Fits the current pair-count law. O(levels²) — independent of the
+    /// number of points seen.
+    pub fn law(&self, opts: &FitOptions) -> Result<PairCountLaw, CoreError> {
+        let pts = self.plot();
+        let xs: Vec<f64> = pts.iter().filter(|&&(_, v)| v > 0.0).map(|&(x, _)| x).collect();
+        let ys: Vec<f64> = pts.iter().filter(|&&(_, v)| v > 0.0).map(|&(_, v)| v).collect();
+        if xs.is_empty() {
+            return Err(CoreError::NoPairs);
+        }
+        let needed = opts.min_points.max(2);
+        if xs.len() < needed {
+            return Err(CoreError::NotEnoughPlotPoints {
+                found: xs.len(),
+                needed,
+            });
+        }
+        let fit = fit_loglog(&xs, &ys, opts)?;
+        Ok(PairCountLaw {
+            exponent: fit.exponent,
+            k: fit.k,
+            fit,
+            kind: JoinKind::Cross,
+            n: self.n,
+            m: self.m,
+        })
+    }
+
+    /// Bulk-loads two point-sets (convenience for warm starts).
+    pub fn load(&mut self, a: &PointSet<D>, b: &PointSet<D>) -> Result<(), CoreError> {
+        for p in a.iter() {
+            self.insert(Side::A, p)?;
+        }
+        for p in b.iter() {
+            self.insert(Side::B, p)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bops_plot_cross, BopsConfig};
+    use sjpl_datagen::uniform;
+    use sjpl_geom::NormalizeInfo;
+
+    fn unit_bounds() -> Aabb<2> {
+        Aabb {
+            lo: Point([0.0, 0.0]),
+            hi: Point([1.0, 1.0]),
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_bops() {
+        let a = uniform::unit_cube::<2>(2_000, 1);
+        let b = uniform::unit_cube::<2>(1_500, 2);
+        let mut s = StreamingBops::new(unit_bounds(), 8).unwrap();
+        s.load(&a, &b).unwrap();
+        // The batch path normalizes by the joint bbox; force the same
+        // address space by adding the unit-square corners to the batch
+        // input... instead, compare against a batch run whose NormalizeInfo
+        // matches: the data is inside the unit square, so normalize with an
+        // explicit info equal to identity by construction.
+        let info = NormalizeInfo::from_sets(&[&a, &b]).unwrap();
+        // Batch and stream agree exactly when the normalization is the
+        // same; with random uniform data the joint bbox is ~the unit square
+        // so the *values* may differ at the margin. Compare pair products
+        // cell-exactly by re-streaming with the batch's bbox instead.
+        let batch_bounds = Aabb {
+            lo: info.offset,
+            hi: info.offset + Point([1.0 / info.scale, 1.0 / info.scale]),
+        };
+        let mut s2 = StreamingBops::new(batch_bounds, 8).unwrap();
+        s2.load(&a, &b).unwrap();
+        let batch = bops_plot_cross(&a, &b, &BopsConfig::dyadic(8)).unwrap();
+        for ((sr, sv), (&br, &bv)) in s2
+            .plot()
+            .into_iter()
+            .zip(batch.radii().iter().zip(batch.values().iter()))
+        {
+            assert!((sr - br).abs() < 1e-12, "radius {sr} vs {br}");
+            assert_eq!(sv, bv, "BOPS at radius {sr}");
+        }
+        let _ = s; // first sketch exercised the plain unit-square path
+    }
+
+    #[test]
+    fn incremental_updates_track_ground_truth() {
+        let mut s = StreamingBops::new(unit_bounds(), 4).unwrap();
+        let pts_a = uniform::unit_cube::<2>(200, 3);
+        let pts_b = uniform::unit_cube::<2>(200, 4);
+        s.load(&pts_a, &pts_b).unwrap();
+        let before = s.plot();
+        // Insert then remove the same point: plot must be unchanged.
+        let p = Point([0.25, 0.75]);
+        s.insert(Side::A, &p).unwrap();
+        assert_ne!(s.plot(), before);
+        s.remove(Side::A, &p).unwrap();
+        assert_eq!(s.plot(), before);
+        assert_eq!(s.counts(), (200, 200));
+    }
+
+    #[test]
+    fn law_is_fittable_and_updates() {
+        let mut s = StreamingBops::new(unit_bounds(), 10).unwrap();
+        let a = uniform::unit_cube::<2>(3_000, 5);
+        let b = uniform::unit_cube::<2>(3_000, 6);
+        s.load(&a, &b).unwrap();
+        let law = s.law(&FitOptions::default()).unwrap();
+        assert!((law.exponent - 2.0).abs() < 0.3, "alpha {}", law.exponent);
+        assert_eq!((law.n, law.m), (3_000, 3_000));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_and_bogus_removals() {
+        let mut s = StreamingBops::new(unit_bounds(), 4).unwrap();
+        assert!(s.insert(Side::A, &Point([1.5, 0.5])).is_err());
+        assert!(s.remove(Side::B, &Point([0.5, 0.5])).is_err());
+        // A failed removal must not corrupt counts.
+        assert_eq!(s.counts(), (0, 0));
+        assert!(s.law(&FitOptions::default()).is_err());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(StreamingBops::<2>::new(Aabb::empty(), 4).is_err());
+        assert!(StreamingBops::new(unit_bounds(), 0).is_err());
+        assert!(StreamingBops::new(unit_bounds(), 32).is_err());
+        let degenerate = Aabb {
+            lo: Point([0.5, 0.5]),
+            hi: Point([0.5, 0.5]),
+        };
+        assert!(StreamingBops::new(degenerate, 4).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Political-boundary stand-in (CA-pol).
+//!
+//! Border data is points along closed curves — county and state outlines of
+//! many sizes, rough at every scale. We generate a hierarchy of closed
+//! rings: region centers with Pareto-distributed radii (many small counties,
+//! a few big ones), each ring a circle perturbed by multi-scale radial noise
+//! (amplitude decaying with frequency, giving coastline-like roughness).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sjpl_geom::{Point, PointSet};
+
+use crate::hubs::{make_hubs, pick_hub, Hub};
+use crate::util::{pareto, reflect_unit, Normal};
+
+struct Ring {
+    center: Point<2>,
+    radius: f64,
+    /// (frequency, amplitude, phase) harmonics of the radial perturbation.
+    harmonics: Vec<(f64, f64, f64)>,
+}
+
+impl Ring {
+    fn at(&self, theta: f64) -> Point<2> {
+        let mut r = self.radius;
+        for &(f, a, ph) in &self.harmonics {
+            r += a * (f * theta + ph).sin();
+        }
+        let x = self.center[0] + r * theta.cos();
+        let y = self.center[1] + r * theta.sin();
+        Point([reflect_unit(x), reflect_unit(y)])
+    }
+}
+
+/// `n` points along a nested system of rough closed rings in the unit
+/// square. Measured `D₂` lands in the paper's CA-pol range (~1.5–1.7):
+/// above 1 because of the multi-scale roughness and ring nesting, below 2
+/// because the support is still curves. Hubs are derived from the seed;
+/// share a hub set via [`nested_boundaries_with_hubs`] to correlate with
+/// other layers (administrative borders surround towns).
+pub fn nested_boundaries(n: usize, seed: u64) -> PointSet<2> {
+    nested_boundaries_with_hubs(n, seed, &make_hubs(16, seed ^ 0xcafe))
+}
+
+/// [`nested_boundaries`] centered on a caller-provided hub set.
+pub fn nested_boundaries_with_hubs(n: usize, seed: u64, hubs: &[Hub]) -> PointSet<2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = Normal::new();
+    // Ring count scales weakly with n so small test sets stay fast.
+    let ring_count = (n / 120).clamp(12, 220);
+    let mut rings = Vec::with_capacity(ring_count);
+    for _ in 0..ring_count {
+        let radius = pareto(&mut rng, 0.015, 1.2).min(0.35);
+        let h = pick_hub(&mut rng, hubs);
+        let center = Point([
+            reflect_unit(normal.sample_with(&mut rng, h.center[0], h.radius * 1.5)),
+            reflect_unit(normal.sample_with(&mut rng, h.center[1], h.radius * 1.5)),
+        ]);
+        let mut harmonics = Vec::new();
+        let mut f = 2.0f64;
+        while f <= 64.0 {
+            // Roughness: amplitude ∝ radius / f^0.9 with random phase.
+            let a = radius * 0.35 / f.powf(0.9) * (0.5 + rng.gen::<f64>());
+            harmonics.push((f, a, rng.gen::<f64>() * std::f64::consts::TAU));
+            f *= 1.7;
+        }
+        rings.push(Ring {
+            center,
+            radius,
+            harmonics,
+        });
+    }
+    // Points per ring proportional to perimeter (∝ radius).
+    let total_r: f64 = rings.iter().map(|r| r.radius).sum();
+    let mut cum = Vec::with_capacity(rings.len());
+    let mut acc = 0.0;
+    for r in &rings {
+        acc += r.radius;
+        cum.push(acc);
+    }
+    let points = (0..n)
+        .map(|_| {
+            let pick = rng.gen::<f64>() * total_r;
+            let idx = cum.partition_point(|&c| c < pick).min(rings.len() - 1);
+            let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+            rings[idx].at(theta)
+        })
+        .collect();
+    PointSet::new("political", points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjpl_geom::Aabb;
+
+    #[test]
+    fn boundaries_stay_in_unit_square() {
+        let s = nested_boundaries(4_000, 2);
+        assert_eq!(s.len(), 4_000);
+        let bb = Aabb::from_points(s.points());
+        assert!(bb.lo[0] >= 0.0 && bb.hi[0] <= 1.0);
+        assert!(bb.lo[1] >= 0.0 && bb.hi[1] <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            nested_boundaries(128, 4).points(),
+            nested_boundaries(128, 4).points()
+        );
+    }
+
+    #[test]
+    fn boundaries_are_curve_supported() {
+        // Curve-supported data leaves most of a fine grid empty, unlike a
+        // uniform set of the same size.
+        let s = nested_boundaries(6_000, 8);
+        let u = crate::uniform::unit_cube::<2>(6_000, 8);
+        let occupied = |s: &PointSet<2>| {
+            let mut cells = std::collections::HashSet::new();
+            for p in s.iter() {
+                cells.insert((
+                    ((p[0] * 64.0) as u32).min(63),
+                    ((p[1] * 64.0) as u32).min(63),
+                ));
+            }
+            cells.len()
+        };
+        let os = occupied(&s);
+        let ou = occupied(&u);
+        assert!(os * 2 < ou, "boundaries occupy {os} cells vs uniform {ou}");
+    }
+}

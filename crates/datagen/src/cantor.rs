@@ -1,0 +1,95 @@
+//! Cantor dust.
+//!
+//! The middle-third Cantor set has correlation dimension
+//! `log 2 / log 3 ≈ 0.6309` per axis; the `D`-dimensional product ("dust")
+//! has `D₂ = D · log 2 / log 3`. A second closed-form calibration point for
+//! the exponent pipeline, with a *sub-integer* per-axis dimension — the
+//! regime where uniformity assumptions fail worst.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sjpl_geom::{Point, PointSet};
+
+/// Correlation dimension of the middle-third Cantor set on one axis.
+pub const CANTOR_D2_PER_AXIS: f64 = 0.630_929_753_571_457_4;
+
+/// `n` points of `D`-dimensional middle-third Cantor dust in `[0,1]^D`.
+///
+/// Each coordinate is generated independently by the random-address method:
+/// a uniformly random infinite base-3 address using only digits {0, 2},
+/// truncated at `depth` levels (beyond ~40 levels the increments vanish in
+/// f64; the default depth 32 puts the discretization far below any radius
+/// the experiments probe).
+pub fn dust<const D: usize>(n: usize, seed: u64) -> PointSet<D> {
+    dust_with_depth(n, 32, seed)
+}
+
+/// [`dust`] with an explicit recursion depth.
+pub fn dust_with_depth<const D: usize>(n: usize, depth: u32, seed: u64) -> PointSet<D> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = (0..n)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for v in c.iter_mut() {
+                let mut x = 0.0;
+                let mut scale = 1.0;
+                for _ in 0..depth {
+                    scale /= 3.0;
+                    if rng.gen::<bool>() {
+                        x += 2.0 * scale;
+                    }
+                }
+                *v = x;
+            }
+            Point(c)
+        })
+        .collect();
+    PointSet::new(format!("cantor-{D}d"), points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_avoid_the_middle_third() {
+        // No coordinate may fall strictly inside (1/3, 2/3) — the first
+        // removed interval (up to the tiny truncation tail).
+        let s = dust::<2>(5_000, 7);
+        for p in s.iter() {
+            for i in 0..2 {
+                assert!(
+                    !(p[i] > 1.0 / 3.0 + 1e-9 && p[i] < 2.0 / 3.0 - 1e-9),
+                    "coordinate {} in removed middle third",
+                    p[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn points_avoid_second_level_gaps() {
+        let s = dust::<1>(5_000, 11);
+        for p in s.iter() {
+            let x = p[0];
+            for (lo, hi) in [(1.0 / 9.0, 2.0 / 9.0), (7.0 / 9.0, 8.0 / 9.0)] {
+                assert!(!(x > lo + 1e-9 && x < hi - 1e-9), "{x} in gap ({lo},{hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn inside_unit_cube() {
+        let s = dust::<3>(1_000, 2);
+        for p in s.iter() {
+            for i in 0..3 {
+                assert!((0.0..=1.0).contains(&p[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(dust::<2>(32, 5).points(), dust::<2>(32, 5).points());
+    }
+}

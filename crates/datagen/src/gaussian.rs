@@ -1,0 +1,107 @@
+//! Gaussian mixtures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sjpl_geom::{Point, PointSet};
+
+use crate::util::Normal;
+
+/// One mixture component: an axis-aligned Gaussian blob.
+#[derive(Clone, Copy, Debug)]
+pub struct Blob<const D: usize> {
+    /// Component mean.
+    pub mean: [f64; D],
+    /// Per-axis standard deviation.
+    pub sd: [f64; D],
+    /// Relative weight (need not be normalized).
+    pub weight: f64,
+}
+
+/// Samples `n` points from a mixture of axis-aligned Gaussians.
+///
+/// # Panics
+/// Panics if `blobs` is empty or all weights are zero/negative.
+pub fn mixture<const D: usize>(n: usize, blobs: &[Blob<D>], seed: u64) -> PointSet<D> {
+    assert!(!blobs.is_empty(), "mixture needs at least one component");
+    let total: f64 = blobs.iter().map(|b| b.weight.max(0.0)).sum();
+    assert!(total > 0.0, "mixture needs positive total weight");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = Normal::new();
+    let points = (0..n)
+        .map(|_| {
+            let mut pick = rng.gen::<f64>() * total;
+            let mut chosen = &blobs[0];
+            for b in blobs {
+                pick -= b.weight.max(0.0);
+                if pick <= 0.0 {
+                    chosen = b;
+                    break;
+                }
+            }
+            let mut c = [0.0; D];
+            for ((v, &mean), &sd) in c.iter_mut().zip(chosen.mean.iter()).zip(chosen.sd.iter()) {
+                *v = normal.sample_with(&mut rng, mean, sd);
+            }
+            Point(c)
+        })
+        .collect();
+    PointSet::new("gaussian-mixture", points)
+}
+
+/// A single isotropic Gaussian blob (convenience wrapper).
+pub fn blob<const D: usize>(n: usize, mean: [f64; D], sd: f64, seed: u64) -> PointSet<D> {
+    mixture(
+        n,
+        &[Blob {
+            mean,
+            sd: [sd; D],
+            weight: 1.0,
+        }],
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_centers_where_asked() {
+        let s = blob::<2>(20_000, [3.0, -1.0], 0.5, 4);
+        let c = s.centroid().unwrap();
+        assert!((c[0] - 3.0).abs() < 0.02 && (c[1] + 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn mixture_respects_weights() {
+        let blobs = [
+            Blob {
+                mean: [0.0, 0.0],
+                sd: [0.01, 0.01],
+                weight: 3.0,
+            },
+            Blob {
+                mean: [10.0, 10.0],
+                sd: [0.01, 0.01],
+                weight: 1.0,
+            },
+        ];
+        let s = mixture(40_000, &blobs, 8);
+        let near_origin = s.iter().filter(|p| p[0] < 5.0).count() as f64;
+        let frac = near_origin / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_mixture_panics() {
+        let _ = mixture::<2>(10, &[], 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = blob::<3>(100, [0.0; 3], 1.0, 11);
+        let b = blob::<3>(100, [0.0; 3], 1.0, 11);
+        assert_eq!(a.points(), b.points());
+    }
+}

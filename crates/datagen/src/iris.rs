@@ -1,0 +1,106 @@
+//! Iris-like 4-d clusters (UCI Iris stand-in).
+//!
+//! The paper joins the three Iris species files (50 points each, 4-d:
+//! sepal length/width, petal length/width). We cannot embed the UCI file,
+//! but the experiment only needs small clustered 4-d sets; we sample
+//! Gaussians parameterized by the *published per-species summary
+//! statistics* of the real data (Fisher 1936), so scale, separation, and
+//! overlap match the original closely.
+
+use sjpl_geom::PointSet;
+
+use crate::gaussian::{mixture, Blob};
+
+/// Published per-species means (sepal length, sepal width, petal length,
+/// petal width) of the real Iris data.
+pub const SETOSA_MEAN: [f64; 4] = [5.006, 3.428, 1.462, 0.246];
+/// Published per-species standard deviations for *setosa*.
+pub const SETOSA_SD: [f64; 4] = [0.352, 0.379, 0.174, 0.105];
+/// Published means for *versicolor*.
+pub const VERSICOLOR_MEAN: [f64; 4] = [5.936, 2.770, 4.260, 1.326];
+/// Published standard deviations for *versicolor*.
+pub const VERSICOLOR_SD: [f64; 4] = [0.516, 0.314, 0.470, 0.198];
+/// Published means for *virginica*.
+pub const VIRGINICA_MEAN: [f64; 4] = [6.588, 2.974, 5.552, 2.026];
+/// Published standard deviations for *virginica*.
+pub const VIRGINICA_SD: [f64; 4] = [0.636, 0.322, 0.552, 0.275];
+
+fn species(n: usize, mean: [f64; 4], sd: [f64; 4], seed: u64, name: &str) -> PointSet<4> {
+    mixture(
+        n,
+        &[Blob {
+            mean,
+            sd,
+            weight: 1.0,
+        }],
+        seed,
+    )
+    .with_name(name)
+}
+
+/// `n` setosa-like points (paper uses n = 50).
+pub fn setosa(n: usize, seed: u64) -> PointSet<4> {
+    species(n, SETOSA_MEAN, SETOSA_SD, seed, "iris-setosa")
+}
+
+/// `n` versicolor-like points.
+pub fn versicolor(n: usize, seed: u64) -> PointSet<4> {
+    species(n, VERSICOLOR_MEAN, VERSICOLOR_SD, seed, "iris-versicolor")
+}
+
+/// `n` virginica-like points.
+pub fn virginica(n: usize, seed: u64) -> PointSet<4> {
+    species(n, VIRGINICA_MEAN, VIRGINICA_SD, seed, "iris-virginica")
+}
+
+/// The full trio at `n` points per species (the paper's layout at n = 50).
+pub fn iris_like(n: usize, seed: u64) -> [PointSet<4>; 3] {
+    [
+        setosa(n, seed ^ 0x5e70),
+        versicolor(n, seed ^ 0x7e25),
+        virginica(n, seed ^ 0x719a),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn species_means_match_published_statistics() {
+        let s = setosa(30_000, 1);
+        let c = s.centroid().unwrap();
+        for i in 0..4 {
+            assert!(
+                (c[i] - SETOSA_MEAN[i]).abs() < 0.02,
+                "axis {i}: {} vs {}",
+                c[i],
+                SETOSA_MEAN[i]
+            );
+        }
+    }
+
+    #[test]
+    fn setosa_is_separated_from_virginica_in_petal_length() {
+        // In the real data the species are linearly separable on petal
+        // length (setosa ≤ 1.9, virginica ≥ 4.5); Gaussian stand-ins keep a
+        // wide gap between the bulk of the clusters.
+        let s = setosa(200, 2);
+        let v = virginica(200, 3);
+        let max_setosa = s.iter().map(|p| p[2]).fold(f64::NEG_INFINITY, f64::max);
+        let min_virginica = v.iter().map(|p| p[2]).fold(f64::INFINITY, f64::min);
+        assert!(
+            max_setosa < min_virginica,
+            "petal-length overlap: setosa max {max_setosa}, virginica min {min_virginica}"
+        );
+    }
+
+    #[test]
+    fn trio_sizes_and_determinism() {
+        let [a, b, c] = iris_like(50, 9);
+        assert_eq!((a.len(), b.len(), c.len()), (50, 50, 50));
+        let [a2, _, _] = iris_like(50, 9);
+        assert_eq!(a.points(), a2.points());
+        assert_ne!(a.points(), b.points());
+    }
+}

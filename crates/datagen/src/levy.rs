@@ -1,0 +1,99 @@
+//! Lévy flights.
+//!
+//! A random walk whose step lengths are Pareto-distributed (`P(L > l) =
+//! (l_min/l)^α`) produces a trail whose correlation dimension is
+//! `min(α, 2)` in the plane — a *tunable-dimension* generator, which makes
+//! it the ideal stress input for the exponent pipeline: one parameter
+//! sweeps the whole range of "coastline-like" (α ≈ 1.2) to "plane-filling"
+//! (α ≥ 2) behaviour the paper's Discussion cites.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sjpl_geom::{Point, PointSet};
+
+use crate::util::{pareto, reflect_unit};
+
+/// `n` points of a Lévy flight in the unit square with tail exponent
+/// `alpha` (the theoretical trail dimension is `min(alpha, 2)`).
+///
+/// # Panics
+/// Panics unless `alpha > 0`.
+pub fn levy_flight(n: usize, alpha: f64, seed: u64) -> PointSet<2> {
+    assert!(alpha > 0.0, "alpha must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos = Point([rng.gen::<f64>(), rng.gen::<f64>()]);
+    // The minimum step is the same for every alpha (so the tail exponent is
+    // the *only* thing that varies between runs) and shrinks as 1/√n so a
+    // Brownian-regime flight (large alpha) roughly fills the square.
+    let l_min = 0.25 / (n as f64).sqrt();
+    let points = (0..n)
+        .map(|_| {
+            let len = pareto(&mut rng, l_min, alpha).min(0.5);
+            let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+            pos = Point([
+                reflect_unit(pos[0] + len * theta.cos()),
+                reflect_unit(pos[1] + len * theta.sin()),
+            ]);
+            pos
+        })
+        .collect();
+    PointSet::new(format!("levy-a{alpha:.2}"), points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flight_stays_in_unit_square() {
+        let s = levy_flight(5_000, 1.5, 1);
+        assert_eq!(s.len(), 5_000);
+        for p in s.iter() {
+            assert!((0.0..=1.0).contains(&p[0]) && (0.0..=1.0).contains(&p[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            levy_flight(128, 1.3, 7).points(),
+            levy_flight(128, 1.3, 7).points()
+        );
+        assert_ne!(
+            levy_flight(128, 1.3, 7).points(),
+            levy_flight(128, 1.3, 8).points()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_nonpositive_alpha() {
+        let _ = levy_flight(10, 0.0, 1);
+    }
+
+    #[test]
+    fn low_alpha_is_clumpier_than_high_alpha() {
+        // Smaller tail exponent ⇒ longer jumps are rarer... inverted:
+        // small alpha = heavier tail = longer jumps more common = trail
+        // more spread out; high alpha = short steps = dense local trails.
+        // Proxy: near-pair counts at a tiny radius.
+        let close_pairs = |s: &PointSet<2>| {
+            let pts = s.points();
+            let mut c = 0u64;
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    if pts[i].dist_linf(&pts[j]) < 0.002 {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        };
+        let clumpy = levy_flight(2_000, 3.0, 3);
+        let spread = levy_flight(2_000, 1.1, 3);
+        assert!(
+            close_pairs(&clumpy) > close_pairs(&spread),
+            "alpha=3 trail should have more near pairs than alpha=1.1"
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! # sjpl-datagen — synthetic dataset generators
+//!
+//! The paper's evaluation uses real datasets we cannot redistribute:
+//! California TIGER layers (streets / railways / political borders / water),
+//! SLOAN galaxy coordinates, the UCI Iris data, and CMU Informedia
+//! eigenface vectors. This crate provides deterministic, seeded synthetic
+//! stand-ins that preserve the property every experiment exercises —
+//! **self-similar point distributions whose pair-wise distance counts follow
+//! a power law with a known-ish intrinsic dimension below the embedding
+//! dimension**. See `DESIGN.md` for the substitution table.
+//!
+//! Two kinds of generators live here:
+//!
+//! * **Calibration fractals** with closed-form correlation dimension —
+//!   [`sierpinski`], [`cantor`], [`diagonal`], [`uniform`] — used as gold
+//!   values by the test-suite (e.g. the Sierpinski triangle has
+//!   `D₂ = log 3 / log 2 ≈ 1.585`).
+//! * **Domain stand-ins** mimicking the paper's data —
+//!   [`roads`] (CA-str / CA-rai), [`boundary`] (CA-pol), [`water`] (CA-wat),
+//!   [`galaxy`] (SLOAN dev/exp), [`iris`] (UCI Iris), and [`manifold`]
+//!   (eigenfaces: low intrinsic dimension embedded in 16-d).
+//!
+//! Every generator takes an explicit `u64` seed and is fully deterministic,
+//! so experiments and tests are reproducible bit-for-bit.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod boundary;
+pub mod cantor;
+pub mod diagonal;
+pub mod galaxy;
+pub mod gaussian;
+pub mod hubs;
+pub mod iris;
+pub mod levy;
+pub mod manifold;
+pub mod roads;
+pub mod sierpinski;
+pub mod uniform;
+mod util;
+pub mod water;
+
+pub use util::Normal;
+
+use sjpl_geom::PointSet;
+
+/// Convenience bundle: the six "California + Galaxy"-style 2-d stand-ins
+/// used over and over by the benchmark harness, at a common scale factor.
+///
+/// `scale` multiplies the default point counts (1.0 ≈ 15k points per set —
+/// large enough for stable exponents, small enough that the quadratic
+/// ground-truth passes stay interactive).
+pub struct GeoSuite {
+    /// Street-network stand-in for CA-str.
+    pub streets: PointSet<2>,
+    /// Rail-network stand-in for CA-rai.
+    pub rails: PointSet<2>,
+    /// Political-boundary stand-in for CA-pol.
+    pub political: PointSet<2>,
+    /// Hydrography stand-in for CA-wat.
+    pub water: PointSet<2>,
+    /// Galaxy "dev" class stand-in.
+    pub galaxy_dev: PointSet<2>,
+    /// Galaxy "exp" class stand-in.
+    pub galaxy_exp: PointSet<2>,
+}
+
+impl GeoSuite {
+    /// Generates the whole suite from one master seed.
+    ///
+    /// All four "California" layers share one population-hub set
+    /// ([`hubs::make_hubs`]) so they are spatially correlated the way real
+    /// map layers are — cross joins between them behave like the paper's
+    /// TIGER joins rather than like joins of independent noise.
+    pub fn generate(scale: f64, seed: u64) -> GeoSuite {
+        let n = |base: usize| ((base as f64) * scale).round().max(16.0) as usize;
+        let shared = hubs::make_hubs(18, seed ^ 0x4b5a_11aa);
+        let (galaxy_dev, galaxy_exp) =
+            galaxy::correlated_pair(n(16_000), n(14_000), seed ^ 0x9a1a_77f3);
+        GeoSuite {
+            streets: roads::street_network_with_hubs(n(13_000), seed ^ 0x51e3, &shared),
+            rails: roads::rail_network_with_hubs(n(6_000), seed ^ 0x8a11, &shared),
+            political: boundary::nested_boundaries_with_hubs(n(9_000), seed ^ 0xb0d5, &shared),
+            water: water::drainage_with_hubs(n(14_000), seed ^ 0x3a7e, &shared),
+            galaxy_dev,
+            galaxy_exp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_suite_is_deterministic_and_sized() {
+        let a = GeoSuite::generate(0.02, 7);
+        let b = GeoSuite::generate(0.02, 7);
+        assert_eq!(a.streets.points(), b.streets.points());
+        assert_eq!(a.water.points(), b.water.points());
+        assert_eq!(a.galaxy_dev.points(), b.galaxy_dev.points());
+        assert!(a.streets.len() >= 16);
+        assert!(a.rails.len() < a.streets.len());
+    }
+
+    #[test]
+    fn geo_suite_seeds_differ() {
+        let a = GeoSuite::generate(0.02, 1);
+        let b = GeoSuite::generate(0.02, 2);
+        assert_ne!(a.streets.points(), b.streets.points());
+    }
+}

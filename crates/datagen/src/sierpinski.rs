@@ -1,0 +1,106 @@
+//! The Sierpinski triangle via the chaos game.
+//!
+//! The canonical calibration fractal: its correlation dimension is exactly
+//! `D₂ = log 3 / log 2 ≈ 1.58496`. The test-suite measures the self-join
+//! pair-count exponent of this set and checks it against the closed form —
+//! the strongest correctness check we have for the whole PC/BOPS pipeline
+//! (Observation 1: for self-joins the PC exponent *is* D₂).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sjpl_geom::{Point, PointSet};
+
+/// `D₂` of the Sierpinski triangle, `log 3 / log 2`.
+pub const SIERPINSKI_D2: f64 = 1.584_962_500_721_156;
+
+/// `n` points of the Sierpinski triangle inside the unit square, generated
+/// by the chaos game (each step jumps halfway toward a random vertex).
+///
+/// A burn-in of 32 steps removes the bias of the arbitrary starting point.
+pub fn triangle(n: usize, seed: u64) -> PointSet<2> {
+    let vertices = [
+        Point([0.0, 0.0]),
+        Point([1.0, 0.0]),
+        Point([0.5, 3f64.sqrt() / 2.0]),
+    ];
+    chaos_game(n, &vertices, 0.5, seed).with_name("sierpinski")
+}
+
+/// Generic chaos game over an arbitrary attractor vertex set: each step
+/// moves the current point a fraction `ratio` of the way toward a uniformly
+/// random vertex. With `k` vertices and contraction `ratio`, the attractor's
+/// similarity dimension is `log k / log (1/ratio)` when the maps don't
+/// overlap.
+pub fn chaos_game<const D: usize>(
+    n: usize,
+    vertices: &[Point<D>],
+    ratio: f64,
+    seed: u64,
+) -> PointSet<D> {
+    assert!(vertices.len() >= 2, "chaos game needs >= 2 vertices");
+    assert!(ratio > 0.0 && ratio < 1.0, "ratio must be in (0,1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cur = vertices[0];
+    // Burn-in: converge onto the attractor before recording.
+    for _ in 0..32 {
+        let v = vertices[rng.gen_range(0..vertices.len())];
+        cur = cur + (v - cur) * ratio;
+    }
+    let points = (0..n)
+        .map(|_| {
+            let v = vertices[rng.gen_range(0..vertices.len())];
+            cur = cur + (v - cur) * ratio;
+            cur
+        })
+        .collect();
+    PointSet::new("chaos-game", points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjpl_geom::Aabb;
+
+    #[test]
+    fn triangle_points_lie_in_the_triangle_bbox() {
+        let s = triangle(5_000, 3);
+        let bb = Aabb::from_points(s.points());
+        assert!(bb.lo[0] >= 0.0 && bb.hi[0] <= 1.0);
+        assert!(bb.lo[1] >= 0.0 && bb.hi[1] <= 3f64.sqrt() / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn middle_of_triangle_is_empty() {
+        // The central inverted triangle (first removal) has vertices
+        // (0.5, 0), (0.25, √3/4), (0.75, √3/4); its centroid is
+        // (0.5, √3/6 ≈ 0.2887). A small box around the centroid lies fully
+        // inside the removed region, so no attractor point may fall there.
+        let s = triangle(20_000, 5);
+        let hole = s
+            .iter()
+            .filter(|p| (p[0] - 0.5).abs() < 0.05 && (p[1] - 0.2887).abs() < 0.04)
+            .count();
+        assert_eq!(hole, 0, "points found inside the removed middle triangle");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(triangle(64, 1).points(), triangle(64, 1).points());
+        assert_ne!(triangle(64, 1).points(), triangle(64, 2).points());
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in (0,1)")]
+    fn chaos_game_validates_ratio() {
+        let _ = chaos_game(10, &[Point([0.0]), Point([1.0])], 1.5, 0);
+    }
+
+    #[test]
+    fn chaos_game_respects_vertex_hull() {
+        let verts = [Point([0.0, 0.0]), Point([2.0, 0.0]), Point([0.0, 2.0])];
+        let s = chaos_game(1000, &verts, 0.4, 9);
+        for p in s.iter() {
+            assert!(p[0] >= -1e-9 && p[1] >= -1e-9 && p[0] + p[1] <= 2.0 + 1e-9);
+        }
+    }
+}

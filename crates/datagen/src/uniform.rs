@@ -1,0 +1,60 @@
+//! Uniform points in the unit hyper-cube.
+//!
+//! The degenerate "no structure" case: a uniform set's correlation dimension
+//! equals its embedding dimension, `D₂ = E`. The paper's Section 5.1.2 uses
+//! exactly this contrast — real data has `α ≪ E`, so "any analysis making
+//! the uniform assumption will be very inaccurate".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sjpl_geom::{Point, PointSet};
+
+/// `n` points uniform in `[0,1]^D`.
+pub fn unit_cube<const D: usize>(n: usize, seed: u64) -> PointSet<D> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = (0..n)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for v in c.iter_mut() {
+                *v = rng.gen::<f64>();
+            }
+            Point(c)
+        })
+        .collect();
+    PointSet::new(format!("uniform-{D}d"), points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_are_inside_cube() {
+        let s = unit_cube::<3>(1000, 1);
+        assert_eq!(s.len(), 1000);
+        for p in s.iter() {
+            for i in 0..3 {
+                assert!((0.0..1.0).contains(&p[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            unit_cube::<2>(50, 9).points(),
+            unit_cube::<2>(50, 9).points()
+        );
+        assert_ne!(
+            unit_cube::<2>(50, 9).points(),
+            unit_cube::<2>(50, 10).points()
+        );
+    }
+
+    #[test]
+    fn mean_is_near_half() {
+        let s = unit_cube::<2>(20_000, 3);
+        let c = s.centroid().unwrap();
+        assert!((c[0] - 0.5).abs() < 0.02 && (c[1] - 0.5).abs() < 0.02);
+    }
+}

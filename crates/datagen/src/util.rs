@@ -1,0 +1,115 @@
+//! Shared sampling utilities (kept private except [`Normal`]).
+
+use rand::Rng;
+
+/// A standard-normal sampler using the Marsaglia polar method.
+///
+/// `rand` without `rand_distr` has no Gaussian sampler; rather than pull in
+/// another dependency for one distribution, we implement the polar method —
+/// exact (not an approximation) and branch-light.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Normal {
+    spare: Option<f64>,
+}
+
+impl Normal {
+    /// Creates a sampler with an empty spare slot.
+    pub fn new() -> Self {
+        Normal { spare: None }
+    }
+
+    /// Draws one standard-normal variate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        loop {
+            let u = 2.0 * rng.gen::<f64>() - 1.0;
+            let v = 2.0 * rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Draws a normal variate with the given mean and standard deviation.
+    pub fn sample_with<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.sample(rng)
+    }
+}
+
+/// Samples a Pareto-distributed value with minimum `x_min` and shape
+/// `alpha`: `P(X > x) = (x_min/x)^alpha`. Heavy-tailed cluster radii and
+/// segment lengths give the generators their self-similar structure.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    x_min / u.powf(1.0 / alpha)
+}
+
+/// Wraps a coordinate into the unit interval by reflection (keeps generated
+/// sets inside [0,1] without the density discontinuity of clamping).
+pub fn reflect_unit(x: f64) -> f64 {
+    let m = x.rem_euclid(2.0);
+    if m <= 1.0 {
+        m
+    } else {
+        2.0 - m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_right() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut n = Normal::new();
+        let samples: Vec<f64> = (0..200_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_with_params() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut n = Normal::new();
+        let samples: Vec<f64> = (0..100_000).map(|_| n.sample_with(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn pareto_respects_minimum_and_tail() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut over = 0;
+        for _ in 0..10_000 {
+            let x = pareto(&mut rng, 2.0, 1.5);
+            assert!(x >= 2.0);
+            if x > 4.0 {
+                over += 1;
+            }
+        }
+        // P(X > 4) = (2/4)^1.5 ≈ 0.3536; allow generous slack.
+        let frac = over as f64 / 10_000.0;
+        assert!((frac - 0.3536).abs() < 0.03, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn reflect_unit_stays_inside() {
+        for x in [-3.7, -1.0, -0.2, 0.0, 0.5, 1.0, 1.3, 2.9, 7.6] {
+            let r = reflect_unit(x);
+            assert!((0.0..=1.0).contains(&r), "reflect({x}) = {r}");
+        }
+        assert!((reflect_unit(1.25) - 0.75).abs() < 1e-12);
+        assert!((reflect_unit(-0.25) - 0.25).abs() < 1e-12);
+    }
+}

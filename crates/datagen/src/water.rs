@@ -1,0 +1,186 @@
+//! Hydrography stand-in (CA-wat).
+//!
+//! Natural water systems — river networks, lake shores — are the textbook
+//! fractals the paper's Discussion cites (fractal dimension 1.1–1.5 for
+//! coastlines and rain patches). We model a *drainage network*: meandering
+//! trunk random-walks that recursively spawn shrinking tributaries, plus a
+//! few rough lake shores, with points recorded along every path.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sjpl_geom::{Point, PointSet};
+
+use crate::hubs::{make_hubs, pick_hub, Hub};
+use crate::util::{reflect_unit, Normal};
+
+struct Walker {
+    pos: Point<2>,
+    heading: f64,
+    steps: usize,
+    step_len: f64,
+}
+
+/// `n` points along a synthetic drainage system in the unit square. Hubs
+/// are derived from the seed; use [`drainage_with_hubs`] to correlate the
+/// water layer with other layers (towns grow on rivers).
+pub fn drainage(n: usize, seed: u64) -> PointSet<2> {
+    drainage_with_hubs(n, seed, &make_hubs(16, seed ^ 0xcafe))
+}
+
+/// [`drainage`] with rivers routed through (and lakes placed at) the given
+/// hubs.
+pub fn drainage_with_hubs(n: usize, seed: u64, hubs: &[Hub]) -> PointSet<2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = Normal::new();
+    let mut raw: Vec<Point<2>> = Vec::with_capacity(n * 2);
+
+    // Main rivers: long meandering walks entering from edges, each aimed at
+    // a hub (rivers attract settlement, so the trunk heads toward town).
+    let trunks = 5;
+    let mut queue: Vec<Walker> = (0..trunks)
+        .map(|_| {
+            // Start on a random edge, heading toward a hub.
+            let edge = rng.gen_range(0..4u8);
+            let t = rng.gen::<f64>();
+            let pos = match edge {
+                0 => Point([t, 0.0]),
+                1 => Point([t, 1.0]),
+                2 => Point([0.0, t]),
+                _ => Point([1.0, t]),
+            };
+            let target = pick_hub(&mut rng, hubs).center;
+            let heading = (target[1] - pos[1]).atan2(target[0] - pos[0]);
+            Walker {
+                pos,
+                heading,
+                steps: 2200,
+                step_len: 0.0008,
+            }
+        })
+        .collect();
+
+    while let Some(mut w) = queue.pop() {
+        for _ in 0..w.steps {
+            // Meander: heading performs a small random walk.
+            w.heading += normal.sample_with(&mut rng, 0.0, 0.2);
+            let next = Point([
+                reflect_unit(w.pos[0] + w.step_len * w.heading.cos()),
+                reflect_unit(w.pos[1] + w.step_len * w.heading.sin()),
+            ]);
+            w.pos = next;
+            raw.push(next);
+            // Tributaries: spawn with small probability, branching at a
+            // sharp angle with fewer, shorter steps.
+            if w.steps > 300 && rng.gen::<f64>() < 0.004 {
+                let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                queue.push(Walker {
+                    pos: w.pos,
+                    heading: w.heading + sign * (0.6 + rng.gen::<f64>() * 0.9),
+                    steps: w.steps / 3,
+                    step_len: w.step_len * 0.8,
+                });
+            }
+        }
+    }
+
+    // Lake shores: a few rough rings placed near hubs (reservoirs and
+    // waterfronts sit where people are).
+    let lakes = 6;
+    for _ in 0..lakes {
+        let h = pick_hub(&mut rng, hubs);
+        let center = Point([
+            reflect_unit(normal.sample_with(&mut rng, h.center[0], h.radius)),
+            reflect_unit(normal.sample_with(&mut rng, h.center[1], h.radius)),
+        ]);
+        let radius = 0.02 + rng.gen::<f64>() * 0.06;
+        let h: Vec<(f64, f64, f64)> = (0..5)
+            .map(|k| {
+                let f = 2f64.powi(k + 1);
+                (
+                    f,
+                    radius * 0.3 / f.powf(0.8),
+                    rng.gen::<f64>() * std::f64::consts::TAU,
+                )
+            })
+            .collect();
+        let per_lake = 400;
+        for _ in 0..per_lake {
+            let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+            let mut r = radius;
+            for &(f, a, ph) in &h {
+                r += a * (f * theta + ph).sin();
+            }
+            raw.push(Point([
+                reflect_unit(center[0] + r * theta.cos()),
+                reflect_unit(center[1] + r * theta.sin()),
+            ]));
+        }
+    }
+
+    // Downsample/extend to exactly n points, uniformly over the raw path.
+    let points = if raw.len() >= n {
+        // Random subset without replacement via partial shuffle.
+        let mut idx: Vec<usize> = (0..raw.len()).collect();
+        for i in 0..n {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx[..n].iter().map(|&i| raw[i]).collect()
+    } else {
+        // Rare (tiny n_raw): repeat with jitter.
+        let mut pts = raw.clone();
+        while pts.len() < n {
+            let base = raw[rng.gen_range(0..raw.len())];
+            pts.push(Point([
+                reflect_unit(base[0] + (rng.gen::<f64>() - 0.5) * 1e-3),
+                reflect_unit(base[1] + (rng.gen::<f64>() - 0.5) * 1e-3),
+            ]));
+        }
+        pts.truncate(n);
+        pts
+    };
+    PointSet::new("water", points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjpl_geom::Aabb;
+
+    #[test]
+    fn drainage_fills_request_inside_unit_square() {
+        let s = drainage(5_000, 1);
+        assert_eq!(s.len(), 5_000);
+        let bb = Aabb::from_points(s.points());
+        assert!(bb.lo[0] >= 0.0 && bb.hi[0] <= 1.0);
+        assert!(bb.lo[1] >= 0.0 && bb.hi[1] <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(drainage(512, 3).points(), drainage(512, 3).points());
+        assert_ne!(drainage(512, 3).points(), drainage(512, 4).points());
+    }
+
+    #[test]
+    fn very_small_requests_work() {
+        assert_eq!(drainage(10, 2).len(), 10);
+    }
+
+    #[test]
+    fn water_is_path_supported() {
+        let s = drainage(6_000, 6);
+        let u = crate::uniform::unit_cube::<2>(6_000, 6);
+        let occupied = |s: &PointSet<2>| {
+            let mut cells = std::collections::HashSet::new();
+            for p in s.iter() {
+                cells.insert((
+                    ((p[0] * 64.0) as u32).min(63),
+                    ((p[1] * 64.0) as u32).min(63),
+                ));
+            }
+            cells.len()
+        };
+        assert!(occupied(&s) * 2 < occupied(&u));
+    }
+}

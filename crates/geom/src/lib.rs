@@ -1,0 +1,39 @@
+//! # sjpl-geom — geometry kernel
+//!
+//! Foundation crate for the Spatial-Join-Power-Law (SJPL) workspace, a Rust
+//! reproduction of *"Spatial Join Selectivity Using Power Laws"* (Faloutsos,
+//! Seeger, Traina & Traina, SIGMOD 2000).
+//!
+//! The paper works with n-dimensional point-sets (2-d geographic data, 4-d
+//! Iris feature vectors, 16-d eigenface vectors) under arbitrary Lp metrics.
+//! This crate provides exactly those building blocks:
+//!
+//! * [`Point`] — const-generic fixed-dimension points (`Point<2>`, `Point<16>`, …),
+//! * [`Metric`] — the L1 / L2 / L∞ / general-Lp distance family (the paper's
+//!   Observation 4 states the pair-count exponent is invariant to the choice),
+//! * [`Aabb`] — axis-aligned boxes with min/max distance computations used by
+//!   the spatial indexes in `sjpl-index`,
+//! * [`Affine`] — affine transforms (translation, rotation, scaling) used to
+//!   validate the paper's Observation 2 (affine invariance of the exponent),
+//! * [`PointSet`] — the dataset container, including the unit-hypercube
+//!   normalization that is step 1 of the paper's BOPS algorithm (Figure 7),
+//! * CSV input/output so real datasets can be loaded by the CLI.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod aabb;
+mod error;
+mod io;
+mod metric;
+mod point;
+mod pointset;
+mod transform;
+
+pub use aabb::Aabb;
+pub use error::GeomError;
+pub use io::{read_csv, read_csv_reader, write_csv, write_csv_writer};
+pub use metric::Metric;
+pub use point::Point;
+pub use pointset::{NormalizeInfo, PointSet};
+pub use transform::Affine;

@@ -1,0 +1,251 @@
+//! Fixed-dimension points.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A point in `D`-dimensional Euclidean space.
+///
+/// The dimension is a compile-time constant, matching the paper's setting of
+/// point-sets with a fixed "embedding dimensionality" `E` (Table 1): 2-d for
+/// the California and Galaxy data, 4-d for Iris, 16-d for Eigenfaces.
+///
+/// `Point` is `Copy` for every `D`, so hot loops (the quadratic pair-count
+/// pass is O(N·M) distance evaluations) never allocate.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Point<const D: usize>(pub [f64; D]);
+
+impl<const D: usize> Point<D> {
+    /// The origin (all coordinates zero).
+    pub const ORIGIN: Self = Point([0.0; D]);
+
+    /// Creates a point from its coordinate array.
+    #[inline]
+    pub const fn new(coords: [f64; D]) -> Self {
+        Point(coords)
+    }
+
+    /// Returns the coordinate array.
+    #[inline]
+    pub const fn coords(&self) -> [f64; D] {
+        self.0
+    }
+
+    /// Returns the embedding dimensionality `E` of this point.
+    #[inline]
+    pub const fn dim(&self) -> usize {
+        D
+    }
+
+    /// Returns a point whose every coordinate is `v`.
+    #[inline]
+    pub fn splat(v: f64) -> Self {
+        Point([v; D])
+    }
+
+    /// Coordinate-wise minimum of two points.
+    #[inline]
+    pub fn min(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a.min(*b);
+        }
+        Point(out)
+    }
+
+    /// Coordinate-wise maximum of two points.
+    #[inline]
+    pub fn max(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a.max(*b);
+        }
+        Point(out)
+    }
+
+    /// Returns `true` if any coordinate is NaN or infinite.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.0.iter().any(|c| !c.is_finite())
+    }
+
+    /// Squared Euclidean (L2) distance to another point.
+    ///
+    /// Exposed separately from [`crate::Metric`] because index pruning code
+    /// compares squared distances to avoid the `sqrt` in the innermost loop.
+    #[inline]
+    pub fn dist_sq(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = self.0[i] - other.0[i];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Chebyshev (L∞) distance to another point.
+    ///
+    /// The paper uses the L∞ norm by default ("the formulas are simpler for
+    /// the L-infinity norm", Section 3.1), so this is the hottest distance
+    /// kernel in the workspace.
+    #[inline]
+    pub fn dist_linf(&self, other: &Self) -> f64 {
+        let mut acc: f64 = 0.0;
+        for i in 0..D {
+            let d = (self.0[i] - other.0[i]).abs();
+            if d > acc {
+                acc = d;
+            }
+        }
+        acc
+    }
+
+    /// Manhattan (L1) distance to another point.
+    #[inline]
+    pub fn dist_l1(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            acc += (self.0[i] - other.0[i]).abs();
+        }
+        acc
+    }
+}
+
+impl<const D: usize> fmt::Debug for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Self::ORIGIN
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Point<D> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl<const D: usize> Add for Point<D> {
+    type Output = Point<D>;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+            *o += r;
+        }
+        Point(out)
+    }
+}
+
+impl<const D: usize> Sub for Point<D> {
+    type Output = Point<D>;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+            *o -= r;
+        }
+        Point(out)
+    }
+}
+
+impl<const D: usize> Mul<f64> for Point<D> {
+    type Output = Point<D>;
+    #[inline]
+    fn mul(self, s: f64) -> Self {
+        let mut out = self.0;
+        for c in out.iter_mut() {
+            *c *= s;
+        }
+        Point(out)
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    #[inline]
+    fn from(coords: [f64; D]) -> Self {
+        Point(coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_is_all_zero() {
+        let p = Point::<3>::ORIGIN;
+        assert_eq!(p.coords(), [0.0, 0.0, 0.0]);
+        assert_eq!(p.dim(), 3);
+    }
+
+    #[test]
+    fn arithmetic_is_coordinatewise() {
+        let a = Point([1.0, 2.0]);
+        let b = Point([3.0, 5.0]);
+        assert_eq!((a + b).coords(), [4.0, 7.0]);
+        assert_eq!((b - a).coords(), [2.0, 3.0]);
+        assert_eq!((a * 2.0).coords(), [2.0, 4.0]);
+    }
+
+    #[test]
+    fn distances_match_hand_computed_values() {
+        let a = Point([0.0, 0.0]);
+        let b = Point([3.0, 4.0]);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(a.dist_linf(&b), 4.0);
+        assert_eq!(a.dist_l1(&b), 7.0);
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        let a = Point([1.0, -2.0, 0.5]);
+        let b = Point([-0.3, 4.0, 2.0]);
+        assert_eq!(a.dist_sq(&b), b.dist_sq(&a));
+        assert_eq!(a.dist_linf(&b), b.dist_linf(&a));
+        assert_eq!(a.dist_l1(&b), b.dist_l1(&a));
+    }
+
+    #[test]
+    fn min_max_are_coordinatewise() {
+        let a = Point([1.0, 5.0]);
+        let b = Point([3.0, 2.0]);
+        assert_eq!(a.min(&b).coords(), [1.0, 2.0]);
+        assert_eq!(a.max(&b).coords(), [3.0, 5.0]);
+    }
+
+    #[test]
+    fn degenerate_detects_nan_and_inf() {
+        assert!(!Point([1.0, 2.0]).is_degenerate());
+        assert!(Point([f64::NAN, 2.0]).is_degenerate());
+        assert!(Point([1.0, f64::INFINITY]).is_degenerate());
+    }
+
+    #[test]
+    fn high_dimension_point_works() {
+        let a = Point::<16>::splat(1.0);
+        let b = Point::<16>::ORIGIN;
+        assert_eq!(a.dist_l1(&b), 16.0);
+        assert_eq!(a.dist_linf(&b), 1.0);
+        assert!((a.dist_sq(&b) - 16.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,303 @@
+//! The dataset container.
+
+use crate::{Aabb, Affine, GeomError, Point};
+
+/// A named collection of `D`-dimensional points — one of the paper's
+/// "point-sets" `A`, `B`.
+///
+/// Besides storage, `PointSet` owns the *unit-hypercube normalization* that
+/// is step 1 of the BOPS algorithm (Figure 7): "Without loss of generality,
+/// due to Observation 2, normalize the address space of the datasets to the
+/// unit hyper-cube."
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointSet<const D: usize> {
+    name: String,
+    points: Vec<Point<D>>,
+}
+
+/// The parameters of a unit-cube normalization, so the same mapping can be
+/// applied to a *second* dataset (a cross join must normalize both sets with
+/// one common transform, or inter-set distances would be distorted).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NormalizeInfo<const D: usize> {
+    /// Lower corner of the joint bounding box that was mapped to the origin.
+    pub offset: Point<D>,
+    /// The uniform scale factor applied after the shift (1 / longest extent).
+    pub scale: f64,
+}
+
+impl<const D: usize> NormalizeInfo<D> {
+    /// Computes the normalization mapping the joint bounding box of the given
+    /// sets into the unit hyper-cube `[0,1]^D` (uniformly — aspect ratio is
+    /// preserved, as required by Observation 2).
+    ///
+    /// Returns an error if all sets are empty, or an identity-offset mapping
+    /// with scale 1 when the joint bounding box is a single point.
+    pub fn from_sets(sets: &[&PointSet<D>]) -> Result<Self, GeomError> {
+        let mut bbox = Aabb::empty();
+        for s in sets {
+            for p in s.iter() {
+                bbox.extend(p);
+            }
+        }
+        if bbox.is_empty() {
+            return Err(GeomError::EmptySet);
+        }
+        let ext = bbox.longest_extent();
+        let scale = if ext > 0.0 { 1.0 / ext } else { 1.0 };
+        Ok(NormalizeInfo {
+            offset: bbox.lo,
+            scale,
+        })
+    }
+
+    /// Applies the normalization to one point.
+    #[inline]
+    pub fn apply(&self, p: &Point<D>) -> Point<D> {
+        (*p - self.offset) * self.scale
+    }
+
+    /// Maps a *distance* in original space to normalized space.
+    #[inline]
+    pub fn apply_dist(&self, r: f64) -> f64 {
+        r * self.scale
+    }
+
+    /// Maps a distance in normalized space back to original space.
+    #[inline]
+    pub fn invert_dist(&self, r: f64) -> f64 {
+        r / self.scale
+    }
+
+    /// The equivalent [`Affine`] transform.
+    pub fn to_affine(&self) -> Affine<D> {
+        let scale = Affine::uniform_scale(self.scale);
+        let mut neg = [0.0; D];
+        for (n, o) in neg.iter_mut().zip(self.offset.0.iter()) {
+            *n = -o;
+        }
+        scale.compose(&Affine::translation(neg))
+    }
+}
+
+impl<const D: usize> PointSet<D> {
+    /// Creates a point-set from a name and points.
+    pub fn new(name: impl Into<String>, points: Vec<Point<D>>) -> Self {
+        PointSet {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Creates an empty point-set.
+    pub fn empty(name: impl Into<String>) -> Self {
+        Self::new(name, Vec::new())
+    }
+
+    /// The dataset's name (used in plot legends and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the dataset (builder style).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Number of points (the paper's `N` / `M`).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the set has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Embedding dimensionality `E`.
+    pub const fn dim(&self) -> usize {
+        D
+    }
+
+    /// Borrows the points.
+    pub fn points(&self) -> &[Point<D>] {
+        &self.points
+    }
+
+    /// Iterates over the points.
+    pub fn iter(&self) -> std::slice::Iter<'_, Point<D>> {
+        self.points.iter()
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, p: Point<D>) {
+        self.points.push(p);
+    }
+
+    /// Consumes the set, returning its points.
+    pub fn into_points(self) -> Vec<Point<D>> {
+        self.points
+    }
+
+    /// Validates that no point has NaN/infinite coordinates.
+    pub fn validate(&self) -> Result<(), GeomError> {
+        for (index, p) in self.points.iter().enumerate() {
+            if p.is_degenerate() {
+                return Err(GeomError::Degenerate { index });
+            }
+        }
+        Ok(())
+    }
+
+    /// Tight bounding box (empty box for an empty set).
+    pub fn bbox(&self) -> Aabb<D> {
+        Aabb::from_points(&self.points)
+    }
+
+    /// Centroid of the set.
+    ///
+    /// # Errors
+    /// Returns [`GeomError::EmptySet`] for an empty set.
+    pub fn centroid(&self) -> Result<Point<D>, GeomError> {
+        if self.points.is_empty() {
+            return Err(GeomError::EmptySet);
+        }
+        let mut acc = Point::<D>::ORIGIN;
+        for p in &self.points {
+            acc = acc + *p;
+        }
+        Ok(acc * (1.0 / self.points.len() as f64))
+    }
+
+    /// Applies an affine transform to every point, in place.
+    pub fn transform(&mut self, t: &Affine<D>) {
+        t.apply_all(&mut self.points);
+    }
+
+    /// Returns a copy normalized by `info` (typically obtained via
+    /// [`NormalizeInfo::from_sets`] over *all* sets participating in a join).
+    pub fn normalized(&self, info: &NormalizeInfo<D>) -> PointSet<D> {
+        let points = self.points.iter().map(|p| info.apply(p)).collect();
+        PointSet {
+            name: self.name.clone(),
+            points,
+        }
+    }
+}
+
+impl<const D: usize> FromIterator<Point<D>> for PointSet<D> {
+    fn from_iter<I: IntoIterator<Item = Point<D>>>(iter: I) -> Self {
+        PointSet::new("unnamed", iter.into_iter().collect())
+    }
+}
+
+impl<'a, const D: usize> IntoIterator for &'a PointSet<D> {
+    type Item = &'a Point<D>;
+    type IntoIter = std::slice::Iter<'a, Point<D>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointSet<2> {
+        PointSet::new(
+            "s",
+            vec![Point([0.0, 0.0]), Point([2.0, 1.0]), Point([4.0, 2.0])],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dim(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.name(), "s");
+    }
+
+    #[test]
+    fn centroid_of_sample() {
+        let c = sample().centroid().unwrap();
+        assert_eq!(c.coords(), [2.0, 1.0]);
+    }
+
+    #[test]
+    fn centroid_of_empty_errors() {
+        let s = PointSet::<2>::empty("e");
+        assert!(matches!(s.centroid(), Err(GeomError::EmptySet)));
+    }
+
+    #[test]
+    fn validate_flags_nan() {
+        let mut s = sample();
+        s.push(Point([f64::NAN, 0.0]));
+        assert!(matches!(
+            s.validate(),
+            Err(GeomError::Degenerate { index: 3 })
+        ));
+    }
+
+    #[test]
+    fn normalization_maps_joint_bbox_into_unit_cube() {
+        let a = PointSet::new("a", vec![Point([0.0, 0.0]), Point([10.0, 2.0])]);
+        let b = PointSet::new("b", vec![Point([5.0, 8.0])]);
+        let info = NormalizeInfo::from_sets(&[&a, &b]).unwrap();
+        let na = a.normalized(&info);
+        let nb = b.normalized(&info);
+        for p in na.iter().chain(nb.iter()) {
+            for i in 0..2 {
+                assert!(p[i] >= -1e-12 && p[i] <= 1.0 + 1e-12);
+            }
+        }
+        // Longest extent (x: 0..10) maps to exactly [0,1].
+        assert!((na.points()[1][0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_is_uniform_scaling() {
+        // Ratios of distances are preserved (Observation 2's requirement).
+        let a = sample();
+        let info = NormalizeInfo::from_sets(&[&a]).unwrap();
+        let na = a.normalized(&info);
+        let d_orig = a.points()[0].dist_linf(&a.points()[2]);
+        let d_norm = na.points()[0].dist_linf(&na.points()[2]);
+        assert!((info.apply_dist(d_orig) - d_norm).abs() < 1e-12);
+        assert!((info.invert_dist(d_norm) - d_orig).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_of_degenerate_single_point_uses_scale_one() {
+        let a = PointSet::new("a", vec![Point([3.0, 4.0])]);
+        let info = NormalizeInfo::from_sets(&[&a]).unwrap();
+        assert_eq!(info.scale, 1.0);
+        assert_eq!(a.normalized(&info).points()[0].coords(), [0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_info_matches_affine_form() {
+        let a = PointSet::new("a", vec![Point([1.0, 3.0]), Point([5.0, 4.0])]);
+        let info = NormalizeInfo::from_sets(&[&a]).unwrap();
+        let aff = info.to_affine();
+        for p in a.iter() {
+            assert!(info.apply(p).dist_linf(&aff.apply(p)) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_sets_requires_points() {
+        let e = PointSet::<2>::empty("e");
+        assert!(NormalizeInfo::from_sets(&[&e]).is_err());
+    }
+
+    #[test]
+    fn transform_applies_in_place() {
+        let mut s = sample();
+        s.transform(&Affine::translation([1.0, 1.0]));
+        assert_eq!(s.points()[0].coords(), [1.0, 1.0]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Affine transforms.
+//!
+//! Observation 2 of the paper states the pair-count exponent is invariant to
+//! translation, rotation, and uniform scaling. The invariance test-suite and
+//! the BOPS normalization step both need these transforms.
+
+use crate::Point;
+
+/// An affine transform `x ↦ M·x + t` in `D` dimensions.
+///
+/// The matrix is stored row-major. For the dimensions the paper uses
+/// (D ≤ 16) a dense matrix is exact and cheap.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Affine<const D: usize> {
+    /// Linear part, row-major: `matrix[row][col]`.
+    pub matrix: [[f64; D]; D],
+    /// Translation part.
+    pub translation: [f64; D],
+}
+
+impl<const D: usize> Affine<D> {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        let mut m = [[0.0; D]; D];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        Affine {
+            matrix: m,
+            translation: [0.0; D],
+        }
+    }
+
+    /// Pure translation by `t`.
+    pub fn translation(t: [f64; D]) -> Self {
+        let mut a = Self::identity();
+        a.translation = t;
+        a
+    }
+
+    /// Uniform scaling by `s` about the origin.
+    pub fn uniform_scale(s: f64) -> Self {
+        let mut a = Self::identity();
+        for (i, row) in a.matrix.iter_mut().enumerate() {
+            row[i] = s;
+        }
+        a
+    }
+
+    /// Per-axis (non-uniform) scaling. Note: the paper's invariance claim
+    /// covers *uniform* scaling only; non-uniform scaling is provided so
+    /// tests can demonstrate where invariance is *not* guaranteed.
+    pub fn scale(factors: [f64; D]) -> Self {
+        let mut a = Self::identity();
+        for (i, row) in a.matrix.iter_mut().enumerate() {
+            row[i] = factors[i];
+        }
+        a
+    }
+
+    /// A Givens rotation by `theta` radians in the plane spanned by axes
+    /// `i` and `j`. Composing Givens rotations generates all of SO(D), so
+    /// this suffices for rotation-invariance experiments in any dimension.
+    ///
+    /// # Panics
+    /// Panics if `i == j` or either index is out of range.
+    pub fn rotation(i: usize, j: usize, theta: f64) -> Self {
+        assert!(i != j && i < D && j < D, "invalid rotation plane ({i},{j})");
+        let mut a = Self::identity();
+        let (s, c) = theta.sin_cos();
+        a.matrix[i][i] = c;
+        a.matrix[j][j] = c;
+        a.matrix[i][j] = -s;
+        a.matrix[j][i] = s;
+        a
+    }
+
+    /// Applies the transform to a point.
+    #[inline]
+    pub fn apply(&self, p: &Point<D>) -> Point<D> {
+        let mut out = self.translation;
+        for (row, o) in self.matrix.iter().zip(out.iter_mut()) {
+            let mut acc = 0.0;
+            for (m, x) in row.iter().zip(p.0.iter()) {
+                acc += m * x;
+            }
+            *o += acc;
+        }
+        Point(out)
+    }
+
+    /// Applies the transform to every point of a slice, in place.
+    pub fn apply_all(&self, points: &mut [Point<D>]) {
+        for p in points.iter_mut() {
+            *p = self.apply(p);
+        }
+    }
+
+    /// Composition: `self ∘ other`, i.e. `other` is applied first.
+    pub fn compose(&self, other: &Self) -> Self {
+        let mut m = [[0.0; D]; D];
+        for (r, mrow) in m.iter_mut().enumerate() {
+            for (c, v) in mrow.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for k in 0..D {
+                    acc += self.matrix[r][k] * other.matrix[k][c];
+                }
+                *v = acc;
+            }
+        }
+        let shifted = self.apply(&Point(other.translation));
+        Affine {
+            matrix: m,
+            translation: shifted.coords(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close<const D: usize>(a: &Point<D>, b: &Point<D>) -> bool {
+        a.dist_linf(b) < 1e-12
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let id = Affine::<3>::identity();
+        let p = Point([1.0, -2.0, 0.5]);
+        assert!(close(&id.apply(&p), &p));
+    }
+
+    #[test]
+    fn translation_shifts() {
+        let t = Affine::translation([1.0, 2.0]);
+        assert!(close(&t.apply(&Point([0.0, 0.0])), &Point([1.0, 2.0])));
+    }
+
+    #[test]
+    fn uniform_scale_scales_distances_uniformly() {
+        let s = Affine::uniform_scale(3.0);
+        let a = Point([0.0, 1.0]);
+        let b = Point([2.0, 5.0]);
+        let (sa, sb) = (s.apply(&a), s.apply(&b));
+        assert!((sa.dist_linf(&sb) - 3.0 * a.dist_linf(&b)).abs() < 1e-12);
+        assert!((sa.dist_l1(&sb) - 3.0 * a.dist_l1(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_l2_distance() {
+        let r = Affine::<4>::rotation(1, 3, 0.7);
+        let a = Point([1.0, 0.0, -2.0, 3.0]);
+        let b = Point([0.5, 2.0, 0.0, -1.0]);
+        let (ra, rb) = (r.apply(&a), r.apply(&b));
+        assert!((ra.dist_sq(&rb) - a.dist_sq(&b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_90_degrees_2d() {
+        let r = Affine::<2>::rotation(0, 1, std::f64::consts::FRAC_PI_2);
+        let p = r.apply(&Point([1.0, 0.0]));
+        assert!(close(&p, &Point([0.0, 1.0])));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rotation plane")]
+    fn rotation_rejects_equal_axes() {
+        let _ = Affine::<3>::rotation(1, 1, 0.5);
+    }
+
+    #[test]
+    fn compose_applies_right_to_left() {
+        let t = Affine::translation([1.0, 0.0]);
+        let s = Affine::uniform_scale(2.0);
+        // (s ∘ t)(p) = s(t(p)) = 2*(p + [1,0])
+        let st = s.compose(&t);
+        let p = Point([1.0, 1.0]);
+        assert!(close(&st.apply(&p), &Point([4.0, 2.0])));
+        // (t ∘ s)(p) = t(s(p)) = 2p + [1,0]
+        let ts = t.compose(&s);
+        assert!(close(&ts.apply(&p), &Point([3.0, 2.0])));
+    }
+
+    #[test]
+    fn apply_all_matches_apply() {
+        let r = Affine::<2>::rotation(0, 1, 0.3);
+        let pts = [Point([1.0, 2.0]), Point([-1.0, 0.5])];
+        let mut v = pts.to_vec();
+        r.apply_all(&mut v);
+        for (orig, moved) in pts.iter().zip(v.iter()) {
+            assert!(close(moved, &r.apply(orig)));
+        }
+    }
+}

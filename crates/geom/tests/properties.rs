@@ -1,0 +1,140 @@
+//! Property-based tests for the geometry kernel.
+
+use proptest::prelude::*;
+use sjpl_geom::{Aabb, Affine, Metric, NormalizeInfo, Point, PointSet};
+
+fn coord() -> impl Strategy<Value = f64> {
+    -1e3f64..1e3f64
+}
+
+fn point3() -> impl Strategy<Value = Point<3>> {
+    [coord(), coord(), coord()].prop_map(Point::new)
+}
+
+fn metric() -> impl Strategy<Value = Metric> {
+    prop_oneof![
+        Just(Metric::L1),
+        Just(Metric::L2),
+        Just(Metric::Linf),
+        (1.0f64..6.0).prop_map(Metric::Lp),
+    ]
+}
+
+proptest! {
+    /// Every Lp metric satisfies the metric-space axioms (identity,
+    /// symmetry, triangle inequality).
+    #[test]
+    fn metric_axioms(a in point3(), b in point3(), c in point3(), m in metric()) {
+        let dab = m.dist(&a, &b);
+        prop_assert!(dab >= 0.0);
+        prop_assert!(m.dist(&a, &a) < 1e-9);
+        prop_assert!((dab - m.dist(&b, &a)).abs() < 1e-9 * (1.0 + dab));
+        let dac = m.dist(&a, &c);
+        let dbc = m.dist(&b, &c);
+        prop_assert!(dac <= dab + dbc + 1e-7 * (1.0 + dab + dbc));
+    }
+
+    /// `rdist` thresholding is exactly equivalent to `dist` thresholding.
+    #[test]
+    fn rdist_threshold_equivalence(a in point3(), b in point3(), m in metric(), r in 0.0f64..2e3) {
+        let by_dist = m.dist(&a, &b) <= r;
+        let by_rdist = m.rdist(&a, &b) <= m.rdist_threshold(r);
+        // Allow disagreement only within floating-point slack of the boundary.
+        if (m.dist(&a, &b) - r).abs() > 1e-6 * (1.0 + r) {
+            prop_assert_eq!(by_dist, by_rdist);
+        }
+    }
+
+    /// Lp norms are ordered: L∞ ≤ Lq ≤ Lp ≤ L1 for 1 ≤ p ≤ q.
+    #[test]
+    fn lp_norms_are_ordered(a in point3(), b in point3()) {
+        let d1 = Metric::L1.dist(&a, &b);
+        let d2 = Metric::L2.dist(&a, &b);
+        let d3 = Metric::Lp(3.0).dist(&a, &b);
+        let dinf = Metric::Linf.dist(&a, &b);
+        let tol = 1e-9 * (1.0 + d1);
+        prop_assert!(dinf <= d3 + tol);
+        prop_assert!(d3 <= d2 + tol);
+        prop_assert!(d2 <= d1 + tol);
+    }
+
+    /// An AABB built from points contains them, and min/max point-box
+    /// distances bound the true distances to member points.
+    #[test]
+    fn aabb_bounds_member_distances(
+        pts in prop::collection::vec(point3(), 1..20),
+        q in point3(),
+        m in metric(),
+    ) {
+        let bb = Aabb::from_points(&pts);
+        let lo = bb.min_dist(&q, m);
+        let hi = bb.max_dist(&q, m);
+        for p in &pts {
+            prop_assert!(bb.contains(p));
+            let d = m.dist(&q, p);
+            prop_assert!(d >= lo - 1e-7 * (1.0 + d));
+            prop_assert!(d <= hi + 1e-7 * (1.0 + d));
+        }
+    }
+
+    /// Box-box min distance lower-bounds all cross-pair distances.
+    #[test]
+    fn aabb_box_box_min_dist_is_lower_bound(
+        pa in prop::collection::vec(point3(), 1..12),
+        pb in prop::collection::vec(point3(), 1..12),
+        m in metric(),
+    ) {
+        let ba = Aabb::from_points(&pa);
+        let bb = Aabb::from_points(&pb);
+        let lo = ba.min_dist_box(&bb, m);
+        let hi = ba.max_dist_box(&bb, m);
+        for a in &pa {
+            for b in &pb {
+                let d = m.dist(a, b);
+                prop_assert!(d >= lo - 1e-7 * (1.0 + d));
+                prop_assert!(d <= hi + 1e-7 * (1.0 + d));
+            }
+        }
+    }
+
+    /// Rotations preserve L2 distances; uniform scalings multiply every Lp
+    /// distance by |s| — the two ingredients of Observation 2.
+    #[test]
+    fn affine_distance_behaviour(
+        a in point3(), b in point3(),
+        theta in -3.2f64..3.2,
+        s in 0.01f64..100.0,
+    ) {
+        let rot = Affine::<3>::rotation(0, 2, theta);
+        let (ra, rb) = (rot.apply(&a), rot.apply(&b));
+        let d0 = Metric::L2.dist(&a, &b);
+        prop_assert!((Metric::L2.dist(&ra, &rb) - d0).abs() < 1e-7 * (1.0 + d0));
+
+        let sc = Affine::<3>::uniform_scale(s);
+        let (sa, sb) = (sc.apply(&a), sc.apply(&b));
+        for m in [Metric::L1, Metric::L2, Metric::Linf] {
+            let expect = s * m.dist(&a, &b);
+            prop_assert!((m.dist(&sa, &sb) - expect).abs() < 1e-7 * (1.0 + expect));
+        }
+    }
+
+    /// Unit-cube normalization puts all points in [0,1]^D and scales all
+    /// distances by one common factor.
+    #[test]
+    fn normalization_is_uniform(pts in prop::collection::vec(point3(), 2..30)) {
+        let set = PointSet::new("p", pts);
+        let info = NormalizeInfo::from_sets(&[&set]).unwrap();
+        let norm = set.normalized(&info);
+        for p in norm.iter() {
+            for i in 0..3 {
+                prop_assert!(p[i] >= -1e-9 && p[i] <= 1.0 + 1e-9);
+            }
+        }
+        let a = set.points()[0];
+        let b = set.points()[set.len() - 1];
+        let na = norm.points()[0];
+        let nb = norm.points()[norm.len() - 1];
+        let expect = info.apply_dist(a.dist_linf(&b));
+        prop_assert!((na.dist_linf(&nb) - expect).abs() < 1e-9 * (1.0 + expect));
+    }
+}

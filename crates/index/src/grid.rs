@@ -1,0 +1,298 @@
+//! Uniform hash-grid index.
+//!
+//! The same data structure that underlies the BOPS algorithm (a grid of
+//! cells with occupancy counts) also supports an ε-distance join: with cell
+//! side equal to the join radius, all partners of a point lie in its cell or
+//! the 3^D surrounding cells. The grid is sparse (a hash map keyed by cell
+//! coordinates), so high-dimensional or skewed data costs memory only for
+//! occupied cells.
+
+use std::collections::HashMap;
+
+use sjpl_geom::{Metric, Point};
+
+/// A sparse uniform grid over `D`-dimensional points.
+pub struct UniformGrid<const D: usize> {
+    cell_size: f64,
+    cells: HashMap<[i64; D], Vec<u32>>,
+    points: Vec<Point<D>>,
+}
+
+impl<const D: usize> UniformGrid<D> {
+    /// Builds a grid with cells of side `cell_size` over `points`.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not positive and finite, or if more than
+    /// `u32::MAX` points are given.
+    pub fn build(points: &[Point<D>], cell_size: f64) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell_size must be positive and finite"
+        );
+        assert!(u32::try_from(points.len()).is_ok(), "too many points");
+        let mut cells: HashMap<[i64; D], Vec<u32>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            cells
+                .entry(Self::key_of(p, cell_size))
+                .or_default()
+                .push(i as u32);
+        }
+        UniformGrid {
+            cell_size,
+            cells,
+            points: points.to_vec(),
+        }
+    }
+
+    #[inline]
+    fn key_of(p: &Point<D>, s: f64) -> [i64; D] {
+        let mut k = [0i64; D];
+        for (ki, i) in k.iter_mut().zip(0..D) {
+            *ki = (p[i] / s).floor() as i64;
+        }
+        k
+    }
+
+    /// The cell side the grid was built with.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of occupied cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over `(cell_key, indices)` pairs of occupied cells.
+    pub fn cells(&self) -> impl Iterator<Item = (&[i64; D], &Vec<u32>)> {
+        self.cells.iter()
+    }
+
+    /// Counts indexed points within distance `r` of `q` under `metric`
+    /// (including any indexed point equal to `q`).
+    ///
+    /// Candidate cells are those overlapping the L∞ box of half-side `r`
+    /// around `q` — a superset of every Lp ball of radius `r`, so the count
+    /// is exact for any metric.
+    pub fn count_within(&self, q: &Point<D>, r: f64, metric: Metric) -> u64 {
+        debug_assert!(r >= 0.0);
+        let thresh = metric.rdist_threshold(r);
+        let mut lo = [0i64; D];
+        let mut hi = [0i64; D];
+        for i in 0..D {
+            lo[i] = ((q[i] - r) / self.cell_size).floor() as i64;
+            hi[i] = ((q[i] + r) / self.cell_size).floor() as i64;
+        }
+        // If the candidate box covers more cells than there are occupied
+        // cells, scanning the hash map directly is cheaper.
+        let box_cells: f64 = (0..D).map(|i| (hi[i] - lo[i] + 1) as f64).product();
+        let mut count = 0u64;
+        if box_cells > self.cells.len() as f64 {
+            for (key, idxs) in &self.cells {
+                if (0..D).all(|i| key[i] >= lo[i] && key[i] <= hi[i]) {
+                    count += self.scan_cell(idxs, q, thresh, metric);
+                }
+            }
+            return count;
+        }
+        let mut cursor = lo;
+        loop {
+            if let Some(idxs) = self.cells.get(&cursor) {
+                count += self.scan_cell(idxs, q, thresh, metric);
+            }
+            // Odometer increment over the candidate box.
+            let mut axis = 0;
+            loop {
+                if axis == D {
+                    return count;
+                }
+                cursor[axis] += 1;
+                if cursor[axis] <= hi[axis] {
+                    break;
+                }
+                cursor[axis] = lo[axis];
+                axis += 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn scan_cell(&self, idxs: &[u32], q: &Point<D>, thresh: f64, metric: Metric) -> u64 {
+        idxs.iter()
+            .filter(|&&i| metric.rdist(&self.points[i as usize], q) <= thresh)
+            .count() as u64
+    }
+}
+
+/// Grid-based distance join: counts ordered pairs `(a, b)` with
+/// `dist(a, b) ≤ r` by building a grid of cell side `r` on `B` and probing
+/// it with every point of `A`.
+pub fn grid_join_count<const D: usize>(
+    a: &[Point<D>],
+    b: &[Point<D>],
+    r: f64,
+    metric: Metric,
+) -> u64 {
+    if a.is_empty() || b.is_empty() || r < 0.0 {
+        return 0;
+    }
+    // Degenerate radius: count exact coincidences.
+    let cell = if r > 0.0 { r } else { 1.0 };
+    let grid = UniformGrid::build(b, cell);
+    a.iter().map(|p| grid.count_within(p, r, metric)).sum()
+}
+
+/// Grid-based self join: counts unordered pairs `{i, j}, i ≠ j` with
+/// `dist ≤ r` (Definition 1's self-join convention).
+pub fn grid_self_join_count<const D: usize>(a: &[Point<D>], r: f64, metric: Metric) -> u64 {
+    if a.len() < 2 || r < 0.0 {
+        return 0;
+    }
+    let cell = if r > 0.0 { r } else { 1.0 };
+    let grid = UniformGrid::build(a, cell);
+    // Each unordered pair is counted twice in the ordered sum; every point
+    // also counts itself once (distance 0 ≤ r).
+    let ordered: u64 = a.iter().map(|p| grid.count_within(p, r, metric)).sum();
+    (ordered - a.len() as u64) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_cross(a: &[Point<2>], b: &[Point<2>], r: f64, m: Metric) -> u64 {
+        a.iter()
+            .flat_map(|pa| b.iter().map(move |pb| m.dist(pa, pb)))
+            .filter(|&d| d <= r)
+            .count() as u64
+    }
+
+    fn lattice(n: usize, offset: f64) -> Vec<Point<2>> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                v.push(Point([i as f64 * 0.1 + offset, j as f64 * 0.1 + offset]));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn count_within_matches_brute_force() {
+        let pts = lattice(8, 0.0);
+        let grid = UniformGrid::build(&pts, 0.25);
+        for m in [Metric::L1, Metric::L2, Metric::Linf] {
+            for r in [0.05, 0.1, 0.3, 1.0] {
+                let q = Point([0.34, 0.41]);
+                let got = grid.count_within(&q, r, m);
+                let brute = pts.iter().filter(|p| m.dist(p, &q) <= r).count() as u64;
+                assert_eq!(got, brute, "metric {m:?} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_count_matches_brute_force() {
+        let a = lattice(6, 0.0);
+        let b = lattice(6, 0.03);
+        for m in [Metric::L1, Metric::L2, Metric::Linf] {
+            for r in [0.02, 0.11, 0.35] {
+                assert_eq!(
+                    grid_join_count(&a, &b, r, m),
+                    brute_cross(&a, &b, r, m),
+                    "metric {m:?} r {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_join_matches_brute_force() {
+        let a = lattice(7, 0.0);
+        for r in [0.05, 0.1, 0.25] {
+            let brute = {
+                let mut c = 0u64;
+                for i in 0..a.len() {
+                    for j in (i + 1)..a.len() {
+                        if a[i].dist_linf(&a[j]) <= r {
+                            c += 1;
+                        }
+                    }
+                }
+                c
+            };
+            assert_eq!(grid_self_join_count(&a, r, Metric::Linf), brute);
+        }
+    }
+
+    #[test]
+    fn self_join_handles_duplicates() {
+        let a = vec![Point([0.0, 0.0]), Point([0.0, 0.0]), Point([5.0, 5.0])];
+        // The two coincident points form one unordered pair at distance 0.
+        assert_eq!(grid_self_join_count(&a, 0.1, Metric::L2), 1);
+    }
+
+    #[test]
+    fn zero_radius_counts_coincidences() {
+        let a = vec![Point([1.0, 1.0])];
+        let b = vec![Point([1.0, 1.0]), Point([2.0, 2.0])];
+        assert_eq!(grid_join_count(&a, &b, 0.0, Metric::Linf), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a: Vec<Point<2>> = vec![];
+        let b = lattice(2, 0.0);
+        assert_eq!(grid_join_count(&a, &b, 1.0, Metric::L2), 0);
+        assert_eq!(grid_join_count(&b, &a, 1.0, Metric::L2), 0);
+        assert_eq!(grid_self_join_count(&a, 1.0, Metric::L2), 0);
+    }
+
+    #[test]
+    fn negative_coordinates_hash_correctly() {
+        // Regression guard: floor division must be used for cell keys, or
+        // points straddling zero share a cell with the wrong neighbors.
+        let a = vec![Point([-0.05, -0.05])];
+        let b = vec![Point([0.05, 0.05])];
+        assert_eq!(grid_join_count(&a, &b, 0.11, Metric::Linf), 1);
+        assert_eq!(grid_join_count(&a, &b, 0.09, Metric::Linf), 0);
+    }
+
+    #[test]
+    fn huge_radius_saturates() {
+        let a = lattice(4, 0.0);
+        let b = lattice(4, 0.01);
+        assert_eq!(
+            grid_join_count(&a, &b, 1e6, Metric::L2),
+            (a.len() * b.len()) as u64
+        );
+    }
+
+    #[test]
+    fn grid_statistics() {
+        let pts = lattice(4, 0.0); // 16 points spaced 0.1 apart
+        let g = UniformGrid::build(&pts, 0.1);
+        assert_eq!(g.len(), 16);
+        assert!(!g.is_empty());
+        assert_eq!(g.cell_size(), 0.1);
+        assert!(g.occupied_cells() <= 16);
+        let listed: usize = g.cells().map(|(_, v)| v.len()).sum();
+        assert_eq!(listed, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_size")]
+    fn zero_cell_size_panics() {
+        let _ = UniformGrid::build(&[Point([0.0, 0.0])], 0.0);
+    }
+}

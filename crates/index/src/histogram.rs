@@ -1,0 +1,225 @@
+//! The exact quadratic pair-distance histogram — the paper's "PC-plot
+//! method" and this workspace's ground truth.
+//!
+//! Evaluating `PC(r)` naively costs one O(N·M) scan *per radius*. Instead we
+//! make a single O(N·M) pass that records every pair distance into a
+//! log-spaced [`LogHistogram`]; the histogram's cumulative counts then give
+//! `PC(r)` at every bin edge simultaneously. The pass is embarrassingly
+//! parallel, so a multi-threaded variant (crossbeam scoped threads) is
+//! provided for the Table 5 timing experiments.
+
+use sjpl_geom::{Metric, Point};
+use sjpl_stats::LogHistogram;
+
+/// Sequential exact pass: records the distance of every cross pair
+/// `(a, b) ∈ A × B` into `hist`.
+pub fn cross_distance_histogram<const D: usize>(
+    a: &[Point<D>],
+    b: &[Point<D>],
+    metric: Metric,
+    hist: &mut LogHistogram,
+) {
+    for pa in a {
+        for pb in b {
+            hist.record(metric.dist(pa, pb));
+        }
+    }
+}
+
+/// Sequential exact pass for a self join: records each unordered pair
+/// `{i, j}, i < j` once, omitting self-pairs — the paper's Definition 1
+/// convention for `A == B`.
+pub fn self_distance_histogram<const D: usize>(
+    a: &[Point<D>],
+    metric: Metric,
+    hist: &mut LogHistogram,
+) {
+    for i in 0..a.len() {
+        let pi = &a[i];
+        for pj in &a[i + 1..] {
+            hist.record(metric.dist(pi, pj));
+        }
+    }
+}
+
+/// Multi-threaded exact cross pass: splits `A` into chunks, one histogram
+/// clone per thread, merged at the end. Exact same counts as the sequential
+/// version.
+pub fn par_cross_distance_histogram<const D: usize>(
+    a: &[Point<D>],
+    b: &[Point<D>],
+    metric: Metric,
+    hist: &mut LogHistogram,
+    threads: usize,
+) {
+    let threads = threads.max(1).min(a.len().max(1));
+    if threads == 1 {
+        cross_distance_histogram(a, b, metric, hist);
+        return;
+    }
+    let chunk = a.len().div_ceil(threads);
+    let proto = hist.clone();
+    let partials = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = a
+            .chunks(chunk)
+            .map(|part| {
+                let mut local = proto.clone();
+                s.spawn(move |_| {
+                    cross_distance_histogram(part, b, metric, &mut local);
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("histogram worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope failed");
+    for p in &partials {
+        hist.merge(p);
+    }
+}
+
+/// Multi-threaded exact self pass. Work is split by strided rows (row `i`
+/// costs `n − i − 1` inner iterations, so contiguous chunks would be badly
+/// unbalanced; striding balances within ~1 row).
+pub fn par_self_distance_histogram<const D: usize>(
+    a: &[Point<D>],
+    metric: Metric,
+    hist: &mut LogHistogram,
+    threads: usize,
+) {
+    let threads = threads.max(1).min(a.len().max(1));
+    if threads == 1 {
+        self_distance_histogram(a, metric, hist);
+        return;
+    }
+    let proto = hist.clone();
+    let partials = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let mut local = proto.clone();
+                s.spawn(move |_| {
+                    let mut i = t;
+                    while i < a.len() {
+                        let pi = &a[i];
+                        for pj in &a[i + 1..] {
+                            local.record(metric.dist(pi, pj));
+                        }
+                        i += threads;
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("histogram worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope failed");
+    for p in &partials {
+        hist.merge(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n_side: usize) -> Vec<Point<2>> {
+        let mut v = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                v.push(Point([i as f64, j as f64]));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn cross_histogram_total_is_nm() {
+        let a = grid_points(5);
+        let b = grid_points(3);
+        let mut h = LogHistogram::new(1e-3, 100.0, 16).unwrap();
+        cross_distance_histogram(&a, &b, Metric::Linf, &mut h);
+        assert_eq!(h.total(), (a.len() * b.len()) as u64);
+    }
+
+    #[test]
+    fn self_histogram_total_is_n_choose_2() {
+        let a = grid_points(6);
+        let mut h = LogHistogram::new(1e-3, 100.0, 16).unwrap();
+        self_distance_histogram(&a, Metric::L2, &mut h);
+        let n = a.len() as u64;
+        assert_eq!(h.total(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn cumulative_matches_brute_force_count() {
+        let a = grid_points(4);
+        let b: Vec<Point<2>> = grid_points(4).iter().map(|p| *p + Point([0.3, 0.1])).collect();
+        let mut h = LogHistogram::new(1e-2, 20.0, 24).unwrap();
+        cross_distance_histogram(&a, &b, Metric::Linf, &mut h);
+        for (edge, count) in h.cumulative() {
+            let brute = a
+                .iter()
+                .flat_map(|pa| b.iter().map(move |pb| pa.dist_linf(pb)))
+                .filter(|&d| d <= edge)
+                .count() as u64;
+            // Edge fuzz can move boundary-exact pairs by one bin; here no
+            // distance equals an edge so counts must agree exactly.
+            assert_eq!(count, brute, "at edge {edge}");
+        }
+    }
+
+    #[test]
+    fn parallel_cross_matches_sequential() {
+        let a = grid_points(9);
+        let b = grid_points(7);
+        let mut hs = LogHistogram::new(1e-2, 50.0, 20).unwrap();
+        cross_distance_histogram(&a, &b, Metric::L2, &mut hs);
+        for threads in [2, 3, 8, 64] {
+            let mut hp = LogHistogram::new(1e-2, 50.0, 20).unwrap();
+            par_cross_distance_histogram(&a, &b, Metric::L2, &mut hp, threads);
+            assert_eq!(hp.counts(), hs.counts(), "threads = {threads}");
+            assert_eq!(hp.underflow(), hs.underflow());
+            assert_eq!(hp.overflow(), hs.overflow());
+        }
+    }
+
+    #[test]
+    fn parallel_self_matches_sequential() {
+        let a = grid_points(9);
+        let mut hs = LogHistogram::new(1e-2, 50.0, 20).unwrap();
+        self_distance_histogram(&a, Metric::L1, &mut hs);
+        for threads in [2, 5, 16] {
+            let mut hp = LogHistogram::new(1e-2, 50.0, 20).unwrap();
+            par_self_distance_histogram(&a, Metric::L1, &mut hp, threads);
+            assert_eq!(hp.counts(), hs.counts(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_histograms() {
+        let empty: Vec<Point<2>> = Vec::new();
+        let b = grid_points(3);
+        let mut h = LogHistogram::new(1e-2, 10.0, 8).unwrap();
+        cross_distance_histogram(&empty, &b, Metric::Linf, &mut h);
+        assert_eq!(h.total(), 0);
+        par_cross_distance_histogram(&empty, &b, Metric::Linf, &mut h, 4);
+        assert_eq!(h.total(), 0);
+        let mut h2 = LogHistogram::new(1e-2, 10.0, 8).unwrap();
+        self_distance_histogram(&empty, Metric::Linf, &mut h2);
+        assert_eq!(h2.total(), 0);
+    }
+
+    #[test]
+    fn single_point_self_join_has_no_pairs() {
+        let one = vec![Point([0.5, 0.5])];
+        let mut h = LogHistogram::new(1e-2, 10.0, 8).unwrap();
+        self_distance_histogram(&one, Metric::Linf, &mut h);
+        assert_eq!(h.total(), 0);
+    }
+}

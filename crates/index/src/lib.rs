@@ -1,0 +1,46 @@
+//! # sjpl-index — spatial indexes and exact distance joins
+//!
+//! The paper's ground truth is the exact pair count `PC(r)` — "the count of
+//! pairs within distance r or less" (Definition 1). This crate provides the
+//! machinery to compute that ground truth, plus the spatial-index join
+//! algorithms any real spatial DBMS would use to *execute* the join whose
+//! selectivity `sjpl-core` estimates:
+//!
+//! * [`histogram`] — the quadratic pair-distance histogram: one O(N·M) pass
+//!   (optionally multi-threaded) yields `PC(r)` at every radius at once.
+//!   This is the paper's "PC-plot method" and the baseline for Table 5.
+//! * [`grid`] — a uniform hash-grid index with an ε-distance join.
+//! * [`kdtree`] — a bulk-built kd-tree with range counting and a dual-tree
+//!   distance-join counter.
+//! * [`rtree`] — an STR bulk-loaded R-tree with window queries and a
+//!   dual-tree distance join (the [BKS 93] style join of the related work).
+//! * [`rtree_dyn`] — an updatable Guttman R-tree (ChooseLeaf + quadratic
+//!   split) for workloads that insert while querying.
+//! * [`sweep`] — a plane-sweep distance join for low dimensions.
+//! * [`zorder`] — a Morton-curve sorted-array index with implicit-quadtree
+//!   search (the [ORE 86] lineage the related work opens with).
+//! * [`join`] — one uniform entry point over all algorithms, used by the
+//!   cross-algorithm agreement tests and the benchmark harness.
+//!
+//! Pair-count semantics follow the paper exactly: cross joins count ordered
+//! `(a, b)` pairs (up to `N·M`); self joins omit self-pairs and count each
+//! unordered pair once (up to `N(N−1)/2`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod grid;
+pub mod histogram;
+pub mod join;
+pub mod kdtree;
+pub mod rtree;
+pub mod rtree_dyn;
+pub mod sweep;
+pub mod zorder;
+
+pub use grid::UniformGrid;
+pub use join::{pair_count, self_pair_count, JoinAlgorithm};
+pub use kdtree::KdTree;
+pub use rtree::RTree;
+pub use rtree_dyn::DynRTree;
+pub use zorder::ZOrderIndex;

@@ -1,0 +1,411 @@
+//! STR bulk-loaded R-tree.
+//!
+//! The related-work joins the paper cites ([BKS 93], [PD 96]) run over
+//! R-trees; we provide one so the workspace contains the join machinery a
+//! spatial DBMS would actually deploy. Leaves hold up to `LEAF_CAP` points;
+//! internal nodes hold up to `FANOUT` children. Bulk loading uses
+//! Sort-Tile-Recurse: at each level the entries are sorted along one axis
+//! (cycling through the axes) and tiled into equal slabs, recursively, which
+//! produces well-clustered, non-overlapping-ish pages without insertion
+//! heuristics.
+
+use sjpl_geom::{Aabb, Metric, Point};
+
+const LEAF_CAP: usize = 24;
+const FANOUT: usize = 8;
+
+enum NodeKind {
+    /// Range into the reordered point array.
+    Leaf { start: u32, end: u32 },
+    /// Child node indices.
+    Internal { children: Vec<u32> },
+}
+
+struct Node<const D: usize> {
+    bbox: Aabb<D>,
+    size: u64,
+    kind: NodeKind,
+}
+
+/// An STR bulk-loaded R-tree over `D`-dimensional points.
+pub struct RTree<const D: usize> {
+    nodes: Vec<Node<D>>,
+    points: Vec<Point<D>>,
+    root: Option<u32>,
+}
+
+impl<const D: usize> RTree<D> {
+    /// Builds a tree over a copy of `points`. Accepts the empty set.
+    pub fn build(points: &[Point<D>]) -> Self {
+        let mut pts = points.to_vec();
+        let mut nodes = Vec::new();
+        let root = if pts.is_empty() {
+            None
+        } else {
+            let n = pts.len();
+            Some(build_str(&mut pts, 0, n, 0, &mut nodes))
+        };
+        RTree {
+            nodes,
+            points: pts,
+            root,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Bounding box of the data (empty box when empty).
+    pub fn bbox(&self) -> Aabb<D> {
+        match self.root {
+            None => Aabb::empty(),
+            Some(r) => self.nodes[r as usize].bbox,
+        }
+    }
+
+    /// Counts points inside the query window (inclusive bounds) — the
+    /// classic R-tree window query.
+    pub fn window_count(&self, window: &Aabb<D>) -> u64 {
+        match self.root {
+            None => 0,
+            Some(r) => self.window_rec(r, window),
+        }
+    }
+
+    fn window_rec(&self, node: u32, w: &Aabb<D>) -> u64 {
+        let n = &self.nodes[node as usize];
+        if !n.bbox.intersects(w) {
+            return 0;
+        }
+        if w.contains(&n.bbox.lo) && w.contains(&n.bbox.hi) {
+            return n.size;
+        }
+        match &n.kind {
+            NodeKind::Leaf { start, end } => self.points[*start as usize..*end as usize]
+                .iter()
+                .filter(|p| w.contains(p))
+                .count() as u64,
+            NodeKind::Internal { children } => {
+                children.iter().map(|&c| self.window_rec(c, w)).sum()
+            }
+        }
+    }
+
+    /// Counts indexed points within distance `r` of `q`.
+    pub fn range_count(&self, q: &Point<D>, r: f64, metric: Metric) -> u64 {
+        match self.root {
+            None => 0,
+            Some(root) => {
+                if r < 0.0 {
+                    0
+                } else {
+                    self.range_rec(root, q, r, metric)
+                }
+            }
+        }
+    }
+
+    fn range_rec(&self, node: u32, q: &Point<D>, r: f64, metric: Metric) -> u64 {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist(q, metric) > r {
+            return 0;
+        }
+        if n.bbox.max_dist(q, metric) <= r {
+            return n.size;
+        }
+        match &n.kind {
+            NodeKind::Leaf { start, end } => {
+                let thresh = metric.rdist_threshold(r);
+                self.points[*start as usize..*end as usize]
+                    .iter()
+                    .filter(|p| metric.rdist(p, q) <= thresh)
+                    .count() as u64
+            }
+            NodeKind::Internal { children } => children
+                .iter()
+                .map(|&c| self.range_rec(c, q, r, metric))
+                .sum(),
+        }
+    }
+
+    /// Dual-tree cross distance join: ordered pairs within `r`.
+    pub fn join_count(&self, other: &RTree<D>, r: f64, metric: Metric) -> u64 {
+        match (self.root, other.root) {
+            (Some(u), Some(v)) if r >= 0.0 => self.join_rec(u, other, v, r, metric),
+            _ => 0,
+        }
+    }
+
+    fn join_rec(&self, u: u32, other: &RTree<D>, v: u32, r: f64, metric: Metric) -> u64 {
+        let nu = &self.nodes[u as usize];
+        let nv = &other.nodes[v as usize];
+        if nu.bbox.min_dist_box(&nv.bbox, metric) > r {
+            return 0;
+        }
+        if nu.bbox.max_dist_box(&nv.bbox, metric) <= r {
+            return nu.size * nv.size;
+        }
+        match (&nu.kind, &nv.kind) {
+            (NodeKind::Leaf { start: s1, end: e1 }, NodeKind::Leaf { start: s2, end: e2 }) => {
+                let thresh = metric.rdist_threshold(r);
+                let mut c = 0u64;
+                for pa in &self.points[*s1 as usize..*e1 as usize] {
+                    for pb in &other.points[*s2 as usize..*e2 as usize] {
+                        if metric.rdist(pa, pb) <= thresh {
+                            c += 1;
+                        }
+                    }
+                }
+                c
+            }
+            (NodeKind::Internal { children }, _) if nu.size >= nv.size => children
+                .iter()
+                .map(|&c| self.join_rec(c, other, v, r, metric))
+                .sum(),
+            (_, NodeKind::Internal { children }) => children
+                .iter()
+                .map(|&c| self.join_rec(u, other, c, r, metric))
+                .sum(),
+            (NodeKind::Internal { children }, NodeKind::Leaf { .. }) => children
+                .iter()
+                .map(|&c| self.join_rec(c, other, v, r, metric))
+                .sum(),
+        }
+    }
+
+    /// Dual-tree self join: unordered pairs within `r`, self-pairs omitted.
+    pub fn self_join_count(&self, r: f64, metric: Metric) -> u64 {
+        match self.root {
+            Some(root) if self.len() >= 2 && r >= 0.0 => {
+                self.self_join_rec(root, root, r, metric)
+            }
+            _ => 0,
+        }
+    }
+
+    fn self_join_rec(&self, u: u32, v: u32, r: f64, metric: Metric) -> u64 {
+        let nu = &self.nodes[u as usize];
+        let nv = &self.nodes[v as usize];
+        if u == v {
+            match &nu.kind {
+                NodeKind::Leaf { start, end } => {
+                    let thresh = metric.rdist_threshold(r);
+                    let pts = &self.points[*start as usize..*end as usize];
+                    let mut c = 0u64;
+                    for i in 0..pts.len() {
+                        for j in (i + 1)..pts.len() {
+                            if metric.rdist(&pts[i], &pts[j]) <= thresh {
+                                c += 1;
+                            }
+                        }
+                    }
+                    c
+                }
+                NodeKind::Internal { children } => {
+                    let mut c = 0u64;
+                    for (i, &a) in children.iter().enumerate() {
+                        c += self.self_join_rec(a, a, r, metric);
+                        for &b in &children[i + 1..] {
+                            c += self.self_join_rec(a, b, r, metric);
+                        }
+                    }
+                    c
+                }
+            }
+        } else {
+            // Disjoint subtrees (STR partitions points): cross pairs are
+            // distinct unordered pairs.
+            if nu.bbox.min_dist_box(&nv.bbox, metric) > r {
+                return 0;
+            }
+            if nu.bbox.max_dist_box(&nv.bbox, metric) <= r {
+                return nu.size * nv.size;
+            }
+            match (&nu.kind, &nv.kind) {
+                (NodeKind::Leaf { start: s1, end: e1 }, NodeKind::Leaf { start: s2, end: e2 }) => {
+                    let thresh = metric.rdist_threshold(r);
+                    let mut c = 0u64;
+                    for pa in &self.points[*s1 as usize..*e1 as usize] {
+                        for pb in &self.points[*s2 as usize..*e2 as usize] {
+                            if metric.rdist(pa, pb) <= thresh {
+                                c += 1;
+                            }
+                        }
+                    }
+                    c
+                }
+                (NodeKind::Internal { children }, _) if nu.size >= nv.size => children
+                    .iter()
+                    .map(|&c| self.self_join_rec(c, v, r, metric))
+                    .sum(),
+                (_, NodeKind::Internal { children }) => children
+                    .iter()
+                    .map(|&c| self.self_join_rec(u, c, r, metric))
+                    .sum(),
+                (NodeKind::Internal { children }, NodeKind::Leaf { .. }) => children
+                    .iter()
+                    .map(|&c| self.self_join_rec(c, v, r, metric))
+                    .sum(),
+            }
+        }
+    }
+}
+
+/// Recursive Sort-Tile-Recurse: sorts `pts[start..end]` along `axis` and
+/// tiles it into up to `FANOUT` slabs, recursing with the next axis.
+fn build_str<const D: usize>(
+    pts: &mut [Point<D>],
+    start: usize,
+    end: usize,
+    axis: usize,
+    nodes: &mut Vec<Node<D>>,
+) -> u32 {
+    let count = end - start;
+    if count <= LEAF_CAP {
+        let bbox = Aabb::from_points(&pts[start..end]);
+        nodes.push(Node {
+            bbox,
+            size: count as u64,
+            kind: NodeKind::Leaf {
+                start: start as u32,
+                end: end as u32,
+            },
+        });
+        return (nodes.len() - 1) as u32;
+    }
+    pts[start..end].sort_unstable_by(|a, b| {
+        a[axis]
+            .partial_cmp(&b[axis])
+            .expect("NaN coordinate in R-tree build")
+    });
+    let slabs = FANOUT.min(count.div_ceil(LEAF_CAP)).max(2);
+    let per_slab = count.div_ceil(slabs);
+    let mut children = Vec::with_capacity(slabs);
+    let mut s = start;
+    while s < end {
+        let e = (s + per_slab).min(end);
+        children.push(build_str(pts, s, e, (axis + 1) % D, nodes));
+        s = e;
+    }
+    let bbox = children
+        .iter()
+        .fold(Aabb::empty(), |acc, &c| acc.union(&nodes[c as usize].bbox));
+    let size = children.iter().map(|&c| nodes[c as usize].size).sum();
+    nodes.push(Node {
+        bbox,
+        size,
+        kind: NodeKind::Internal { children },
+    });
+    (nodes.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Point([rng.gen(), rng.gen()])).collect()
+    }
+
+    #[test]
+    fn window_count_matches_brute_force() {
+        let pts = random_points(700, 1);
+        let tree = RTree::build(&pts);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..40 {
+            let a = Point([rng.gen::<f64>(), rng.gen::<f64>()]);
+            let b = Point([rng.gen::<f64>(), rng.gen::<f64>()]);
+            let w = Aabb {
+                lo: a.min(&b),
+                hi: a.max(&b),
+            };
+            let brute = pts.iter().filter(|p| w.contains(p)).count() as u64;
+            assert_eq!(tree.window_count(&w), brute);
+        }
+    }
+
+    #[test]
+    fn range_count_matches_brute_force() {
+        let pts = random_points(600, 3);
+        let tree = RTree::build(&pts);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..30 {
+            let q = Point([rng.gen(), rng.gen()]);
+            let r = rng.gen::<f64>() * 0.4;
+            for m in [Metric::L1, Metric::L2, Metric::Linf] {
+                let brute = pts.iter().filter(|p| m.dist(p, &q) <= r).count() as u64;
+                assert_eq!(tree.range_count(&q, r, m), brute);
+            }
+        }
+    }
+
+    #[test]
+    fn join_count_matches_brute_force() {
+        let a = random_points(250, 5);
+        let b = random_points(350, 6);
+        let ta = RTree::build(&a);
+        let tb = RTree::build(&b);
+        for m in [Metric::L2, Metric::Linf] {
+            for r in [0.02, 0.1, 0.4] {
+                let brute = a
+                    .iter()
+                    .flat_map(|pa| b.iter().map(move |pb| m.dist(pa, pb)))
+                    .filter(|&d| d <= r)
+                    .count() as u64;
+                assert_eq!(ta.join_count(&tb, r, m), brute, "metric {m:?} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_join_matches_brute_force() {
+        let a = random_points(400, 7);
+        let tree = RTree::build(&a);
+        for r in [0.01, 0.08, 0.3] {
+            let mut brute = 0u64;
+            for i in 0..a.len() {
+                for j in (i + 1)..a.len() {
+                    if a[i].dist_linf(&a[j]) <= r {
+                        brute += 1;
+                    }
+                }
+            }
+            assert_eq!(tree.self_join_count(r, Metric::Linf), brute, "r {r}");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_cases() {
+        let empty = RTree::<2>::build(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.window_count(&Aabb::from_point(Point([0.0, 0.0]))), 0);
+        let one = RTree::build(&[Point([0.5, 0.5])]);
+        assert_eq!(one.range_count(&Point([0.5, 0.5]), 0.0, Metric::L2), 1);
+        assert_eq!(one.self_join_count(1.0, Metric::L2), 0);
+        assert_eq!(one.join_count(&empty, 1.0, Metric::L2), 0);
+        // All-identical points.
+        let dup = RTree::build(&vec![Point([0.1, 0.1]); 300]);
+        assert_eq!(dup.self_join_count(0.0, Metric::L2), 300 * 299 / 2);
+    }
+
+    #[test]
+    fn tree_statistics() {
+        let pts = random_points(1000, 9);
+        let tree = RTree::build(&pts);
+        assert_eq!(tree.len(), 1000);
+        let bb = tree.bbox();
+        for p in &pts {
+            assert!(bb.contains(p));
+        }
+    }
+}

@@ -1,0 +1,650 @@
+//! Dynamic R-tree with quadratic-split insertion.
+//!
+//! The STR tree in [`crate::rtree`] is bulk-loaded and immutable — ideal
+//! for analysis passes. A spatial DBMS also needs an *updatable* index;
+//! this is the classic Guttman R-tree: ChooseLeaf descends by least area
+//! enlargement, overflowing nodes split with the quadratic seed heuristic,
+//! and splits propagate upward (growing a new root when the old one
+//! splits). Query algorithms mirror the static tree's.
+
+use sjpl_geom::{Aabb, Metric, Point};
+
+const MAX_ENTRIES: usize = 16;
+const MIN_ENTRIES: usize = 4; // ≈ 40% of MAX, Guttman's recommendation
+
+enum NodeKind<const D: usize> {
+    Leaf(Vec<Point<D>>),
+    Internal(Vec<u32>),
+}
+
+struct Node<const D: usize> {
+    bbox: Aabb<D>,
+    size: u64,
+    kind: NodeKind<D>,
+}
+
+/// An updatable R-tree over `D`-dimensional points.
+pub struct DynRTree<const D: usize> {
+    nodes: Vec<Node<D>>,
+    root: u32,
+    len: usize,
+}
+
+impl<const D: usize> Default for DynRTree<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize> DynRTree<D> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        let root = Node {
+            bbox: Aabb::empty(),
+            size: 0,
+            kind: NodeKind::Leaf(Vec::new()),
+        };
+        DynRTree {
+            nodes: vec![root],
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Builds a tree by inserting every point (insertion order affects the
+    /// internal structure but never query results).
+    pub fn from_points(points: &[Point<D>]) -> Self {
+        let mut t = Self::new();
+        for p in points {
+            t.insert(*p);
+        }
+        t
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bounding box of the data (empty box when empty).
+    pub fn bbox(&self) -> Aabb<D> {
+        self.nodes[self.root as usize].bbox
+    }
+
+    /// Inserts one point. Amortized O(log N) with quadratic-split overflow
+    /// handling.
+    pub fn insert(&mut self, p: Point<D>) {
+        self.len += 1;
+        if let Some((left, right)) = self.insert_rec(self.root, p) {
+            // Root split: grow the tree by one level.
+            let bbox = self.nodes[left as usize]
+                .bbox
+                .union(&self.nodes[right as usize].bbox);
+            let size =
+                self.nodes[left as usize].size + self.nodes[right as usize].size;
+            self.nodes.push(Node {
+                bbox,
+                size,
+                kind: NodeKind::Internal(vec![left, right]),
+            });
+            self.root = (self.nodes.len() - 1) as u32;
+        }
+    }
+
+    /// Inserts into the subtree at `node`; returns the replacement pair if
+    /// the node split (the original node index becomes the left half).
+    fn insert_rec(&mut self, node: u32, p: Point<D>) -> Option<(u32, u32)> {
+        let ni = node as usize;
+        self.nodes[ni].bbox.extend(&p);
+        self.nodes[ni].size += 1;
+        if let NodeKind::Leaf(points) = &mut self.nodes[ni].kind {
+            points.push(p);
+            if points.len() > MAX_ENTRIES {
+                return Some(self.split_leaf(node));
+            }
+            return None;
+        }
+        // ChooseSubtree: least area enlargement, ties by least area.
+        let children: Vec<u32> = match &self.nodes[ni].kind {
+            NodeKind::Internal(c) => c.clone(),
+            NodeKind::Leaf(_) => unreachable!("leaf handled above"),
+        };
+        let mut best = children[0];
+        let mut best_cost = (f64::INFINITY, f64::INFINITY);
+        for &c in &children {
+            let b = &self.nodes[c as usize].bbox;
+            let mut grown = *b;
+            grown.extend(&p);
+            let cost = (area(&grown) - area(b), area(b));
+            if cost < best_cost {
+                best_cost = cost;
+                best = c;
+            }
+        }
+        if let Some((_, new_right)) = self.insert_rec(best, p) {
+            let NodeKind::Internal(children) = &mut self.nodes[ni].kind else {
+                unreachable!("node kind cannot change during child insert");
+            };
+            children.push(new_right);
+            if children.len() > MAX_ENTRIES {
+                return Some(self.split_internal(node));
+            }
+        }
+        None
+    }
+
+    /// Quadratic split of an overflowing leaf. The original node keeps one
+    /// group; the new right node gets the other. Returns `(node, right)`.
+    fn split_leaf(&mut self, node: u32) -> (u32, u32) {
+        let ni = node as usize;
+        let NodeKind::Leaf(points) = std::mem::replace(
+            &mut self.nodes[ni].kind,
+            NodeKind::Leaf(Vec::new()),
+        ) else {
+            unreachable!("split_leaf on internal node");
+        };
+        let (ga, gb) = quadratic_split(points, |p| Aabb::from_point(*p));
+        let bbox_a = Aabb::from_points(&ga);
+        let bbox_b = Aabb::from_points(&gb);
+        self.nodes[ni].bbox = bbox_a;
+        self.nodes[ni].size = ga.len() as u64;
+        self.nodes[ni].kind = NodeKind::Leaf(ga);
+        self.nodes.push(Node {
+            bbox: bbox_b,
+            size: gb.len() as u64,
+            kind: NodeKind::Leaf(gb),
+        });
+        (node, (self.nodes.len() - 1) as u32)
+    }
+
+    /// Quadratic split of an overflowing internal node.
+    fn split_internal(&mut self, node: u32) -> (u32, u32) {
+        let ni = node as usize;
+        let NodeKind::Internal(children) = std::mem::replace(
+            &mut self.nodes[ni].kind,
+            NodeKind::Internal(Vec::new()),
+        ) else {
+            unreachable!("split_internal on leaf");
+        };
+        let boxes: Vec<Aabb<D>> = children
+            .iter()
+            .map(|&c| self.nodes[c as usize].bbox)
+            .collect();
+        let paired: Vec<(u32, Aabb<D>)> = children.into_iter().zip(boxes).collect();
+        let (ga, gb) = quadratic_split(paired, |(_, b)| *b);
+        let summarize = |group: &[(u32, Aabb<D>)], nodes: &[Node<D>]| {
+            let bbox = group
+                .iter()
+                .fold(Aabb::empty(), |acc, (_, b)| acc.union(b));
+            let size = group
+                .iter()
+                .map(|(c, _)| nodes[*c as usize].size)
+                .sum::<u64>();
+            (bbox, size)
+        };
+        let (bbox_a, size_a) = summarize(&ga, &self.nodes);
+        let (bbox_b, size_b) = summarize(&gb, &self.nodes);
+        self.nodes[ni].bbox = bbox_a;
+        self.nodes[ni].size = size_a;
+        self.nodes[ni].kind = NodeKind::Internal(ga.into_iter().map(|(c, _)| c).collect());
+        self.nodes.push(Node {
+            bbox: bbox_b,
+            size: size_b,
+            kind: NodeKind::Internal(gb.into_iter().map(|(c, _)| c).collect()),
+        });
+        (node, (self.nodes.len() - 1) as u32)
+    }
+
+    /// Removes one occurrence of `p` (exact coordinate match). Returns
+    /// `false` when the point is not in the tree.
+    ///
+    /// Follows Guttman's CondenseTree: underflowing nodes along the
+    /// deletion path are dissolved and their remaining points reinserted,
+    /// and the root collapses when it is left with a single child. Arena
+    /// slots of dissolved nodes become unreachable (rebuild via
+    /// [`DynRTree::from_points`] to compact a long-lived tree after heavy
+    /// churn).
+    pub fn remove(&mut self, p: &Point<D>) -> bool {
+        let mut path = Vec::new();
+        if !self.find_leaf(self.root, p, &mut path) {
+            return false;
+        }
+        let leaf = *path.last().expect("find_leaf pushes the leaf");
+        let NodeKind::Leaf(points) = &mut self.nodes[leaf as usize].kind else {
+            unreachable!("find_leaf returns leaves");
+        };
+        let idx = points
+            .iter()
+            .position(|x| x == p)
+            .expect("find_leaf verified membership");
+        points.swap_remove(idx);
+        self.len -= 1;
+
+        // Condense: dissolve underflowing non-root nodes bottom-up,
+        // collecting their points for reinsertion.
+        let mut orphans: Vec<Point<D>> = Vec::new();
+        for i in (1..path.len()).rev() {
+            let node = path[i];
+            let parent = path[i - 1];
+            let under = {
+                let n = &self.nodes[node as usize];
+                match &n.kind {
+                    NodeKind::Leaf(pts) => pts.len() < MIN_ENTRIES,
+                    NodeKind::Internal(cs) => cs.len() < MIN_ENTRIES,
+                }
+            };
+            if under {
+                self.collect_points(node, &mut orphans);
+                let NodeKind::Internal(children) = &mut self.nodes[parent as usize].kind
+                else {
+                    unreachable!("parents on the path are internal");
+                };
+                children.retain(|&c| c != node);
+            }
+        }
+        // Refresh bbox/size along the path (children are now consistent).
+        for &node in path.iter().rev() {
+            self.refresh(node);
+        }
+        // Shrink the root while it is an internal node with one child.
+        loop {
+            let root = self.root as usize;
+            match &self.nodes[root].kind {
+                NodeKind::Internal(children) if children.len() == 1 => {
+                    self.root = children[0];
+                }
+                NodeKind::Internal(children) if children.is_empty() => {
+                    // Everything dissolved; reset to an empty leaf root.
+                    self.nodes[root].kind = NodeKind::Leaf(Vec::new());
+                    self.nodes[root].bbox = Aabb::empty();
+                    self.nodes[root].size = 0;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        // Reinsert orphaned points (len is restored per insert).
+        self.len -= orphans.len();
+        for o in orphans {
+            self.insert(o);
+        }
+        true
+    }
+
+    /// Depth-first search for a leaf containing `p`; fills `path` with the
+    /// node trail (root … leaf) when found.
+    fn find_leaf(&self, node: u32, p: &Point<D>, path: &mut Vec<u32>) -> bool {
+        let n = &self.nodes[node as usize];
+        if !n.bbox.contains(p) {
+            return false;
+        }
+        path.push(node);
+        match &n.kind {
+            NodeKind::Leaf(points) => {
+                if points.iter().any(|x| x == p) {
+                    return true;
+                }
+            }
+            NodeKind::Internal(children) => {
+                for &c in children {
+                    if self.find_leaf(c, p, path) {
+                        return true;
+                    }
+                }
+            }
+        }
+        path.pop();
+        false
+    }
+
+    /// Gathers every point of a subtree.
+    fn collect_points(&self, node: u32, out: &mut Vec<Point<D>>) {
+        match &self.nodes[node as usize].kind {
+            NodeKind::Leaf(points) => out.extend_from_slice(points),
+            NodeKind::Internal(children) => {
+                for &c in children.clone().iter() {
+                    self.collect_points(c, out);
+                }
+            }
+        }
+    }
+
+    /// Recomputes one node's bbox and size from its (consistent) children
+    /// or points.
+    fn refresh(&mut self, node: u32) {
+        let ni = node as usize;
+        match &self.nodes[ni].kind {
+            NodeKind::Leaf(points) => {
+                let bbox = Aabb::from_points(points);
+                let size = points.len() as u64;
+                self.nodes[ni].bbox = bbox;
+                self.nodes[ni].size = size;
+            }
+            NodeKind::Internal(children) => {
+                let children = children.clone();
+                let mut bbox = Aabb::empty();
+                let mut size = 0;
+                for &c in &children {
+                    bbox = bbox.union(&self.nodes[c as usize].bbox);
+                    size += self.nodes[c as usize].size;
+                }
+                self.nodes[ni].bbox = bbox;
+                self.nodes[ni].size = size;
+            }
+        }
+    }
+
+    /// Counts points inside the query window (inclusive bounds).
+    pub fn window_count(&self, w: &Aabb<D>) -> u64 {
+        self.window_rec(self.root, w)
+    }
+
+    fn window_rec(&self, node: u32, w: &Aabb<D>) -> u64 {
+        let n = &self.nodes[node as usize];
+        if n.size == 0 || !n.bbox.intersects(w) {
+            return 0;
+        }
+        if w.contains(&n.bbox.lo) && w.contains(&n.bbox.hi) {
+            return n.size;
+        }
+        match &n.kind {
+            NodeKind::Leaf(points) => points.iter().filter(|p| w.contains(p)).count() as u64,
+            NodeKind::Internal(children) => {
+                children.iter().map(|&c| self.window_rec(c, w)).sum()
+            }
+        }
+    }
+
+    /// Counts indexed points within distance `r` of `q`.
+    pub fn range_count(&self, q: &Point<D>, r: f64, metric: Metric) -> u64 {
+        if r < 0.0 {
+            return 0;
+        }
+        self.range_rec(self.root, q, r, metric)
+    }
+
+    fn range_rec(&self, node: u32, q: &Point<D>, r: f64, metric: Metric) -> u64 {
+        let n = &self.nodes[node as usize];
+        if n.size == 0 || n.bbox.min_dist(q, metric) > r {
+            return 0;
+        }
+        if n.bbox.max_dist(q, metric) <= r {
+            return n.size;
+        }
+        match &n.kind {
+            NodeKind::Leaf(points) => {
+                let thresh = metric.rdist_threshold(r);
+                points.iter().filter(|p| metric.rdist(p, q) <= thresh).count() as u64
+            }
+            NodeKind::Internal(children) => children
+                .iter()
+                .map(|&c| self.range_rec(c, q, r, metric))
+                .sum(),
+        }
+    }
+}
+
+fn area<const D: usize>(b: &Aabb<D>) -> f64 {
+    (0..D).map(|i| b.extent(i)).product()
+}
+
+/// Guttman's quadratic split: pick the pair of entries whose combined box
+/// wastes the most area as seeds, then greedily assign the rest by least
+/// enlargement, honoring the minimum fill.
+fn quadratic_split<T, const D: usize>(
+    entries: Vec<T>,
+    bbox_of: impl Fn(&T) -> Aabb<D>,
+) -> (Vec<T>, Vec<T>) {
+    debug_assert!(entries.len() >= 2);
+    // Seed selection.
+    let mut worst = (0usize, 1usize);
+    let mut worst_waste = f64::NEG_INFINITY;
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let bi = bbox_of(&entries[i]);
+            let bj = bbox_of(&entries[j]);
+            let waste = area(&bi.union(&bj)) - area(&bi) - area(&bj);
+            if waste > worst_waste {
+                worst_waste = waste;
+                worst = (i, j);
+            }
+        }
+    }
+    let mut ga: Vec<T> = Vec::new();
+    let mut gb: Vec<T> = Vec::new();
+    let mut box_a = Aabb::empty();
+    let mut box_b = Aabb::empty();
+    let total = entries.len();
+    for (idx, e) in entries.into_iter().enumerate() {
+        let b = bbox_of(&e);
+        if idx == worst.0 {
+            box_a = box_a.union(&b);
+            ga.push(e);
+            continue;
+        }
+        if idx == worst.1 {
+            box_b = box_b.union(&b);
+            gb.push(e);
+            continue;
+        }
+        // Honor minimum fill: when the underfilled group needs every
+        // remaining entry (this one included) to reach MIN_ENTRIES, it
+        // gets them unconditionally.
+        let remaining = total - idx;
+        if ga.len() < MIN_ENTRIES && remaining <= MIN_ENTRIES - ga.len() {
+            box_a = box_a.union(&b);
+            ga.push(e);
+            continue;
+        }
+        if gb.len() < MIN_ENTRIES && remaining <= MIN_ENTRIES - gb.len() {
+            box_b = box_b.union(&b);
+            gb.push(e);
+            continue;
+        }
+        let grow_a = area(&box_a.union(&b)) - area(&box_a);
+        let grow_b = area(&box_b.union(&b)) - area(&box_b);
+        if grow_a < grow_b || (grow_a == grow_b && ga.len() <= gb.len()) {
+            box_a = box_a.union(&b);
+            ga.push(e);
+        } else {
+            box_b = box_b.union(&b);
+            gb.push(e);
+        }
+    }
+    (ga, gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Point([rng.gen(), rng.gen()])).collect()
+    }
+
+    #[test]
+    fn incremental_range_count_matches_brute_force() {
+        let pts = random_points(800, 1);
+        let tree = DynRTree::from_points(&pts);
+        assert_eq!(tree.len(), 800);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..40 {
+            let q = Point([rng.gen(), rng.gen()]);
+            let r = rng.gen::<f64>() * 0.5;
+            for m in [Metric::L1, Metric::L2, Metric::Linf] {
+                let brute = pts.iter().filter(|p| m.dist(p, &q) <= r).count() as u64;
+                assert_eq!(tree.range_count(&q, r, m), brute, "m {m:?} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_count_matches_brute_force() {
+        let pts = random_points(600, 3);
+        let tree = DynRTree::from_points(&pts);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..40 {
+            let a = Point([rng.gen::<f64>(), rng.gen::<f64>()]);
+            let b = Point([rng.gen::<f64>(), rng.gen::<f64>()]);
+            let w = Aabb {
+                lo: a.min(&b),
+                hi: a.max(&b),
+            };
+            let brute = pts.iter().filter(|p| w.contains(p)).count() as u64;
+            assert_eq!(tree.window_count(&w), brute);
+        }
+    }
+
+    #[test]
+    fn counts_stay_correct_while_growing() {
+        // Interleave inserts and queries — the index must be correct at
+        // every size, not just after bulk construction.
+        let pts = random_points(300, 5);
+        let mut tree = DynRTree::new();
+        let q = Point([0.5, 0.5]);
+        for (i, p) in pts.iter().enumerate() {
+            tree.insert(*p);
+            if i % 37 == 0 {
+                let brute = pts[..=i]
+                    .iter()
+                    .filter(|x| x.dist_linf(&q) <= 0.25)
+                    .count() as u64;
+                assert_eq!(tree.range_count(&q, 0.25, Metric::Linf), brute, "after {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_static_str_tree_results() {
+        let pts = random_points(500, 6);
+        let dynamic = DynRTree::from_points(&pts);
+        let static_tree = crate::RTree::build(&pts);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let q = Point([rng.gen(), rng.gen()]);
+            let r = rng.gen::<f64>() * 0.3;
+            assert_eq!(
+                dynamic.range_count(&q, r, Metric::L2),
+                static_tree.range_count(&q, r, Metric::L2)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_trees() {
+        let t = DynRTree::<2>::new();
+        assert!(t.is_empty());
+        assert_eq!(t.range_count(&Point([0.0, 0.0]), 1.0, Metric::L2), 0);
+        assert_eq!(t.window_count(&Aabb::from_point(Point([0.0, 0.0]))), 0);
+        let one = DynRTree::from_points(&[Point([0.5, 0.5])]);
+        assert_eq!(one.range_count(&Point([0.5, 0.5]), 0.0, Metric::L2), 1);
+    }
+
+    #[test]
+    fn degenerate_duplicate_points() {
+        let pts = vec![Point([0.25, 0.25]); 200];
+        let tree = DynRTree::from_points(&pts);
+        assert_eq!(tree.len(), 200);
+        assert_eq!(tree.range_count(&Point([0.25, 0.25]), 0.0, Metric::Linf), 200);
+        assert_eq!(tree.range_count(&Point([0.9, 0.9]), 0.1, Metric::Linf), 0);
+    }
+
+    #[test]
+    fn remove_then_query_matches_brute_force() {
+        let pts = random_points(400, 9);
+        let mut tree = DynRTree::from_points(&pts);
+        // Remove every third point; queries must match the surviving set.
+        let mut survivors = Vec::new();
+        for (i, p) in pts.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(tree.remove(p), "point {i} not found for removal");
+            } else {
+                survivors.push(*p);
+            }
+        }
+        assert_eq!(tree.len(), survivors.len());
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..30 {
+            let q = Point([rng.gen(), rng.gen()]);
+            let r = rng.gen::<f64>() * 0.4;
+            let brute = survivors.iter().filter(|p| p.dist_linf(&q) <= r).count() as u64;
+            assert_eq!(tree.range_count(&q, r, Metric::Linf), brute);
+        }
+    }
+
+    #[test]
+    fn remove_missing_point_is_a_noop() {
+        let pts = random_points(50, 11);
+        let mut tree = DynRTree::from_points(&pts);
+        assert!(!tree.remove(&Point([5.0, 5.0])));
+        assert_eq!(tree.len(), 50);
+    }
+
+    #[test]
+    fn remove_everything_leaves_a_working_empty_tree() {
+        let pts = random_points(200, 12);
+        let mut tree = DynRTree::from_points(&pts);
+        for p in &pts {
+            assert!(tree.remove(p));
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.range_count(&Point([0.5, 0.5]), 10.0, Metric::L2), 0);
+        // And it accepts new points again.
+        tree.insert(Point([0.1, 0.2]));
+        assert_eq!(tree.range_count(&Point([0.1, 0.2]), 0.0, Metric::L2), 1);
+    }
+
+    #[test]
+    fn remove_one_of_several_duplicates() {
+        let mut tree = DynRTree::from_points(&vec![Point([0.5, 0.5]); 30]);
+        assert!(tree.remove(&Point([0.5, 0.5])));
+        assert_eq!(tree.len(), 29);
+        assert_eq!(tree.range_count(&Point([0.5, 0.5]), 0.0, Metric::L2), 29);
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        // Alternating insert/remove waves; cross-check against a Vec model.
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut tree = DynRTree::new();
+        let mut model: Vec<Point<2>> = Vec::new();
+        for wave in 0..6 {
+            for _ in 0..120 {
+                let p = Point([rng.gen(), rng.gen()]);
+                tree.insert(p);
+                model.push(p);
+            }
+            // Remove a random half of the model.
+            for _ in 0..60 {
+                let i = rng.gen_range(0..model.len());
+                let p = model.swap_remove(i);
+                assert!(tree.remove(&p), "wave {wave}");
+            }
+            let q = Point([rng.gen(), rng.gen()]);
+            let r = 0.2;
+            let brute = model.iter().filter(|p| p.dist_linf(&q) <= r).count() as u64;
+            assert_eq!(tree.range_count(&q, r, Metric::Linf), brute, "wave {wave}");
+            assert_eq!(tree.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn sorted_insertion_order_still_works() {
+        // Sorted insertion is the adversarial order for R-trees (long thin
+        // boxes); correctness must be unaffected.
+        let mut pts = random_points(500, 8);
+        pts.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+        let tree = DynRTree::from_points(&pts);
+        let q = Point([0.3, 0.7]);
+        let brute = pts.iter().filter(|p| p.dist_linf(&q) <= 0.2).count() as u64;
+        assert_eq!(tree.range_count(&q, 0.2, Metric::Linf), brute);
+    }
+}

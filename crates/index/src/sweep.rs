@@ -1,0 +1,156 @@
+//! Plane-sweep distance join.
+//!
+//! The one-dimensional "band join" generalized: sort both sets by their
+//! first coordinate; for each point of `A`, only points of `B` whose first
+//! coordinate lies within `±r` can join (for *every* Lp metric a single
+//! axis difference lower-bounds the distance). A sliding window over the
+//! sorted `B` enumerates exactly those candidates. Excellent in low
+//! dimensions where the first axis is selective; degrades gracefully to the
+//! quadratic scan when it is not.
+
+use sjpl_geom::{Metric, Point};
+
+fn sorted_by_first<const D: usize>(pts: &[Point<D>]) -> Vec<Point<D>> {
+    let mut v = pts.to_vec();
+    v.sort_unstable_by(|a, b| {
+        a[0].partial_cmp(&b[0])
+            .expect("NaN coordinate in plane sweep")
+    });
+    v
+}
+
+/// Counts ordered pairs `(a, b)` with `dist(a, b) ≤ r` by plane sweep.
+pub fn sweep_join_count<const D: usize>(
+    a: &[Point<D>],
+    b: &[Point<D>],
+    r: f64,
+    metric: Metric,
+) -> u64 {
+    if a.is_empty() || b.is_empty() || r < 0.0 {
+        return 0;
+    }
+    let a = sorted_by_first(a);
+    let b = sorted_by_first(b);
+    let thresh = metric.rdist_threshold(r);
+    let mut count = 0u64;
+    let mut lo = 0usize;
+    for pa in &a {
+        let x = pa[0];
+        while lo < b.len() && b[lo][0] < x - r {
+            lo += 1;
+        }
+        for pb in &b[lo..] {
+            if pb[0] > x + r {
+                break;
+            }
+            if metric.rdist(pa, pb) <= thresh {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Counts unordered pairs within `r` in one set (self-pairs omitted) by
+/// plane sweep.
+pub fn sweep_self_join_count<const D: usize>(a: &[Point<D>], r: f64, metric: Metric) -> u64 {
+    if a.len() < 2 || r < 0.0 {
+        return 0;
+    }
+    let a = sorted_by_first(a);
+    let thresh = metric.rdist_threshold(r);
+    let mut count = 0u64;
+    for i in 0..a.len() {
+        let x = a[i][0];
+        for pj in &a[i + 1..] {
+            if pj[0] > x + r {
+                break;
+            }
+            if metric.rdist(&a[i], pj) <= thresh {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Point([rng.gen(), rng.gen()])).collect()
+    }
+
+    #[test]
+    fn cross_matches_brute_force() {
+        let a = random_points(300, 1);
+        let b = random_points(280, 2);
+        for m in [Metric::L1, Metric::L2, Metric::Linf] {
+            for r in [0.01, 0.07, 0.3, 1.5] {
+                let brute = a
+                    .iter()
+                    .flat_map(|pa| b.iter().map(move |pb| m.dist(pa, pb)))
+                    .filter(|&d| d <= r)
+                    .count() as u64;
+                assert_eq!(sweep_join_count(&a, &b, r, m), brute, "m {m:?} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_matches_brute_force() {
+        let a = random_points(350, 3);
+        for r in [0.02, 0.12, 0.6] {
+            let mut brute = 0u64;
+            for i in 0..a.len() {
+                for j in (i + 1)..a.len() {
+                    if a[i].dist_l1(&a[j]) <= r {
+                        brute += 1;
+                    }
+                }
+            }
+            assert_eq!(sweep_self_join_count(&a, r, Metric::L1), brute, "r {r}");
+        }
+    }
+
+    #[test]
+    fn duplicate_x_coordinates() {
+        // Many points sharing x: the window must not skip equal keys.
+        let a: Vec<Point<2>> = (0..50).map(|i| Point([0.5, i as f64 * 0.01])).collect();
+        let brute = {
+            let mut c = 0u64;
+            for i in 0..a.len() {
+                for j in (i + 1)..a.len() {
+                    if a[i].dist_linf(&a[j]) <= 0.05 {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        };
+        assert_eq!(sweep_self_join_count(&a, 0.05, Metric::Linf), brute);
+    }
+
+    #[test]
+    fn empty_and_negative() {
+        let a = random_points(10, 4);
+        let none: Vec<Point<2>> = vec![];
+        assert_eq!(sweep_join_count(&none, &a, 1.0, Metric::L2), 0);
+        assert_eq!(sweep_join_count(&a, &none, 1.0, Metric::L2), 0);
+        assert_eq!(sweep_join_count(&a, &a, -0.5, Metric::L2), 0);
+        assert_eq!(sweep_self_join_count(&none, 1.0, Metric::L2), 0);
+    }
+
+    #[test]
+    fn input_order_does_not_matter() {
+        let mut a = random_points(120, 5);
+        let b = random_points(100, 6);
+        let before = sweep_join_count(&a, &b, 0.2, Metric::L2);
+        a.reverse();
+        assert_eq!(sweep_join_count(&a, &b, 0.2, Metric::L2), before);
+    }
+}

@@ -1,0 +1,354 @@
+//! Z-order (Morton-curve) index.
+//!
+//! The earliest spatial-join machinery the paper's related work cites is
+//! Orenstein's z-order decomposition ([ORE 86]): map each point to the
+//! bit-interleaving of its quantized coordinates, keep the keys sorted, and
+//! answer spatial queries by walking the implicit quadtree that the key
+//! prefixes encode — contiguous key ranges correspond to aligned cells, so
+//! a sorted array plus binary search replaces a tree of pointers.
+//!
+//! Queries use the same two-sided pruning as the other indexes: a cell
+//! whose box is farther than `r` from the query contributes nothing, one
+//! entirely within `r` contributes its full key-range length via two binary
+//! searches, and only boundary cells descend to the points.
+
+use sjpl_geom::{Aabb, Metric, Point};
+
+/// Bits per axis: `D · BITS_FOR(D)` must fit a `u128` key.
+const fn bits_for(d: usize) -> u32 {
+    let b = 128 / d;
+    if b > 21 {
+        21 // 2 million cells per axis is plenty; keeps recursion shallow
+    } else {
+        b as u32
+    }
+}
+
+/// A static z-order index over `D`-dimensional points.
+pub struct ZOrderIndex<const D: usize> {
+    /// Sorted Morton keys, aligned with `points`.
+    keys: Vec<u128>,
+    points: Vec<Point<D>>,
+    root: Aabb<D>,
+    cell: f64,
+    bits: u32,
+}
+
+impl<const D: usize> ZOrderIndex<D> {
+    /// Builds an index over a copy of `points`. Accepts the empty set.
+    pub fn build(points: &[Point<D>]) -> Self {
+        let bits = bits_for(D);
+        let bbox = Aabb::from_points(points);
+        let (root, cell) = if points.is_empty() || bbox.longest_extent() == 0.0 {
+            // Degenerate: all coincident or empty; one-cell grid.
+            (
+                Aabb {
+                    lo: bbox.lo,
+                    hi: bbox.lo + Point::splat(1.0),
+                },
+                1.0,
+            )
+        } else {
+            // Pad so boundary points quantize strictly inside.
+            let extent = bbox.longest_extent() * (1.0 + 1e-12);
+            let cells = (1u64 << bits) as f64;
+            let cell = extent / cells;
+            (
+                Aabb {
+                    lo: bbox.lo,
+                    hi: bbox.lo + Point::splat(extent),
+                },
+                cell,
+            )
+        };
+        let mut keyed: Vec<(u128, Point<D>)> = points
+            .iter()
+            .map(|p| (morton_key::<D>(p, &root.lo, cell, bits), *p))
+            .collect();
+        keyed.sort_unstable_by_key(|&(k, _)| k);
+        let keys = keyed.iter().map(|&(k, _)| k).collect();
+        let points = keyed.into_iter().map(|(_, p)| p).collect();
+        ZOrderIndex {
+            keys,
+            points,
+            root,
+            cell,
+            bits,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Bits of quantization per axis.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Side length of the finest quantization cell.
+    pub fn cell_side(&self) -> f64 {
+        self.cell
+    }
+
+    /// Counts indexed points within distance `r` of `q` under `metric`.
+    pub fn range_count(&self, q: &Point<D>, r: f64, metric: Metric) -> u64 {
+        if self.points.is_empty() || r < 0.0 {
+            return 0;
+        }
+        self.count_rec(0, self.bits, self.root, q, r, metric)
+    }
+
+    /// Recursion over the implicit quadtree: `prefix` is the Morton prefix
+    /// (depth `bits − level`), covering the sorted-key interval
+    /// `[prefix << (level·D), (prefix+1) << (level·D))`.
+    fn count_rec(
+        &self,
+        prefix: u128,
+        level: u32,
+        cell_box: Aabb<D>,
+        q: &Point<D>,
+        r: f64,
+        metric: Metric,
+    ) -> u64 {
+        if cell_box.min_dist(q, metric) > r {
+            return 0;
+        }
+        // Key interval covered by this prefix: [prefix·2^shift, (prefix+1)·2^shift).
+        // When D·bits = 128 the root's (and each level's last) upper bound
+        // is 2^128, which does not fit a u128 — detect the overflow and use
+        // "end of array" instead.
+        let shift = level * D as u32;
+        let start = if shift >= 128 {
+            0
+        } else {
+            let key_lo = prefix << shift;
+            self.keys.partition_point(|&k| k < key_lo)
+        };
+        let hi_overflows = shift >= 128 || (prefix + 1).leading_zeros() < shift;
+        let end = if hi_overflows {
+            self.keys.len()
+        } else {
+            let key_hi = (prefix + 1) << shift;
+            self.keys.partition_point(|&k| k < key_hi)
+        };
+        if start == end {
+            return 0;
+        }
+        if cell_box.max_dist(q, metric) <= r {
+            return (end - start) as u64;
+        }
+        if level == 0 || end - start <= 16 {
+            let thresh = metric.rdist_threshold(r);
+            return self.points[start..end]
+                .iter()
+                .filter(|p| metric.rdist(p, q) <= thresh)
+                .count() as u64;
+        }
+        // Descend into the 2^D children.
+        let mut total = 0;
+        for child in 0..(1u128 << D) {
+            let child_box = split_box(&cell_box, child as usize);
+            total += self.count_rec(
+                (prefix << D) | child,
+                level - 1,
+                child_box,
+                q,
+                r,
+                metric,
+            );
+        }
+        total
+    }
+}
+
+/// Quantizes and bit-interleaves a point into its Morton key.
+fn morton_key<const D: usize>(p: &Point<D>, lo: &Point<D>, cell: f64, bits: u32) -> u128 {
+    let max_idx = (1u64 << bits) - 1;
+    let mut idx = [0u64; D];
+    for i in 0..D {
+        let v = ((p[i] - lo[i]) / cell) as u64;
+        idx[i] = v.min(max_idx);
+    }
+    let mut key = 0u128;
+    for bit in (0..bits).rev() {
+        for (axis, &v) in idx.iter().enumerate() {
+            key = (key << 1) | (((v >> bit) & 1) as u128);
+            let _ = axis;
+        }
+    }
+    key
+}
+
+/// The sub-box of `parent` addressed by one Morton digit (`D` bits, the
+/// bit for axis `a` at position `D−1−a`, matching [`morton_key`]'s
+/// interleaving order).
+fn split_box<const D: usize>(parent: &Aabb<D>, child: usize) -> Aabb<D> {
+    let mut lo = parent.lo;
+    let mut hi = parent.hi;
+    for axis in 0..D {
+        let mid = 0.5 * (parent.lo[axis] + parent.hi[axis]);
+        let high_half = (child >> (D - 1 - axis)) & 1 == 1;
+        if high_half {
+            lo[axis] = mid;
+        } else {
+            hi[axis] = mid;
+        }
+    }
+    Aabb { lo, hi }
+}
+
+/// Z-order distance join: counts ordered pairs within `r` by probing a
+/// z-index on `B` with every point of `A`.
+pub fn zorder_join_count<const D: usize>(
+    a: &[Point<D>],
+    b: &[Point<D>],
+    r: f64,
+    metric: Metric,
+) -> u64 {
+    if a.is_empty() || b.is_empty() || r < 0.0 {
+        return 0;
+    }
+    let idx = ZOrderIndex::build(b);
+    a.iter().map(|p| idx.range_count(p, r, metric)).sum()
+}
+
+/// Z-order self join: unordered pairs within `r`, self-pairs omitted.
+pub fn zorder_self_join_count<const D: usize>(a: &[Point<D>], r: f64, metric: Metric) -> u64 {
+    if a.len() < 2 || r < 0.0 {
+        return 0;
+    }
+    let idx = ZOrderIndex::build(a);
+    let ordered: u64 = a.iter().map(|p| idx.range_count(p, r, metric)).sum();
+    (ordered - a.len() as u64) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point([rng.gen::<f64>() * 10.0 - 5.0, rng.gen::<f64>() * 10.0 - 5.0]))
+            .collect()
+    }
+
+    #[test]
+    fn morton_key_orders_quadrants() {
+        // 1-bit-per-axis intuition: (lo,lo) < (lo,hi) < (hi,lo) < (hi,hi)
+        // under the axis-0-first interleaving.
+        let lo = Point([0.0, 0.0]);
+        let k = |x: f64, y: f64| morton_key::<2>(&Point([x, y]), &lo, 0.5, 1);
+        assert!(k(0.1, 0.1) < k(0.1, 0.9));
+        assert!(k(0.1, 0.9) < k(0.9, 0.1));
+        assert!(k(0.9, 0.1) < k(0.9, 0.9));
+    }
+
+    #[test]
+    fn split_box_matches_key_interleaving() {
+        // A point quantized into child c must lie inside split_box(.., c).
+        let parent = Aabb {
+            lo: Point([0.0, 0.0]),
+            hi: Point([1.0, 1.0]),
+        };
+        for &(x, y) in &[(0.2, 0.3), (0.2, 0.8), (0.7, 0.3), (0.9, 0.9)] {
+            let p = Point([x, y]);
+            let key = morton_key::<2>(&p, &parent.lo, 0.5, 1);
+            let child = key as usize; // 1 bit per axis ⇒ key is the digit
+            assert!(
+                split_box(&parent, child).contains(&p),
+                "({x},{y}) not in child {child}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_count_matches_brute_force() {
+        let pts = random_points(600, 1);
+        let idx = ZOrderIndex::build(&pts);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..40 {
+            let q = Point([rng.gen::<f64>() * 10.0 - 5.0, rng.gen::<f64>() * 10.0 - 5.0]);
+            let r = rng.gen::<f64>() * 2.0;
+            for m in [Metric::L1, Metric::L2, Metric::Linf] {
+                let brute = pts.iter().filter(|p| m.dist(p, &q) <= r).count() as u64;
+                assert_eq!(idx.range_count(&q, r, m), brute, "m {m:?} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_counts_match_brute_force() {
+        let a = random_points(250, 3);
+        let b = random_points(300, 4);
+        for m in [Metric::L2, Metric::Linf] {
+            for r in [0.1, 0.8, 3.0] {
+                let brute = a
+                    .iter()
+                    .flat_map(|pa| b.iter().map(move |pb| m.dist(pa, pb)))
+                    .filter(|&d| d <= r)
+                    .count() as u64;
+                assert_eq!(zorder_join_count(&a, &b, r, m), brute, "m {m:?} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_join_matches_brute_force() {
+        let a = random_points(400, 5);
+        for r in [0.05, 0.5, 2.0] {
+            let mut brute = 0u64;
+            for i in 0..a.len() {
+                for j in (i + 1)..a.len() {
+                    if a[i].dist_linf(&a[j]) <= r {
+                        brute += 1;
+                    }
+                }
+            }
+            assert_eq!(zorder_self_join_count(&a, r, Metric::Linf), brute, "r {r}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = ZOrderIndex::<2>::build(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.range_count(&Point([0.0, 0.0]), 1.0, Metric::L2), 0);
+        // All-coincident points.
+        let dup = vec![Point([3.0, 3.0]); 50];
+        let idx = ZOrderIndex::build(&dup);
+        assert_eq!(idx.range_count(&Point([3.0, 3.0]), 0.0, Metric::L2), 50);
+        assert_eq!(zorder_self_join_count(&dup, 0.0, Metric::L2), 50 * 49 / 2);
+    }
+
+    #[test]
+    fn high_dimension_bits_shrink_but_work() {
+        // 16-d: 8 bits per axis. Counts must still be exact.
+        let mut rng = StdRng::seed_from_u64(6);
+        let pts: Vec<Point<16>> = (0..200)
+            .map(|_| {
+                let mut c = [0.0; 16];
+                for v in c.iter_mut() {
+                    *v = rng.gen();
+                }
+                Point(c)
+            })
+            .collect();
+        let idx = ZOrderIndex::build(&pts);
+        assert_eq!(idx.bits(), 8);
+        let q = pts[0];
+        for r in [0.1, 0.5, 2.0] {
+            let brute = pts.iter().filter(|p| p.dist_linf(&q) <= r).count() as u64;
+            assert_eq!(idx.range_count(&q, r, Metric::Linf), brute);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Error metrics for selectivity-estimation accuracy.
+//!
+//! Table 4 of the paper reports the **geometric average of the relative
+//! error** of the selectivity estimates over several radii — geometric
+//! rather than arithmetic, because relative errors at different radii span
+//! orders of magnitude and the paper wants a multiplicative summary.
+
+/// Relative error `|estimate − actual| / actual`.
+///
+/// Returns `NaN` when `actual` is zero and the estimate is not (the error is
+/// unbounded); exact zero-on-zero is a perfect estimate (0.0). Callers that
+/// aggregate should filter radii with zero true counts first — the paper
+/// only evaluates radii inside the usable range, where `PC(r) > 0`.
+#[inline]
+pub fn relative_error(estimate: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::NAN
+        }
+    } else {
+        (estimate - actual).abs() / actual.abs()
+    }
+}
+
+/// Geometric mean of a sequence of non-negative values (Table 4's
+/// aggregation). Zero values are clamped to `floor` (default use passes a
+/// tiny positive number) so a single perfect estimate does not collapse the
+/// mean to zero; `None` for an empty iterator.
+pub fn geometric_mean(values: impl IntoIterator<Item = f64>, floor: f64) -> Option<f64> {
+    let mut sum_ln = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        debug_assert!(!v.is_nan(), "NaN passed to geometric_mean");
+        let v = v.max(floor);
+        sum_ln += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((sum_ln / n as f64).exp())
+    }
+}
+
+/// Geometric average of the relative errors of `(estimate, actual)` pairs,
+/// skipping pairs whose actual value is zero. This is Table 4's metric.
+pub fn geometric_avg_relative_error<I>(pairs: I) -> Option<f64>
+where
+    I: IntoIterator<Item = (f64, f64)>,
+{
+    let errs: Vec<f64> = pairs
+        .into_iter()
+        .filter(|&(_, actual)| actual != 0.0)
+        .map(|(e, a)| relative_error(e, a))
+        .collect();
+    geometric_mean(errs, 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basic() {
+        assert_eq!(relative_error(110.0, 100.0), 0.1);
+        assert_eq!(relative_error(90.0, 100.0), 0.1);
+        assert_eq!(relative_error(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn relative_error_zero_actual() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn relative_error_negative_actual_uses_magnitude() {
+        assert_eq!(relative_error(-90.0, -100.0), 0.1);
+    }
+
+    #[test]
+    fn geometric_mean_matches_hand_value() {
+        // gm(1, 100) = 10
+        let gm = geometric_mean([1.0, 100.0], 1e-12).unwrap();
+        assert!((gm - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_empty_is_none() {
+        assert!(geometric_mean(std::iter::empty(), 1e-12).is_none());
+    }
+
+    #[test]
+    fn geometric_mean_clamps_zeros() {
+        let gm = geometric_mean([0.0, 1.0], 1e-6).unwrap();
+        assert!((gm - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table4_metric_skips_zero_actuals() {
+        let pairs = [(10.0, 0.0), (110.0, 100.0), (90.0, 100.0)];
+        let gm = geometric_avg_relative_error(pairs).unwrap();
+        assert!((gm - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table4_metric_all_zero_actuals_is_none() {
+        assert!(geometric_avg_relative_error([(1.0, 0.0)]).is_none());
+    }
+}

@@ -1,0 +1,75 @@
+//! # sjpl-stats — statistics layer
+//!
+//! Support crate for the SJPL workspace (reproduction of *"Spatial Join
+//! Selectivity Using Power Laws"*, SIGMOD 2000). Everything the paper's
+//! evaluation pipeline needs that is statistics rather than geometry:
+//!
+//! * [`LineFit`] / [`fit_line`] — ordinary least-squares line fitting with
+//!   the correlation coefficient the paper reports ("at least 0.995").
+//! * [`LogLogFit`] / [`fit_loglog`] — power-law fitting in log-log space,
+//!   with automatic *usable-range* selection, because the paper fits "for a
+//!   suitable range of scales" rather than the whole plot.
+//! * [`LogHistogram`] — log-spaced distance histograms; one quadratic pass
+//!   over pair distances yields `PC(r)` at every radius at once.
+//! * [`sampling`] — Bernoulli and fixed-size sampling (Observation 3 studies
+//!   sampling-invariance at 20/10/5%).
+//! * [`error`] — relative error and its geometric average (Table 4's metric).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+mod histogram;
+mod loglog;
+mod regression;
+pub mod sampling;
+
+pub use histogram::LogHistogram;
+pub use loglog::{fit_loglog, fit_loglog_full_range, FitOptions, LogLogFit};
+pub use regression::{fit_line, LineFit};
+
+use std::fmt;
+
+/// Errors from the statistics layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// Fewer data points than the operation requires.
+    TooFewPoints {
+        /// Points provided.
+        found: usize,
+        /// Minimum points required.
+        needed: usize,
+    },
+    /// `xs` and `ys` had different lengths.
+    LengthMismatch,
+    /// The x values have zero variance — a line fit is undefined.
+    DegenerateX,
+    /// A log-log fit was asked to include a non-positive or non-finite value.
+    NonPositive {
+        /// The offending value.
+        value: f64,
+    },
+    /// A probability or rate was outside `[0, 1]`.
+    BadRate {
+        /// The offending rate.
+        rate: f64,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::TooFewPoints { found, needed } => {
+                write!(f, "need at least {needed} points, got {found}")
+            }
+            StatsError::LengthMismatch => write!(f, "x and y slices have different lengths"),
+            StatsError::DegenerateX => write!(f, "x values are all equal; line fit undefined"),
+            StatsError::NonPositive { value } => {
+                write!(f, "log-log fit requires positive finite values, got {value}")
+            }
+            StatsError::BadRate { rate } => write!(f, "rate {rate} outside [0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}

@@ -1,0 +1,251 @@
+//! Ordinary least-squares line fitting.
+
+use crate::StatsError;
+
+/// The result of fitting `y ≈ slope·x + intercept` by least squares.
+///
+/// The paper reports the Pearson correlation coefficient of its PC-plot fits
+/// ("the correlation coefficient of the fit is at least 0.995"), so we carry
+/// it here along with the residual summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope. In log-log space this is the power-law exponent.
+    pub slope: f64,
+    /// Fitted intercept. In log-log space this is `log10(K)`.
+    pub intercept: f64,
+    /// Pearson correlation coefficient `r` in `[-1, 1]`.
+    pub correlation: f64,
+    /// Coefficient of determination `r²`.
+    pub r_squared: f64,
+    /// Root-mean-square residual of `y` about the fitted line.
+    pub rmse: f64,
+    /// Number of points used in the fit.
+    pub n: usize,
+}
+
+impl LineFit {
+    /// Predicted `y` at `x`.
+    #[inline]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits a least-squares line through `(xs[i], ys[i])`.
+///
+/// # Errors
+/// * [`StatsError::LengthMismatch`] if the slices differ in length,
+/// * [`StatsError::TooFewPoints`] if fewer than two points are given,
+/// * [`StatsError::DegenerateX`] if all `x` are identical.
+pub fn fit_line(xs: &[f64], ys: &[f64]) -> Result<LineFit, StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch);
+    }
+    let n = xs.len();
+    if n < 2 {
+        return Err(StatsError::TooFewPoints {
+            found: n,
+            needed: 2,
+        });
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx == 0.0 {
+        return Err(StatsError::DegenerateX);
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    // Perfectly constant y: define the fit as a flat line with r = 1
+    // ("perfect" fit with zero residual) — this happens in practice when a
+    // PC-plot saturates at N·M pairs for all large radii.
+    let (correlation, r_squared, rmse) = if syy == 0.0 {
+        (1.0, 1.0, 0.0)
+    } else {
+        let r = sxy / (sxx * syy).sqrt();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys.iter())
+            .map(|(&x, &y)| {
+                let e = y - (slope * x + intercept);
+                e * e
+            })
+            .sum();
+        (r, r * r, (ss_res / nf).sqrt())
+    };
+    Ok(LineFit {
+        slope,
+        intercept,
+        correlation,
+        r_squared,
+        rmse,
+        n,
+    })
+}
+
+/// Incremental accumulator for line fits over sliding windows.
+///
+/// The usable-range search in [`crate::fit_loglog`] evaluates O(n²) windows;
+/// with this accumulator each window costs O(1) amortized instead of O(n).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct RunningFit {
+    n: f64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    syy: f64,
+    sxy: f64,
+}
+
+impl RunningFit {
+    pub(crate) fn push(&mut self, x: f64, y: f64) {
+        self.n += 1.0;
+        self.sx += x;
+        self.sy += y;
+        self.sxx += x * x;
+        self.syy += y * y;
+        self.sxy += x * y;
+    }
+
+    /// Removes a previously pushed observation. Retained for sliding-window
+    /// callers; the current range search re-seeds per start index instead.
+    #[allow(dead_code)]
+    pub(crate) fn pop(&mut self, x: f64, y: f64) {
+        self.n -= 1.0;
+        self.sx -= x;
+        self.sy -= y;
+        self.sxx -= x * x;
+        self.syy -= y * y;
+        self.sxy -= x * y;
+    }
+
+    /// (slope, intercept, r²) or `None` when degenerate.
+    pub(crate) fn fit(&self) -> Option<(f64, f64, f64)> {
+        if self.n < 2.0 {
+            return None;
+        }
+        let vxx = self.sxx - self.sx * self.sx / self.n;
+        let vyy = self.syy - self.sy * self.sy / self.n;
+        let vxy = self.sxy - self.sx * self.sy / self.n;
+        if vxx <= 0.0 {
+            return None;
+        }
+        let slope = vxy / vxx;
+        let intercept = (self.sy - slope * self.sx) / self.n;
+        let r2 = if vyy <= 0.0 {
+            1.0
+        } else {
+            (vxy * vxy) / (vxx * vyy)
+        };
+        Some((slope, intercept, r2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 2.0).collect();
+        let fit = fit_line(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.correlation - 1.0).abs() < 1e-12);
+        assert!(fit.rmse < 1e-10);
+        assert_eq!(fit.n, 10);
+    }
+
+    #[test]
+    fn negative_slope_gives_negative_correlation() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0, 0.0];
+        let fit = fit_line(&xs, &ys).unwrap();
+        assert!((fit.slope + 1.0).abs() < 1e-12);
+        assert!((fit.correlation + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_fit_is_close() {
+        // Deterministic "noise" via a fixed pattern.
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + 1.0 + if i % 2 == 0 { 0.05 } else { -0.05 })
+            .collect();
+        let fit = fit_line(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.01);
+        assert!((fit.intercept - 1.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn constant_y_is_perfect_flat_fit() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let fit = fit_line(&xs, &ys).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert_eq!(
+            fit_line(&[1.0], &[1.0, 2.0]).unwrap_err(),
+            StatsError::LengthMismatch
+        );
+        assert_eq!(
+            fit_line(&[1.0], &[1.0]).unwrap_err(),
+            StatsError::TooFewPoints {
+                found: 1,
+                needed: 2
+            }
+        );
+        assert_eq!(
+            fit_line(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).unwrap_err(),
+            StatsError::DegenerateX
+        );
+    }
+
+    #[test]
+    fn running_fit_matches_batch_fit() {
+        let xs: Vec<f64> = (0..20).map(|i| (i as f64).sqrt()).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.5 * x + 0.3 + (x * 7.0).sin() * 0.01).collect();
+        let mut rf = RunningFit::default();
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            rf.push(x, y);
+        }
+        let (s, i, r2) = rf.fit().unwrap();
+        let batch = fit_line(&xs, &ys).unwrap();
+        assert!((s - batch.slope).abs() < 1e-9);
+        assert!((i - batch.intercept).abs() < 1e-9);
+        assert!((r2 - batch.r_squared).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_fit_pop_reverses_push() {
+        let mut rf = RunningFit::default();
+        rf.push(1.0, 2.0);
+        rf.push(2.0, 4.0);
+        rf.push(3.0, 7.0);
+        let before = rf.fit().unwrap();
+        rf.push(10.0, -3.0);
+        rf.pop(10.0, -3.0);
+        let after = rf.fit().unwrap();
+        assert!((before.0 - after.0).abs() < 1e-9);
+        assert!((before.1 - after.1).abs() < 1e-9);
+    }
+}

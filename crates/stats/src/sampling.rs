@@ -1,0 +1,139 @@
+//! Sampling utilities.
+//!
+//! Observation 3 of the paper: the pair-count exponent is invariant to
+//! sampling — a `p_a`-sample of `A` joined with a `p_b`-sample of `B` has a
+//! PC-plot shifted down by `log(p_a · p_b)` but with the same slope. The
+//! evaluation (Figure 3, Figure 10, Tables 2–3) compares exponents at
+//! 100/20/10/5% sampling rates, so we provide deterministic, seeded samplers.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::StatsError;
+
+/// Bernoulli sampling: keeps each item independently with probability
+/// `rate`. The expected output size is `rate · items.len()`; the exact size
+/// varies, which matches how the paper's "p% sample" is usually produced in
+/// one streaming pass.
+///
+/// # Errors
+/// [`StatsError::BadRate`] unless `0 ≤ rate ≤ 1`.
+pub fn bernoulli_sample<T: Clone, R: Rng + ?Sized>(
+    items: &[T],
+    rate: f64,
+    rng: &mut R,
+) -> Result<Vec<T>, StatsError> {
+    if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+        return Err(StatsError::BadRate { rate });
+    }
+    let mut out = Vec::with_capacity((items.len() as f64 * rate).ceil() as usize);
+    for item in items {
+        if rng.gen::<f64>() < rate {
+            out.push(item.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Fixed-size sampling without replacement: returns exactly
+/// `min(k, items.len())` items, uniformly at random, in arbitrary order.
+pub fn sample_exact<T: Clone, R: Rng + ?Sized>(items: &[T], k: usize, rng: &mut R) -> Vec<T> {
+    items
+        .choose_multiple(rng, k.min(items.len()))
+        .cloned()
+        .collect()
+}
+
+/// Fixed-*rate* sampling without replacement: exactly
+/// `round(rate · items.len())` items. Used by the experiment harness so a
+/// "10% sample" has a deterministic size.
+///
+/// # Errors
+/// [`StatsError::BadRate`] unless `0 ≤ rate ≤ 1`.
+pub fn sample_rate<T: Clone, R: Rng + ?Sized>(
+    items: &[T],
+    rate: f64,
+    rng: &mut R,
+) -> Result<Vec<T>, StatsError> {
+    if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+        return Err(StatsError::BadRate { rate });
+    }
+    let k = (items.len() as f64 * rate).round() as usize;
+    Ok(sample_exact(items, k, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> Vec<u32> {
+        (0..10_000).collect()
+    }
+
+    #[test]
+    fn bernoulli_size_is_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = bernoulli_sample(&data(), 0.1, &mut rng).unwrap();
+        let n = s.len() as f64;
+        // 10k trials at p=0.1: mean 1000, sd ≈ 30. Allow 5 sd.
+        assert!((n - 1000.0).abs() < 150.0, "got {n}");
+    }
+
+    #[test]
+    fn bernoulli_edge_rates() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(bernoulli_sample(&data(), 0.0, &mut rng).unwrap().is_empty());
+        assert_eq!(bernoulli_sample(&data(), 1.0, &mut rng).unwrap().len(), 10_000);
+    }
+
+    #[test]
+    fn bernoulli_rejects_bad_rates() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(bernoulli_sample(&data(), -0.1, &mut rng).is_err());
+        assert!(bernoulli_sample(&data(), 1.1, &mut rng).is_err());
+        assert!(bernoulli_sample(&data(), f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sample_exact_has_exact_size_and_no_duplicates() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let s = sample_exact(&data(), 500, &mut rng);
+        assert_eq!(s.len(), 500);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 500, "duplicates in without-replacement sample");
+    }
+
+    #[test]
+    fn sample_exact_caps_at_population() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = [1u32, 2, 3];
+        assert_eq!(sample_exact(&small, 10, &mut rng).len(), 3);
+    }
+
+    #[test]
+    fn sample_rate_size_is_rounded_fraction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sample_rate(&data(), 0.05, &mut rng).unwrap();
+        assert_eq!(s.len(), 500);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_seed() {
+        let a = sample_exact(&data(), 100, &mut StdRng::seed_from_u64(9));
+        let b = sample_exact(&data(), 100, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn samples_are_uniformish() {
+        // Mean of a large uniform sample of 0..10000 should be near 5000.
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = sample_exact(&data(), 2000, &mut rng);
+        let mean: f64 = s.iter().map(|&v| v as f64).sum::<f64>() / s.len() as f64;
+        assert!((mean - 5000.0).abs() < 300.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Astronomy scenario — the paper's Galaxy experiment: measure how strongly
+//! two galaxy populations cluster around each other, via the pair-count
+//! exponent of their cross join, and demonstrate sampling invariance
+//! (Observation 3) so the analysis scales to survey-sized catalogs.
+//!
+//! ```text
+//! cargo run --release --example astro_correlation
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sjpl_core::{pc_plot_cross, FitOptions, PcPlotConfig};
+use sjpl_datagen::galaxy;
+use sjpl_geom::PointSet;
+use sjpl_stats::sampling::sample_rate;
+
+fn sampled(set: &PointSet<2>, rate: f64, seed: u64) -> PointSet<2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    PointSet::new(
+        format!("{} ({:.0}%)", set.name(), rate * 100.0),
+        sample_rate(set.points(), rate, &mut rng).unwrap(),
+    )
+}
+
+fn main() {
+    let (dev, exp) = galaxy::correlated_pair(20_000, 17_000, 2024);
+    println!(
+        "catalogs: {} ({}), {} ({})",
+        dev.name(),
+        dev.len(),
+        exp.name(),
+        exp.len()
+    );
+
+    let opts = FitOptions::default();
+    let cfg = PcPlotConfig::default();
+
+    println!(
+        "\n{:>10} {:>10} {:>10} {:>10} {:>8}",
+        "sampling", "N(dev)", "N(exp)", "alpha", "r^2"
+    );
+    let mut exponents = Vec::new();
+    for rate in [1.0, 0.2, 0.1, 0.05] {
+        let (d, e) = if rate < 1.0 {
+            (sampled(&dev, rate, 1), sampled(&exp, rate, 2))
+        } else {
+            (dev.clone(), exp.clone())
+        };
+        let law = pc_plot_cross(&d, &e, &cfg).unwrap().fit(&opts).unwrap();
+        println!(
+            "{:>9.0}% {:>10} {:>10} {:>10.3} {:>8.4}",
+            rate * 100.0,
+            d.len(),
+            e.len(),
+            law.exponent,
+            law.fit.line.r_squared
+        );
+        exponents.push(law.exponent);
+    }
+
+    let spread = exponents.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - exponents.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "\nexponent spread across sampling rates: {spread:.3} \
+         (Observation 3: sampling leaves the exponent unchanged)"
+    );
+    println!(
+        "galaxy clustering exponent alpha ≈ {:.2}: the closer to 2.0 \
+         (the embedding dimension), the weaker the clustering; the paper \
+         measured ≈ 1.9 for SLOAN.",
+        exponents[0]
+    );
+}

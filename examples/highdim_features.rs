@@ -1,0 +1,67 @@
+//! High-dimensional feature vectors — the paper's Eigenfaces experiment.
+//!
+//! ```text
+//! cargo run --release --example highdim_features
+//! ```
+//!
+//! 16-dimensional feature vectors (eigenface-style) whose *intrinsic*
+//! dimensionality is far below 16. A similarity self-join ("find all pairs
+//! of faces within distance r") is exactly a spatial distance join; the
+//! pair-count law prices it in O(1), while any uniformity assumption is off
+//! by orders of magnitude because the dimension sits in the exponent.
+
+use sjpl_core::{pc_plot_self, FitOptions, PcPlotConfig};
+use sjpl_datagen::{manifold, uniform};
+use sjpl_geom::Metric;
+use sjpl_index::{self_pair_count, JoinAlgorithm};
+
+fn main() {
+    let faces = manifold::eigenfaces_like(8_000, 99);
+    println!("dataset: {} — {} x {}-d", faces.name(), faces.len(), faces.dim());
+
+    let law = pc_plot_self(&faces, &PcPlotConfig::default())
+        .unwrap()
+        .fit(&FitOptions::default())
+        .unwrap();
+    println!(
+        "self-join pair-count law: alpha = {:.2} (embedding E = 16), r^2 = {:.4}",
+        law.exponent, law.fit.line.r_squared
+    );
+    println!(
+        "=> intrinsic dimensionality ≈ {:.1}, nowhere near 16 — matching the \
+         paper's eigenfaces finding (alpha 4.5–6.7).",
+        law.exponent
+    );
+
+    // What the uniformity assumption would predict instead: alpha = 16.
+    // Fit uniform 16-d data of the same size and compare counts at a
+    // mid-range radius.
+    let uni = uniform::unit_cube::<16>(8_000, 100);
+    let uni_law = pc_plot_self(&uni, &PcPlotConfig::default())
+        .unwrap()
+        .fit(&FitOptions::default())
+        .unwrap();
+    println!(
+        "\nuniform 16-d control: alpha = {:.2} (theory: 16.0 — finite-sample \
+         fits see the boundary-dominated range)",
+        uni_law.exponent
+    );
+
+    // Show the practical payoff: price a similarity query at three radii.
+    println!(
+        "\n{:>9} {:>16} {:>16} {:>10}",
+        "radius", "exact pairs", "law estimate", "rel err"
+    );
+    for i in 0..3 {
+        let r = law.fit.x_lo * (law.fit.x_hi / law.fit.x_lo).powf(0.25 + 0.25 * i as f64);
+        let exact = self_pair_count(JoinAlgorithm::KdTree, faces.points(), r, Metric::Linf) as f64;
+        let est = law.pair_count(r);
+        println!(
+            "{:>9.4} {:>16.0} {:>16.0} {:>9.1}%",
+            r,
+            exact,
+            est,
+            100.0 * (est - exact).abs() / exact.max(1.0)
+        );
+    }
+}

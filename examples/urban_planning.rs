@@ -1,0 +1,73 @@
+//! Urban-planning / business-intelligence scenario from the paper's intro:
+//! *"How many households are within 1 mile of our branches and from our
+//! competition's branches?"*
+//!
+//! ```text
+//! cargo run --release --example urban_planning
+//! ```
+//!
+//! One set of households (street-network distributed), two candidate branch
+//! networks. Fit a pair-count law per cross join once, store the laws in a
+//! catalog (what a query optimizer would persist), then answer a whole
+//! sweep of radius questions in O(1) each — including after reloading the
+//! catalog from disk.
+
+use sjpl_core::{
+    BopsConfig, EstimationMethod, LawCatalog, SelectivityEstimator,
+};
+use sjpl_datagen::{galaxy, roads};
+
+fn main() {
+    // Households along the street network; branches cluster where people
+    // are (use the clustered galaxy process as a stand-in for outlet
+    // locations of two competing chains).
+    let households = roads::street_network(30_000, 11);
+    let (ours, competition) = galaxy::correlated_pair(400, 350, 12);
+    println!(
+        "{} households, {} of our branches, {} competitor branches",
+        households.len(),
+        ours.len(),
+        competition.len()
+    );
+
+    // Fit once (linear time), store in the statistics catalog.
+    let mut catalog = LawCatalog::new();
+    for (name, branches) in [("ours", &ours), ("competition", &competition)] {
+        let est = SelectivityEstimator::from_cross(
+            &households,
+            branches,
+            EstimationMethod::Bops(BopsConfig::default()),
+        )
+        .expect("fit failed");
+        catalog.insert(name, *est.law());
+    }
+    let path = std::env::temp_dir().join("sjpl_branches.tsv");
+    catalog.save(&path).expect("save catalog");
+    println!("catalog saved to {}", path.display());
+
+    // Later (different process, different day): reload and answer radius
+    // sweeps in O(1) per question.
+    let catalog = LawCatalog::load(&path).expect("load catalog");
+    println!(
+        "\n{:>9} {:>18} {:>18} {:>9}",
+        "radius", "near ours", "near competition", "ratio"
+    );
+    for r in [0.002, 0.005, 0.01, 0.02, 0.05] {
+        let ours = SelectivityEstimator::from_law(*catalog.get("ours").unwrap())
+            .estimate_pair_count(r);
+        let comp = SelectivityEstimator::from_law(*catalog.get("competition").unwrap())
+            .estimate_pair_count(r);
+        println!(
+            "{:>9.3} {:>18.0} {:>18.0} {:>9.2}",
+            r,
+            ours,
+            comp,
+            ours / comp.max(1.0)
+        );
+    }
+    println!(
+        "\nEvery row above cost two power-law evaluations — no join was \
+         executed, no index probed, no sample drawn."
+    );
+    std::fs::remove_file(&path).ok();
+}

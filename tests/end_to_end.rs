@@ -1,0 +1,210 @@
+//! End-to-end pipeline tests: generate stand-in datasets, build PC and BOPS
+//! plots, fit the pair-count law, and check the recovered exponents against
+//! closed forms (calibration fractals) and the paper's reported ranges
+//! (domain stand-ins).
+
+use sjpl_core::{
+    bops_plot_cross, bops_plot_self, pc_plot_cross, pc_plot_self, BopsConfig, FitOptions,
+    JoinKind, PcPlotConfig,
+};
+use sjpl_datagen::{galaxy, levy, manifold, roads, sierpinski, water};
+
+fn fit_opts() -> FitOptions {
+    FitOptions::default()
+}
+
+#[test]
+fn sierpinski_self_join_recovers_closed_form_dimension() {
+    let s = sierpinski::triangle(8_000, 11);
+    let plot = pc_plot_self(&s, &PcPlotConfig::default()).unwrap();
+    let law = plot.fit(&fit_opts()).unwrap();
+    assert!(
+        (law.exponent - sierpinski::SIERPINSKI_D2).abs() < 0.1,
+        "PC exponent {} vs log3/log2 ≈ 1.585",
+        law.exponent
+    );
+    assert!(law.fit.line.r_squared > 0.995, "r² {}", law.fit.line.r_squared);
+    assert_eq!(law.kind, JoinKind::SelfJoin);
+}
+
+#[test]
+fn street_stand_in_exponent_is_in_paper_range() {
+    // Paper Table 2: CA-str self-join exponent 1.838 (full data); range
+    // across sampling 1.62–1.84. Accept a generous band around it.
+    let streets = roads::street_network(6_000, 3);
+    let plot = pc_plot_self(&streets, &PcPlotConfig::default()).unwrap();
+    let law = plot.fit(&fit_opts()).unwrap();
+    assert!(
+        law.exponent > 1.2 && law.exponent < 2.0,
+        "street exponent {}",
+        law.exponent
+    );
+    assert!(law.fit.line.r_squared > 0.99);
+}
+
+#[test]
+fn water_stand_in_is_line_like() {
+    // Paper: CA-wat self-join exponent 1.529.
+    let wat = water::drainage(6_000, 5);
+    let plot = pc_plot_self(&wat, &PcPlotConfig::default()).unwrap();
+    let law = plot.fit(&fit_opts()).unwrap();
+    assert!(
+        law.exponent > 1.05 && law.exponent < 1.9,
+        "water exponent {}",
+        law.exponent
+    );
+}
+
+#[test]
+fn galaxy_cross_join_obeys_the_law() {
+    // Paper Table 3: dev × exp exponent ≈ 1.915 (PC), 1.963 (BOPS).
+    let (dev, exp) = galaxy::correlated_pair(5_000, 4_000, 7);
+    let plot = pc_plot_cross(&dev, &exp, &PcPlotConfig::default()).unwrap();
+    let law = plot.fit(&fit_opts()).unwrap();
+    assert!(
+        law.exponent > 1.4 && law.exponent < 2.1,
+        "galaxy cross exponent {}",
+        law.exponent
+    );
+    assert!(
+        law.fit.line.r_squared > 0.99,
+        "fit quality r² = {}",
+        law.fit.line.r_squared
+    );
+    assert_eq!(law.kind, JoinKind::Cross);
+    assert_eq!((law.n, law.m), (5_000, 4_000));
+}
+
+#[test]
+fn eigenfaces_stand_in_has_intrinsic_dimension_well_below_embedding() {
+    // The paper's key high-dimensional finding: α ∈ [4.5, 6.7] ≪ E = 16.
+    let faces = manifold::eigenfaces_like(3_000, 9);
+    let plot = pc_plot_self(&faces, &PcPlotConfig::default()).unwrap();
+    let law = plot.fit(&fit_opts()).unwrap();
+    assert!(
+        law.exponent > 2.5 && law.exponent < 9.0,
+        "eigenfaces exponent {}",
+        law.exponent
+    );
+    assert!(
+        law.exponent < 16.0 * 0.6,
+        "exponent {} should be far below the embedding dimension 16",
+        law.exponent
+    );
+}
+
+#[test]
+fn levy_flight_dimension_tracks_the_tail_exponent() {
+    // A Lévy flight's trail dimension is min(alpha, 2): the measured
+    // exponent must increase monotonically with alpha and approach 2 in
+    // the Brownian regime — a *parametric* check that the pipeline tracks
+    // a continuously tunable dimension, not just fixed calibration values.
+    let mut measured = Vec::new();
+    for alpha in [1.2, 1.6, 2.5] {
+        let s = levy::levy_flight(8_000, alpha, 31);
+        let law = pc_plot_self(&s, &PcPlotConfig::default())
+            .unwrap()
+            .fit(&fit_opts())
+            .unwrap();
+        measured.push((alpha, law.exponent));
+    }
+    for w in measured.windows(2) {
+        assert!(
+            w[1].1 > w[0].1 - 0.05,
+            "dimension not increasing with alpha: {measured:?}"
+        );
+    }
+    let brownian = measured.last().unwrap().1;
+    assert!(
+        brownian > 1.4 && brownian < 2.2,
+        "Brownian-regime trail dimension {brownian} far from 2"
+    );
+}
+
+#[test]
+fn bops_and_pc_agree_end_to_end_cross() {
+    let streets = roads::street_network(4_000, 13);
+    let wat = water::drainage(4_000, 14);
+    let pc_law = pc_plot_cross(&streets, &wat, &PcPlotConfig::default())
+        .unwrap()
+        .fit(&fit_opts())
+        .unwrap();
+    let bops_law = bops_plot_cross(&streets, &wat, &BopsConfig::default())
+        .unwrap()
+        .fit(&fit_opts())
+        .unwrap();
+    let rel = (pc_law.exponent - bops_law.exponent).abs() / pc_law.exponent;
+    assert!(
+        rel < 0.12,
+        "PC α {} vs BOPS α {} (rel {rel})",
+        pc_law.exponent,
+        bops_law.exponent
+    );
+}
+
+#[test]
+fn bops_and_pc_agree_end_to_end_self() {
+    let (dev, _) = galaxy::correlated_pair(5_000, 16, 21);
+    let pc_law = pc_plot_self(&dev, &PcPlotConfig::default())
+        .unwrap()
+        .fit(&fit_opts())
+        .unwrap();
+    let bops_law = bops_plot_self(&dev, &BopsConfig::default())
+        .unwrap()
+        .fit(&fit_opts())
+        .unwrap();
+    let rel = (pc_law.exponent - bops_law.exponent).abs() / pc_law.exponent;
+    assert!(
+        rel < 0.12,
+        "PC α {} vs BOPS α {} (rel {rel})",
+        pc_law.exponent,
+        bops_law.exponent
+    );
+}
+
+#[test]
+fn extrapolated_r_min_is_near_the_true_closest_pair_distance() {
+    // Equation 11 sanity: r_min from the law should land within an order of
+    // magnitude of the true minimum pair distance.
+    let (dev, exp) = galaxy::correlated_pair(3_000, 2_500, 31);
+    let law = pc_plot_cross(&dev, &exp, &PcPlotConfig::default())
+        .unwrap()
+        .fit(&fit_opts())
+        .unwrap();
+    let mut true_min = f64::INFINITY;
+    for a in dev.iter() {
+        for b in exp.iter() {
+            let d = a.dist_linf(b);
+            if d < true_min {
+                true_min = d;
+            }
+        }
+    }
+    let est = law.r_min();
+    assert!(est.is_finite() && est > 0.0);
+    let ratio = est / true_min;
+    assert!(
+        (0.05..=20.0).contains(&ratio),
+        "r_min estimate {est} vs true {true_min} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn law_predicts_counts_within_the_paper_error_band_at_mid_radii() {
+    // The paper reports ~3% (PC) relative selectivity error on geographic
+    // data. Synthetic stand-ins are noisier; require within 40% at radii
+    // inside the fitted range.
+    let streets = roads::street_network(4_000, 17);
+    let wat = water::drainage(4_000, 18);
+    let plot = pc_plot_cross(&streets, &wat, &PcPlotConfig::default()).unwrap();
+    let law = plot.fit(&fit_opts()).unwrap();
+    let mut checked = 0;
+    for (&r, &c) in plot.radii().iter().zip(plot.counts().iter()) {
+        if c > 100 && law.in_fitted_range(r) {
+            let rel = (law.pair_count(r) - c as f64).abs() / c as f64;
+            assert!(rel < 0.4, "r={r}: est {} vs exact {c}", law.pair_count(r));
+            checked += 1;
+        }
+    }
+    assert!(checked >= 5, "too few in-range radii checked: {checked}");
+}

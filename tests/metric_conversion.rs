@@ -1,0 +1,66 @@
+//! Empirical validation of the paper's Equation 3: a law fitted under one
+//! Lp metric, converted via unit-ball-volume ratios, predicts the counts
+//! actually measured under another metric.
+
+use sjpl_core::{pc_plot_cross, PcPlotConfig};
+use sjpl_datagen::galaxy;
+use sjpl_geom::Metric;
+
+fn law_under(metric: Metric) -> (sjpl_core::PairCountLaw, sjpl_core::PcPlot) {
+    let (dev, exp) = galaxy::correlated_pair(4_000, 3_500, 77);
+    let cfg = PcPlotConfig {
+        metric,
+        // One pinned mid-scale window for every metric (see DESIGN.md §4b).
+        radius_range: Some((4e-3, 2e-1)),
+        ..Default::default()
+    };
+    let plot = pc_plot_cross(&dev, &exp, &cfg).unwrap();
+    let law = plot.fit_full_range().unwrap();
+    (law, plot)
+}
+
+#[test]
+fn converted_linf_law_predicts_l2_counts() {
+    let (linf_law, _) = law_under(Metric::Linf);
+    let (l2_law, l2_plot) = law_under(Metric::L2);
+    let converted = linf_law.converted_to_metric(Metric::Linf, Metric::L2, 2);
+    // Exponent untouched.
+    assert_eq!(converted.exponent, linf_law.exponent);
+    // The converted constant lands near the directly fitted one (Eq. 3 is a
+    // smooth-density approximation — BOPS-grade accuracy, not exact).
+    let k_ratio = converted.k / l2_law.k;
+    assert!(
+        (0.5..2.0).contains(&k_ratio),
+        "converted K off by {k_ratio}x (converted {}, fitted {})",
+        converted.k,
+        l2_law.k
+    );
+    // And its *count* predictions track the measured L2 counts mid-range.
+    let mut checked = 0;
+    for (&r, &c) in l2_plot.radii().iter().zip(l2_plot.counts().iter()) {
+        if c > 1_000 && converted.in_fitted_range(r) {
+            let rel = (converted.pair_count(r) - c as f64).abs() / c as f64;
+            assert!(
+                rel < 0.8,
+                "r={r}: converted predicts {}, measured {c}",
+                converted.pair_count(r)
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 3, "only {checked} radii checked");
+}
+
+#[test]
+fn conversion_ordering_matches_measured_constants() {
+    // Unit-ball volumes order L1 < L2 < L∞, so measured constants do too —
+    // and conversion must respect that ordering in both directions.
+    let (l1_law, _) = law_under(Metric::L1);
+    let (l2_law, _) = law_under(Metric::L2);
+    let (linf_law, _) = law_under(Metric::Linf);
+    assert!(l1_law.k < l2_law.k && l2_law.k < linf_law.k);
+    let up = l1_law.converted_to_metric(Metric::L1, Metric::Linf, 2);
+    assert!(up.k > l1_law.k, "upward conversion must grow K");
+    let down = linf_law.converted_to_metric(Metric::Linf, Metric::L1, 2);
+    assert!(down.k < linf_law.k, "downward conversion must shrink K");
+}

@@ -1,0 +1,110 @@
+//! Property-based tests on the core pipeline: structural invariants that
+//! must hold for *any* input, not just the curated datasets.
+
+use proptest::prelude::*;
+use sjpl_core::{
+    bops_plot_cross, bops_plot_self, pc_plot_cross, pc_plot_self, BopsConfig, PcPlotConfig,
+};
+use sjpl_geom::{Point, PointSet};
+
+fn point_set(min: usize, max: usize) -> impl Strategy<Value = PointSet<2>> {
+    prop::collection::vec([-50.0f64..50.0, -50.0f64..50.0].prop_map(Point::new), min..max)
+        .prop_map(|v| PointSet::new("prop", v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// PC-plot counts are monotone non-decreasing in the radius and bounded
+    /// by the Cartesian-product size.
+    #[test]
+    fn pc_plot_counts_are_monotone_and_bounded(a in point_set(2, 60), b in point_set(2, 60)) {
+        let cfg = PcPlotConfig { bins: 12, threads: 1, ..Default::default() };
+        let plot = pc_plot_cross(&a, &b, &cfg).unwrap();
+        let mut prev = 0u64;
+        for &c in plot.counts() {
+            prop_assert!(c >= prev);
+            prev = c;
+        }
+        prop_assert!(prev <= (a.len() * b.len()) as u64);
+        // The largest probed radius is the bbox diameter, so the plot must
+        // saturate exactly at N·M.
+        prop_assert_eq!(prev, (a.len() * b.len()) as u64);
+    }
+
+    /// Self-join plots saturate at N(N−1)/2.
+    #[test]
+    fn self_plot_saturates_at_unordered_pairs(a in point_set(2, 80)) {
+        let cfg = PcPlotConfig { bins: 10, threads: 1, ..Default::default() };
+        let plot = pc_plot_self(&a, &cfg).unwrap();
+        let n = a.len() as u64;
+        prop_assert_eq!(*plot.counts().last().unwrap(), n * (n - 1) / 2);
+    }
+
+    /// BOPS values are monotone in the cell side and bounded by N·M;
+    /// the coarsest 2×2 grid captures at least the most populated quadrant
+    /// product.
+    #[test]
+    fn bops_monotone_and_bounded(a in point_set(1, 60), b in point_set(1, 60)) {
+        let plot = bops_plot_cross(&a, &b, &BopsConfig::dyadic(6)).unwrap();
+        let mut prev = 0.0;
+        for &v in plot.values() {
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        prop_assert!(prev <= (a.len() * b.len()) as f64);
+    }
+
+    /// Cross BOPS of a set with itself relates to self BOPS exactly:
+    /// Σ C_i² = 2·Σ C_i(C_i−1)/2 + Σ C_i  ⇒  cross = 2·self + N per level.
+    #[test]
+    fn self_and_cross_bops_identity(a in point_set(2, 80)) {
+        let cfg = BopsConfig::dyadic(5);
+        let cross = bops_plot_cross(&a, &a, &cfg).unwrap();
+        let selfp = bops_plot_self(&a, &cfg).unwrap();
+        for (c, s) in cross.values().iter().zip(selfp.values().iter()) {
+            prop_assert_eq!(*c, 2.0 * s + a.len() as f64);
+        }
+    }
+
+    /// Translating both sets together changes neither PC counts nor BOPS
+    /// values (Observation 2, exactly — not just the exponent).
+    #[test]
+    fn joint_translation_leaves_plots_unchanged(
+        a in point_set(2, 50),
+        b in point_set(2, 50),
+        dx in -100.0f64..100.0,
+        dy in -100.0f64..100.0,
+    ) {
+        let cfg = PcPlotConfig { bins: 8, threads: 1, ..Default::default() };
+        let p1 = pc_plot_cross(&a, &b, &cfg).unwrap();
+        let shift = sjpl_geom::Affine::translation([dx, dy]);
+        let mut a2 = a.clone();
+        let mut b2 = b.clone();
+        a2.transform(&shift);
+        b2.transform(&shift);
+        let p2 = pc_plot_cross(&a2, &b2, &cfg).unwrap();
+        prop_assert_eq!(p1.counts(), p2.counts());
+
+        let bops1 = bops_plot_cross(&a, &b, &BopsConfig::dyadic(5)).unwrap();
+        let bops2 = bops_plot_cross(&a2, &b2, &BopsConfig::dyadic(5)).unwrap();
+        prop_assert_eq!(bops1.values(), bops2.values());
+    }
+
+    /// The fitted law, when a fit exists, always produces finite,
+    /// non-negative estimates with selectivity in [0, 1].
+    #[test]
+    fn fitted_laws_produce_sane_estimates(a in point_set(30, 120), r in 1e-6f64..1e3) {
+        let cfg = PcPlotConfig { bins: 16, threads: 1, ..Default::default() };
+        let plot = pc_plot_self(&a, &cfg).unwrap();
+        if let Ok(law) = plot.fit(&sjpl_core::FitOptions {
+            min_points: 3,
+            ..Default::default()
+        }) {
+            let pc = law.pair_count(r);
+            prop_assert!(pc.is_finite() && pc >= 0.0);
+            let sel = law.selectivity(r);
+            prop_assert!((0.0..=1.0).contains(&sel), "selectivity {}", sel);
+        }
+    }
+}

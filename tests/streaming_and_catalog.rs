@@ -1,0 +1,132 @@
+//! Integration: the incremental BOPS sketch against the batch pipeline on
+//! realistic data, and the law catalog as a full statistics workflow.
+
+use sjpl_core::streaming::Side;
+use sjpl_core::{
+    bops_plot_cross, pc_plot_cross, BopsConfig, FitOptions, LawCatalog, PcPlotConfig,
+    SelectivityEstimator, StreamingBops,
+};
+use sjpl_datagen::{galaxy, roads, water};
+use sjpl_geom::{Aabb, Point};
+
+fn unit_bounds() -> Aabb<2> {
+    Aabb {
+        lo: Point([0.0, 0.0]),
+        hi: Point([1.0, 1.0]),
+    }
+}
+
+#[test]
+fn streaming_law_tracks_batch_law_on_clustered_data() {
+    let (dev, exp) = galaxy::correlated_pair(8_000, 7_000, 1);
+    let mut sketch = StreamingBops::new(unit_bounds(), 10).unwrap();
+    sketch.load(&dev, &exp).unwrap();
+    let streaming_law = sketch.law(&FitOptions::default()).unwrap();
+    let batch_law = bops_plot_cross(&dev, &exp, &BopsConfig::dyadic(10))
+        .unwrap()
+        .fit(&FitOptions::default())
+        .unwrap();
+    // The sketch's address space is the declared unit square while the
+    // batch normalizes by the data bbox; slopes must still agree closely.
+    let rel = (streaming_law.exponent - batch_law.exponent).abs() / batch_law.exponent;
+    assert!(
+        rel < 0.1,
+        "streaming α {} vs batch α {}",
+        streaming_law.exponent,
+        batch_law.exponent
+    );
+}
+
+#[test]
+fn streaming_estimates_converge_as_data_arrives() {
+    // The law should stabilize long before the full stream has arrived —
+    // that's what makes keeping it fresh cheap in practice (Observation 3:
+    // the prefix of a stream is a sample of the whole).
+    let (dev, exp) = galaxy::correlated_pair(10_000, 10_000, 2);
+    let mut sketch = StreamingBops::new(unit_bounds(), 10).unwrap();
+    let opts = FitOptions::default();
+    let mut exponents = Vec::new();
+    let (mut ai, mut bi) = (dev.iter(), exp.iter());
+    for _ in 0..4 {
+        for _ in 0..2_500 {
+            sketch.insert(Side::A, ai.next().unwrap()).unwrap();
+            sketch.insert(Side::B, bi.next().unwrap()).unwrap();
+        }
+        exponents.push(sketch.law(&opts).unwrap().exponent);
+    }
+    let last = *exponents.last().unwrap();
+    for (i, &alpha) in exponents.iter().enumerate().skip(1) {
+        assert!(
+            (alpha - last).abs() < 0.3,
+            "exponent at checkpoint {i} ({alpha}) far from final ({last}): {exponents:?}"
+        );
+    }
+}
+
+#[test]
+fn catalog_backed_optimizer_workflow() {
+    // Fit laws for several joins, persist, reload, and answer the queries
+    // a cost-based optimizer would ask — without touching the data again.
+    let streets = roads::street_network(5_000, 3);
+    let wat = water::drainage(5_000, 4);
+    let (dev, exp) = galaxy::correlated_pair(5_000, 4_000, 5);
+
+    let mut catalog = LawCatalog::new();
+    let opts = FitOptions::default();
+    catalog.insert(
+        "str_x_wat",
+        pc_plot_cross(&streets, &wat, &PcPlotConfig::default())
+            .unwrap()
+            .fit(&opts)
+            .unwrap(),
+    );
+    catalog.insert(
+        "dev_x_exp",
+        bops_plot_cross(&dev, &exp, &BopsConfig::default())
+            .unwrap()
+            .fit(&opts)
+            .unwrap(),
+    );
+
+    let dir = std::env::temp_dir().join(format!("sjpl_it_cat_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("catalog.tsv");
+    catalog.save(&path).unwrap();
+
+    let reloaded = LawCatalog::load(&path).unwrap();
+    assert_eq!(reloaded.len(), 2);
+    for (name, law) in reloaded.iter() {
+        let est = SelectivityEstimator::from_law(*law);
+        let mid = (law.fit.x_lo * law.fit.x_hi).sqrt();
+        let s = est.estimate_selectivity(mid);
+        assert!(
+            s > 0.0 && s < 1.0,
+            "{name}: selectivity {s} at mid-range radius {mid}"
+        );
+        // Reloaded answers match the in-memory original bit-for-bit.
+        let orig = SelectivityEstimator::from_law(*catalog.get(name).unwrap());
+        assert_eq!(est.estimate_pair_count(mid), orig.estimate_pair_count(mid));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn streaming_deletion_rewinds_the_law() {
+    // Insert two batches, snapshot, insert garbage, delete it again — the
+    // law must return to the snapshot exactly (the sketch is not lossy for
+    // deletions).
+    let (dev, exp) = galaxy::correlated_pair(4_000, 4_000, 7);
+    let mut sketch = StreamingBops::new(unit_bounds(), 9).unwrap();
+    sketch.load(&dev, &exp).unwrap();
+    let before = sketch.plot();
+    let garbage = sjpl_datagen::uniform::unit_cube::<2>(1_000, 8);
+    for p in garbage.iter() {
+        sketch.insert(Side::A, p).unwrap();
+    }
+    assert_ne!(sketch.plot(), before);
+    for p in garbage.iter() {
+        sketch.remove(Side::A, p).unwrap();
+    }
+    assert_eq!(sketch.plot(), before);
+    assert_eq!(sketch.counts(), (4_000, 4_000));
+}
