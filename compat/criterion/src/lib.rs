@@ -1,0 +1,298 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset this workspace's benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`, and
+//! the `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock harness: an adaptive warm-up sizes the iteration count to the
+//! target time, then `sample_size` samples are measured and summarized.
+//! No statistical regression analysis, plots, or saved baselines; results
+//! additionally land in a process-global registry that custom `main`s can
+//! drain to emit machine-readable snapshots.
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished measurement, as stored in the global registry.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `group/id` (or just the id outside a group).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration over all samples.
+    pub mean_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Optional throughput annotation.
+    pub throughput: Option<Throughput>,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every result recorded so far (used by custom bench `main`s to
+/// write snapshot files).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().expect("bench registry poisoned"))
+}
+
+/// Re-export point for hint::black_box under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `BenchmarkId::new("algo", n)` or
+/// `BenchmarkId::from_parameter(n)`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            &id.into().id,
+            self.sample_size,
+            self.measurement_time,
+            None,
+            f,
+        );
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    // Tie the group to the parent Criterion's exclusive borrow, matching
+    // upstream's signature so call sites type-check identically.
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_bench(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up / calibration: one iteration tells us roughly how many fit in
+    // the per-sample time budget.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let budget = measurement_time.as_nanos() / sample_size.max(1) as u128;
+    let iters = (budget / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut total_ns = 0u128;
+    let mut min_ns = f64::INFINITY;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos();
+        total_ns += ns;
+        min_ns = min_ns.min(ns as f64 / iters as f64);
+    }
+    let mean_ns = total_ns as f64 / (sample_size as u64 * iters) as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.3e} elem/s)", n as f64 * 1e9 / mean_ns),
+        Throughput::Bytes(n) => format!(" ({:.3e} B/s)", n as f64 * 1e9 / mean_ns),
+    });
+    println!(
+        "bench {name}: mean {mean_ns:.0} ns/iter, min {min_ns:.0} ns/iter \
+         [{sample_size} samples x {iters} iters]{}",
+        rate.unwrap_or_default()
+    );
+    RESULTS
+        .lock()
+        .expect("bench registry poisoned")
+        .push(BenchResult {
+            name: name.to_owned(),
+            mean_ns,
+            min_ns,
+            iters,
+            throughput,
+        });
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| b.iter(|| x * x));
+        g.finish();
+        let results = take_results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].name, "shim/sum");
+        assert!(results[0].mean_ns > 0.0);
+        assert_eq!(results[1].name, "shim/sq/7");
+    }
+}

@@ -1,0 +1,362 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the property-testing subset it consumes: the [`Strategy`] trait with
+//! `prop_map`, strategies for numeric ranges / fixed-size arrays / vectors /
+//! [`Just`] / unions, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_oneof!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - **No shrinking** — a failing case reports its test name, case index,
+//!   and seed (reproducible via `PROPTEST_SEED`), not a minimal input.
+//! - Case generation is plain uniform sampling, without upstream's bias
+//!   toward boundary values.
+//! - `prop_assert*` panics (like `assert*`) instead of returning `Err`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod prelude;
+
+/// Per-test driver: owns the RNG and derives one deterministic seed per
+/// case so any failure is replayable.
+pub struct TestRunner {
+    base_seed: u64,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Seeds from `PROPTEST_SEED` when set (hex or decimal), else from a
+    /// fixed constant, mixed with the test name so distinct tests explore
+    /// distinct streams.
+    pub fn new(test_name: &str) -> Self {
+        let env_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| {
+                let s = s.trim();
+                s.strip_prefix("0x")
+                    .map_or_else(|| s.parse().ok(), |h| u64::from_str_radix(h, 16).ok())
+            })
+            .unwrap_or(0x9e37_79b9_2000_5eed);
+        let mut name_hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            name_hash = (name_hash ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let base_seed = env_seed ^ name_hash;
+        TestRunner {
+            base_seed,
+            rng: StdRng::seed_from_u64(base_seed),
+        }
+    }
+
+    /// Re-arms the RNG for one case and returns the seed that reproduces it.
+    pub fn start_case(&mut self, case: u64) -> u64 {
+        let seed = self
+            .base_seed
+            .wrapping_add(case.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        self.rng = StdRng::seed_from_u64(seed);
+        seed
+    }
+
+    /// The case RNG, for strategies.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Run-count configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Type-erased strategy, the currency of [`Union`] / `prop_oneof!`.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        (**self).new_value(runner)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// Uniform pick among alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        let i = runner.rng().gen_range(0..self.options.len());
+        self.options[i].new_value(runner)
+    }
+}
+
+macro_rules! range_strategy {
+    (float: $($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+    (int: $($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(float: f32, f64);
+range_strategy!(int: u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn new_value(&self, runner: &mut TestRunner) -> [S::Value; N] {
+        std::array::from_fn(|i| self[i].new_value(runner))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.new_value(runner),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+/// `prop::collection` namespace.
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, TestRunner};
+        use rand::Rng;
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        /// A vector whose length is drawn from `size` and whose elements
+        /// come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(
+                size.start < size.end,
+                "empty size range in prop::collection::vec"
+            );
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+                let len = runner.rng().gen_range(self.size.clone());
+                (0..len).map(|_| self.element.new_value(runner)).collect()
+            }
+        }
+    }
+}
+
+/// Extra entropy helper used by generated code; kept public for the macros.
+#[doc(hidden)]
+pub fn __mix(runner: &mut TestRunner) -> u64 {
+    runner.rng().next_u64()
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(stringify!($name));
+            for case in 0..config.cases as u64 {
+                let seed = runner.start_case(case);
+                $(let $pat = $crate::Strategy::new_value(&($strat), &mut runner);)+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), ()> { $body Ok(()) },
+                ));
+                match outcome {
+                    Ok(_) => {}
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest {}: failed at case {case} \
+                             (rerun with PROPTEST_SEED={:#x} — no shrinking in the offline shim)",
+                            stringify!($name),
+                            seed,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, f64)> {
+        [0.0f64..1.0, 0.0f64..1.0].prop_map(|[a, b]| (a, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -3.0f64..3.0, n in 1usize..10) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_honor_size(v in prop::collection::vec(0u8..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn mapped_arrays_and_oneof(p in pair(), pick in prop_oneof![Just(1u8), Just(2), Just(3)]) {
+            prop_assert!(p.0 >= 0.0 && p.1 < 1.0);
+            prop_assert!((1..=3).contains(&pick));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let mut r1 = crate::TestRunner::new("t");
+        let mut r2 = crate::TestRunner::new("t");
+        r1.start_case(7);
+        r2.start_case(7);
+        let s = 0.0f64..1.0;
+        for _ in 0..16 {
+            assert_eq!(s.new_value(&mut r1), s.new_value(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Mirrors `proptest::prelude`: everything the test files import with
+//! `use proptest::prelude::*`.
+
+pub use crate::prop;
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+    ProptestConfig, Strategy, TestRunner,
+};

@@ -1,0 +1,96 @@
+//! Sampling traits mirroring `rand::distributions` for the subset used.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: unit interval for floats, full
+/// width for integers, fair coin for `bool`.
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // The high bit, not the low one: some generators have weak low bits.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range that can produce a single uniform sample — the receiver of
+/// `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Widening multiply maps next_u64 onto the span with
+                // negligible (2^-64) bias — plenty for simulation use.
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + hi) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty gen_range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (start as i128 + hi) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let unit: $t = Standard.sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);

@@ -1,0 +1,152 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the *exact* API subset it consumes — `Rng::{gen, gen_range, gen_bool}`,
+//! `SeedableRng::seed_from_u64`, `rngs::{StdRng, SmallRng}`, and
+//! `seq::SliceRandom::{choose, choose_multiple, shuffle}` — behind the same
+//! paths as rand 0.8. The generator is xoshiro256++ seeded via SplitMix64;
+//! stream values therefore differ from upstream `StdRng` (ChaCha12), which
+//! is fine everywhere in this repo: seeds only pin determinism, never golden
+//! values.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::{Distribution, SampleRange, Standard};
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::seq::SliceRandom;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_lie_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        // The stream actually covers the interval.
+        assert!(lo < 0.01 && hi > 0.99);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1_000 {
+            let i = rng.gen_range(3..10usize);
+            assert!((3..10).contains(&i));
+            let j = rng.gen_range(0..=4u8);
+            assert!(j <= 4);
+            let x = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&x));
+        }
+        // Every value of a small range is eventually hit.
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4u8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_and_gen_bool_are_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_000..6_000).contains(&heads), "heads {heads}");
+        let rare = (0..10_000).filter(|_| rng.gen_bool(0.1)).count();
+        assert!((500..1_500).contains(&rare), "rare {rare}");
+    }
+
+    #[test]
+    fn choose_multiple_is_a_subset_without_replacement() {
+        let items: Vec<u32> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let picked: Vec<u32> = items.choose_multiple(&mut rng, 20).cloned().collect();
+        assert_eq!(picked.len(), 20);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "duplicates in {picked:?}");
+        // Asking for more than available returns everything.
+        assert_eq!(items.choose_multiple(&mut rng, 99).count(), 50);
+    }
+
+    #[test]
+    fn shuffle_permutes_in_place() {
+        let mut items: Vec<u32> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        items.shuffle(&mut rng);
+        assert_ne!(items, (0..100).collect::<Vec<_>>());
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

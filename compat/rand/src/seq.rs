@@ -1,0 +1,60 @@
+//! Slice sampling helpers mirroring `rand::seq::SliceRandom`.
+
+use crate::Rng;
+
+pub trait SliceRandom {
+    type Item;
+
+    /// One uniformly random element, `None` on an empty slice.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `min(amount, len)` distinct elements, uniformly without replacement,
+    /// in random order.
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index table: the first `amount`
+        // slots end up holding a uniform sample without replacement.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx[..amount]
+            .iter()
+            .map(|&i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}

@@ -1,10 +1,18 @@
 //! Criterion micro-benchmarks for the BOPS estimator: throughput vs dataset
 //! size, vs dimensionality, vs number of grid levels — the cost model
-//! behind the Table 5 headline (O((N+M)·levels·D)).
+//! behind the Table 5 headline (O((N+M)·levels·D)) — plus the engine
+//! matrix comparing the single-sort Morton engine against the per-level
+//! HashMap pass across thread counts, level counts, and input sizes.
+//!
+//! A custom `main` drains the harness registry after all groups run and
+//! writes `BENCH_bops.json` at the repository root, so engine speedups are
+//! machine-checkable across commits.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sjpl_core::streaming::Side;
-use sjpl_core::{bops_plot_cross, bops_plot_self, BopsConfig, FitOptions, StreamingBops};
+use sjpl_core::{
+    bops_plot_cross, bops_plot_self, BopsConfig, BopsEngine, FitOptions, StreamingBops,
+};
 use sjpl_datagen::{galaxy, manifold, uniform};
 use sjpl_geom::{Aabb, Point};
 
@@ -53,6 +61,38 @@ fn bops_vs_levels(c: &mut Criterion) {
     g.finish();
 }
 
+/// The engine matrix: `{sorted, hashmap} x {1, 4} threads x {8, 12} levels`
+/// over cross joins of N = 10⁴ … 10⁶ points per side (2-d). Benchmark ids
+/// are `bops/engines/<engine>/t<threads>/L<levels>/<n>` so the JSON
+/// snapshot can be diffed field by field.
+fn bops_engine_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bops/engines");
+    g.sample_size(10);
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let (a, b) = galaxy::correlated_pair(n, n, 11);
+        for (engine, ename) in [
+            (BopsEngine::SortedMorton, "sorted"),
+            (BopsEngine::HashMap, "hashmap"),
+        ] {
+            for threads in [1usize, 4] {
+                for levels in [8u32, 12] {
+                    let cfg = BopsConfig::dyadic(levels)
+                        .with_engine(engine)
+                        .with_threads(threads);
+                    g.throughput(Throughput::Elements(2 * n as u64));
+                    g.bench_function(
+                        BenchmarkId::new(format!("{ename}/t{threads}/L{levels}"), n),
+                        |bench| {
+                            bench.iter(|| bops_plot_cross(&a, &b, &cfg).unwrap());
+                        },
+                    );
+                }
+            }
+        }
+    }
+    g.finish();
+}
+
 fn streaming_updates(c: &mut Criterion) {
     let mut g = c.benchmark_group("bops/streaming");
     let bounds = Aabb {
@@ -90,6 +130,32 @@ fn streaming_updates(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bops_vs_size, bops_vs_dimension, bops_vs_levels, streaming_updates
+    targets = bops_vs_size, bops_vs_dimension, bops_vs_levels, bops_engine_matrix,
+              streaming_updates
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let results = criterion::take_results();
+    let mut json = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let elements = match r.throughput {
+            Some(criterion::Throughput::Elements(n)) => n as i64,
+            _ => -1,
+        };
+        json.push_str(&format!(
+            "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"iters\": {}, \"elements\": {}}}{}\n",
+            r.name,
+            r.mean_ns,
+            r.min_ns,
+            r.iters,
+            elements,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bops.json");
+    std::fs::write(out, json).expect("write BENCH_bops.json");
+    println!("wrote {out}");
+}

@@ -12,9 +12,15 @@ fn generators(c: &mut Criterion) {
     g.bench_function("sierpinski", |b| b.iter(|| sierpinski::triangle(n, 1)));
     g.bench_function("streets", |b| b.iter(|| roads::street_network(n, 1)));
     g.bench_function("water", |b| b.iter(|| water::drainage(n, 1)));
-    g.bench_function("political", |b| b.iter(|| boundary::nested_boundaries(n, 1)));
-    g.bench_function("galaxy_pair", |b| b.iter(|| galaxy::correlated_pair(n, n, 1)));
-    g.bench_function("eigenfaces_16d", |b| b.iter(|| manifold::eigenfaces_like(n, 1)));
+    g.bench_function("political", |b| {
+        b.iter(|| boundary::nested_boundaries(n, 1))
+    });
+    g.bench_function("galaxy_pair", |b| {
+        b.iter(|| galaxy::correlated_pair(n, n, 1))
+    });
+    g.bench_function("eigenfaces_16d", |b| {
+        b.iter(|| manifold::eigenfaces_like(n, 1))
+    });
     g.finish();
 }
 

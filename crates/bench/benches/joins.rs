@@ -39,9 +39,7 @@ fn join_metrics(c: &mut Criterion) {
             BenchmarkId::from_parameter(metric.name()),
             &metric,
             |bench, &m| {
-                bench.iter(|| {
-                    pair_count(JoinAlgorithm::KdTree, a.points(), b.points(), 0.01, m)
-                });
+                bench.iter(|| pair_count(JoinAlgorithm::KdTree, a.points(), b.points(), 0.01, m));
             },
         );
     }

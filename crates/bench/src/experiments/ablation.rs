@@ -4,9 +4,7 @@
 
 use std::time::Instant;
 
-use sjpl_core::{
-    bops_plot_self, pc_plot_self, BopsConfig, FitOptions, PcPlotConfig,
-};
+use sjpl_core::{bops_plot_self, pc_plot_self, BopsConfig, FitOptions, PcPlotConfig};
 use sjpl_geom::Metric;
 use sjpl_index::{self_pair_count, JoinAlgorithm};
 

@@ -58,10 +58,7 @@ pub fn run(w: &Workbench, r: &mut Report) {
             ]
         })
         .collect();
-    r.table(
-        &["c", "r_c estimated", "r_c true", "ratio"],
-        &rows,
-    );
+    r.table(&["c", "r_c estimated", "r_c true", "ratio"], &rows);
     let worst = cs
         .iter()
         .zip(truth.iter())

@@ -13,8 +13,8 @@ pub fn run(w: &Workbench, r: &mut Report) {
         "in linear scales PC(r) hugs the axes; in log-log scales it is \
          almost a straight line over a significant range (Law 1).",
     );
-    let plot = pc_plot_cross(&w.geo.streets, &w.geo.water, &PcPlotConfig::default())
-        .expect("pc plot");
+    let plot =
+        pc_plot_cross(&w.geo.streets, &w.geo.water, &PcPlotConfig::default()).expect("pc plot");
     let series: Vec<(f64, f64)> = plot
         .radii()
         .iter()

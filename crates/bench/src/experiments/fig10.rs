@@ -39,7 +39,10 @@ fn panel(r: &mut Report, label: &str, a: &PointSet<2>, b: &PointSet<2>) {
         ]);
     }
     r.line(&format!("--- {label} ---"));
-    r.table(&["sampling", "alpha (PC)", "alpha (BOPS)", "disagreement"], &rows);
+    r.table(
+        &["sampling", "alpha (PC)", "alpha (BOPS)", "disagreement"],
+        &rows,
+    );
 }
 
 /// Extension trait lookalike: fit with window selection, falling back to a

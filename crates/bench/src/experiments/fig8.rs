@@ -16,7 +16,11 @@ pub fn run(w: &Workbench, r: &mut Report) {
     );
     let g = &w.geo;
     let panels = [
-        ("dev x exp", pc_cross_law(&g.galaxy_dev, &g.galaxy_exp), 1.915),
+        (
+            "dev x exp",
+            pc_cross_law(&g.galaxy_dev, &g.galaxy_exp),
+            1.915,
+        ),
         ("dev self", pc_self_law(&g.galaxy_dev), 1.876),
         ("exp self", pc_self_law(&g.galaxy_exp), 1.928),
         ("pol x wat", pc_cross_law(&g.political, &g.water), 1.835),
@@ -43,6 +47,10 @@ pub fn run(w: &Workbench, r: &mut Report) {
     r.finding(&format!(
         "every join is power-law (min r^2 {min_r2:.4}); all exponents {} 2 — \
          self-similar, below the embedding dimension, matching the paper's shape.",
-        if all_sub2 { "stay below" } else { "do NOT stay below" }
+        if all_sub2 {
+            "stay below"
+        } else {
+            "do NOT stay below"
+        }
     ));
 }

@@ -14,18 +14,8 @@ pub fn run(w: &Workbench, r: &mut Report) {
          nowhere near E = 16, so uniformity assumptions are hopeless.",
     );
     let panels = [
-        (
-            "lyf self",
-            pc_self_law(&w.lyf),
-            bops_self_law(&w.lyf),
-            4.49,
-        ),
-        (
-            "tyf self",
-            pc_self_law(&w.tyf),
-            bops_self_law(&w.tyf),
-            5.4,
-        ),
+        ("lyf self", pc_self_law(&w.lyf), bops_self_law(&w.lyf), 4.49),
+        ("tyf self", pc_self_law(&w.tyf), bops_self_law(&w.tyf), 5.4),
         (
             "lyf x tyf",
             pc_cross_law(&w.lyf, &w.tyf),

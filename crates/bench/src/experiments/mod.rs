@@ -17,11 +17,11 @@ pub mod table5;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sjpl_core::BopsConfig;
 use sjpl_core::{
     bops_plot_cross, bops_plot_self, pc_plot_cross, pc_plot_self, FitOptions, PairCountLaw,
     PcPlotConfig,
 };
-use sjpl_core::BopsConfig;
 use sjpl_geom::PointSet;
 use sjpl_stats::sampling::sample_rate;
 

@@ -42,7 +42,10 @@ pub fn run(_w: &Workbench, r: &mut Report) {
             format!("{:.0}x", pc / bops.max(1e-9)),
         ]);
     }
-    r.table(&["N (per set)", "PC-plot (s)", "BOPS (s)", "speedup"], &rows);
+    r.table(
+        &["N (per set)", "PC-plot (s)", "BOPS (s)", "speedup"],
+        &rows,
+    );
     // Empirical growth orders from the two timing series.
     let order = |series: &[(f64, f64)]| {
         let (n0, t0) = series[0];

@@ -39,7 +39,15 @@ fn cross_errors(a: &PointSet<2>, b: &PointSet<2>) -> (f64, f64) {
         .expect("bops")
         .fit(&opts)
         .expect("fit");
-    let exact = |r: f64| pair_count(JoinAlgorithm::KdTree, a.points(), b.points(), r, Metric::Linf);
+    let exact = |r: f64| {
+        pair_count(
+            JoinAlgorithm::KdTree,
+            a.points(),
+            b.points(),
+            r,
+            Metric::Linf,
+        )
+    };
     (law_error(&pc, exact), law_error(&bops, exact))
 }
 
@@ -76,19 +84,11 @@ pub fn run(w: &Workbench, r: &mut Report) {
     ];
     let rows: Vec<Vec<String>> = joins
         .iter()
-        .map(|(name, (pc, bops))| {
-            vec![
-                (*name).into(),
-                format!("{pc:.3}"),
-                format!("{bops:.3}"),
-            ]
-        })
+        .map(|(name, (pc, bops))| vec![(*name).into(), format!("{pc:.3}"), format!("{bops:.3}")])
         .collect();
     r.table(&["join", "PC-plot est. error", "BOPS est. error"], &rows);
-    let pc_avg: f64 =
-        joins.iter().map(|(_, (p, _))| p).sum::<f64>() / joins.len() as f64;
-    let bops_avg: f64 =
-        joins.iter().map(|(_, (_, b))| b).sum::<f64>() / joins.len() as f64;
+    let pc_avg: f64 = joins.iter().map(|(_, (p, _))| p).sum::<f64>() / joins.len() as f64;
+    let bops_avg: f64 = joins.iter().map(|(_, (_, b))| b).sum::<f64>() / joins.len() as f64;
     let wins = joins.iter().filter(|(_, (p, b))| p <= b).count();
     r.finding(&format!(
         "PC-plot estimation averages {:.1}% error, BOPS {:.1}%; PC is at \

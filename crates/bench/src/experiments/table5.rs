@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use sjpl_core::{bops_plot_cross, pc_plot_cross, BopsConfig, FitOptions, PcPlotConfig};
+use sjpl_core::{bops_plot_cross, pc_plot_cross, BopsConfig, BopsEngine, FitOptions, PcPlotConfig};
 use sjpl_geom::PointSet;
 
 use crate::data::Workbench;
@@ -27,6 +27,27 @@ fn time_pair<const D: usize>(a: &PointSet<D>, b: &PointSet<D>) -> (f64, f64) {
     let _ = plot.fit(&opts);
     let bops_time = t0.elapsed().as_secs_f64();
     (pc_time, bops_time)
+}
+
+/// Times one engine configuration on a cross pair, seconds (best of 3 —
+/// these runs are short enough that a stray scheduler hiccup dominates a
+/// single measurement).
+fn time_engine<const D: usize>(
+    a: &PointSet<D>,
+    b: &PointSet<D>,
+    engine: BopsEngine,
+    threads: usize,
+) -> f64 {
+    let cfg = BopsConfig::default()
+        .with_engine(engine)
+        .with_threads(threads);
+    (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            bops_plot_cross(a, b, &cfg).expect("bops");
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
 }
 
 pub fn run(w: &Workbench, r: &mut Report) {
@@ -104,6 +125,35 @@ pub fn run(w: &Workbench, r: &mut Report) {
         })
         .collect();
     r.table(&["datasets", "PC-plot (s)", "BOPS (s)", "speedup"], &rows);
+
+    // Engine shoot-out on the same pairs: the single-sort Morton engine vs
+    // the per-level HashMap pass, single-threaded and with 4 workers. Both
+    // produce bit-identical plots; only the clock differs.
+    let engine_rows: Vec<Vec<String>> = pairs
+        .iter()
+        .map(|(name, a, b)| {
+            let hash1 = time_engine(a, b, BopsEngine::HashMap, 1);
+            let sort1 = time_engine(a, b, BopsEngine::SortedMorton, 1);
+            let sort4 = time_engine(a, b, BopsEngine::SortedMorton, 4);
+            vec![
+                (*name).into(),
+                format!("{:.4}", hash1),
+                format!("{:.4}", sort1),
+                format!("{:.1}x", hash1 / sort1.max(1e-9)),
+                format!("{:.4}", sort4),
+            ]
+        })
+        .collect();
+    r.table(
+        &[
+            "datasets",
+            "hashmap x1 (s)",
+            "sorted x1 (s)",
+            "sorted gain",
+            "sorted x4 (s)",
+        ],
+        &engine_rows,
+    );
 
     let full_speedups: Vec<f64> = rows_raw.iter().map(|r| r.pc / r.bops.max(1e-9)).collect();
     let best = full_speedups.iter().cloned().fold(0.0f64, f64::max);

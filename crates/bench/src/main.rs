@@ -79,11 +79,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             }
             "--markdown" => {
                 i += 1;
-                markdown = Some(
-                    argv.get(i)
-                        .ok_or("missing value for --markdown")?
-                        .clone(),
-                );
+                markdown = Some(argv.get(i).ok_or("missing value for --markdown")?.clone());
             }
             other if cmd.is_none() && !other.starts_with('-') => {
                 cmd = Some(other.to_owned());

@@ -36,8 +36,9 @@ options:
   --levels <n>         BOPS grid levels               [default 12]
   --ratio <x>          BOPS grid-side shrink factor   [default 0.5; 0.8 if dim > 6]
   --metric <m>         l1 | l2 | linf | <p>           [default linf]
-  --threads <n>        worker threads for PC plots
+  --threads <n>        worker threads for PC plots and BOPS [default: all CPUs]
   --method <m>         pc | bops (estimate, catalog-add)  [default bops]
+  --engine <e>         BOPS engine: auto | sorted | hashmap  [default auto]
   --algo <a>           nested-loop | grid | kd-tree | r-tree | plane-sweep | z-order
   -k <n>               neighbor count for knn         [default 1]";
 
@@ -95,6 +96,8 @@ fn catalog_add_typed<const D: usize>(orig: &Options, data_opts: &Options) -> Res
     let bops_cfg = BopsConfig {
         levels: orig.levels.unwrap_or(12),
         ratio: orig.ratio.unwrap_or(if D > 6 { 0.8 } else { 0.5 }),
+        engine: orig.engine.unwrap_or_default(),
+        threads: orig.threads.unwrap_or(0),
     };
     let pc_cfg = PcPlotConfig::default();
     let fit_opts = FitOptions::default();
@@ -274,6 +277,9 @@ fn run_typed<const D: usize>(o: &Options, kind: CmdKind) -> Result<(), String> {
     let bops_cfg = BopsConfig {
         levels: o.levels.unwrap_or(bops_default.levels),
         ratio: o.ratio.unwrap_or(bops_default.ratio),
+        engine: o.engine.unwrap_or_default(),
+        // `--threads` governs BOPS too; unset means one thread per CPU.
+        threads: o.threads.unwrap_or(0),
     };
     match kind {
         CmdKind::PcPlot => {
@@ -306,8 +312,9 @@ fn run_typed<const D: usize>(o: &Options, kind: CmdKind) -> Result<(), String> {
             let r = o.radius.ok_or("estimate needs --radius")?;
             let method = o.method.as_deref().unwrap_or("bops");
             let law = match (method, &b) {
-                ("bops", Some(b)) => bops_plot_cross(&a, b, &bops_cfg)
-                    .and_then(|p| p.fit(&fit_opts)),
+                ("bops", Some(b)) => {
+                    bops_plot_cross(&a, b, &bops_cfg).and_then(|p| p.fit(&fit_opts))
+                }
                 ("bops", None) => bops_plot_self(&a, &bops_cfg).and_then(|p| p.fit(&fit_opts)),
                 ("pc", Some(b)) => pc_plot_cross(&a, b, &pc_cfg).and_then(|p| p.fit(&fit_opts)),
                 ("pc", None) => pc_plot_self(&a, &pc_cfg).and_then(|p| p.fit(&fit_opts)),
@@ -488,8 +495,22 @@ mod tests {
         let dir = tmpdir();
         let pa = dir.join("a.csv");
         let pb = dir.join("b.csv");
-        run(&sv(&["generate", "streets", "800", "1", pa.to_str().unwrap()])).unwrap();
-        run(&sv(&["generate", "water", "800", "2", pb.to_str().unwrap()])).unwrap();
+        run(&sv(&[
+            "generate",
+            "streets",
+            "800",
+            "1",
+            pa.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "generate",
+            "water",
+            "800",
+            "2",
+            pb.to_str().unwrap(),
+        ]))
+        .unwrap();
         run(&sv(&[
             "bops",
             pa.to_str().unwrap(),
@@ -535,7 +556,14 @@ mod tests {
     fn eigenfaces_generate_is_16d() {
         let dir = tmpdir();
         let p = dir.join("faces.csv");
-        run(&sv(&["generate", "eigenfaces", "3000", "3", p.to_str().unwrap()])).unwrap();
+        run(&sv(&[
+            "generate",
+            "eigenfaces",
+            "3000",
+            "3",
+            p.to_str().unwrap(),
+        ]))
+        .unwrap();
         assert_eq!(detect_dim(p.to_str().unwrap()).unwrap(), 16);
         // 16-d: the high-dimensional BOPS schedule kicks in by default.
         run(&sv(&["dim", p.to_str().unwrap()])).unwrap();
@@ -552,7 +580,14 @@ mod tests {
         let dir = tmpdir();
         let full = dir.join("full.csv");
         let sub = dir.join("sub.csv");
-        run(&sv(&["generate", "uniform", "1000", "1", full.to_str().unwrap()])).unwrap();
+        run(&sv(&[
+            "generate",
+            "uniform",
+            "1000",
+            "1",
+            full.to_str().unwrap(),
+        ]))
+        .unwrap();
         run(&sv(&[
             "sample",
             full.to_str().unwrap(),
@@ -563,7 +598,14 @@ mod tests {
         .unwrap();
         let s: sjpl_geom::PointSet<2> = read_csv(&sub).unwrap();
         assert_eq!(s.len(), 100);
-        assert!(run(&sv(&["sample", full.to_str().unwrap(), "2.0", "7", sub.to_str().unwrap()])).is_err());
+        assert!(run(&sv(&[
+            "sample",
+            full.to_str().unwrap(),
+            "2.0",
+            "7",
+            sub.to_str().unwrap()
+        ]))
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -584,7 +626,14 @@ mod tests {
         let dir = tmpdir();
         let data = dir.join("g.csv");
         let cat = dir.join("laws.tsv");
-        run(&sv(&["generate", "galaxy-dev", "2000", "3", data.to_str().unwrap()])).unwrap();
+        run(&sv(&[
+            "generate",
+            "galaxy-dev",
+            "2000",
+            "3",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
         run(&sv(&[
             "catalog-add",
             cat.to_str().unwrap(),

@@ -7,19 +7,52 @@
 //! scales and fitting a line recovers the pair-count exponent in O(N+M)
 //! per grid level instead of O(N·M).
 //!
-//! Following Figure 7 verbatim: normalize the joint address space to the
-//! unit hyper-cube (valid by Observation 2), then for each grid side
-//! `s = 1/2^j` count occupancies in one pass and sum the products.
-//! Occupancies live in a hash map keyed by cell coordinates, so memory is
-//! proportional to *occupied* cells — essential for the 16-d eigenfaces
-//! case where a dense grid is unthinkable.
+//! # Engines
+//!
+//! Two interchangeable engines produce **bit-identical** `BOPS(s)` values
+//! (the occupancy products are exact integer sums, independent of
+//! evaluation order):
+//!
+//! * [`BopsEngine::SortedMorton`] — the fast path for the paper's dyadic
+//!   schedule (`ratio = 0.5`). Each point is quantized **once** at the
+//!   finest grid level and bit-interleaved into a Morton key
+//!   ([`sjpl_index::MortonKey`]); both key arrays are sorted once
+//!   (parallel chunk-sort + merge). Because a cell of the grid `k` levels
+//!   coarser is exactly the `D·k`-bit prefix of the finest-level key,
+//!   *every* level's product-sum is then one linear co-scan of the two
+//!   sorted arrays under a prefix shift — zero hashing, zero per-level
+//!   allocation, and the levels scan in parallel.
+//! * [`BopsEngine::HashMap`] — the Figure 7 algorithm, verbatim: one
+//!   occupancy map per level, memory proportional to *occupied* cells.
+//!   Required for non-dyadic ratios (where coarser cells are not aligned
+//!   prefixes) and for `D · levels > 128` (where the Morton key overflows
+//!   `u128`, e.g. 16-d with a deep dyadic schedule). Hashing is FxHash —
+//!   cell coordinates need no DoS resistance — and with `threads > 1`
+//!   each thread fills a partial map over its chunk of the input, merged
+//!   at the end.
+//!
+//! [`BopsEngine::Auto`] (the default) picks SortedMorton whenever the
+//! config allows it.
 
-use std::collections::HashMap;
-
-use sjpl_geom::{NormalizeInfo, PointSet};
+use sjpl_geom::{NormalizeInfo, Point, PointSet};
+use sjpl_index::{par_sort_unstable, FxHashMap, MortonKey};
 use sjpl_stats::{fit_loglog, FitOptions};
 
 use crate::{CoreError, JoinKind, PairCountLaw};
+
+/// Which counting engine evaluates the occupancy product-sums.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BopsEngine {
+    /// Sorted-Morton when the config is dyadic and the key fits 128 bits,
+    /// HashMap otherwise.
+    #[default]
+    Auto,
+    /// Force the single-sort Morton-key engine. Construction fails with
+    /// [`CoreError::BadConfig`] if `ratio != 0.5` or `D · levels > 128`.
+    SortedMorton,
+    /// Force the per-level occupancy-map engine.
+    HashMap,
+}
 
 /// Configuration for a BOPS plot.
 #[derive(Clone, Copy, Debug)]
@@ -36,6 +69,12 @@ pub struct BopsConfig {
     /// samples the usable scale range much more densely at the same
     /// asymptotic cost.
     pub ratio: f64,
+    /// Counting engine; see [`BopsEngine`].
+    pub engine: BopsEngine,
+    /// Worker threads for quantization, sorting, and per-level counting.
+    /// `1` (the default) is fully sequential; `0` means "one per available
+    /// CPU".
+    pub threads: usize,
 }
 
 impl Default for BopsConfig {
@@ -43,6 +82,8 @@ impl Default for BopsConfig {
         BopsConfig {
             levels: 12,
             ratio: 0.5,
+            engine: BopsEngine::Auto,
+            threads: 1,
         }
     }
 }
@@ -51,7 +92,11 @@ impl BopsConfig {
     /// A dyadic configuration (`s = 1/2^j`) with the given level count —
     /// exactly the paper's Figure 7 grid schedule.
     pub fn dyadic(levels: u32) -> Self {
-        BopsConfig { levels, ratio: 0.5 }
+        BopsConfig {
+            levels,
+            ratio: 0.5,
+            ..BopsConfig::default()
+        }
     }
 
     /// A configuration tuned for high embedding dimensions: gentle side
@@ -60,7 +105,24 @@ impl BopsConfig {
         BopsConfig {
             levels: 16,
             ratio: 0.8,
+            ..BopsConfig::default()
         }
+    }
+
+    /// Same config with a forced engine.
+    pub fn with_engine(self, engine: BopsEngine) -> Self {
+        BopsConfig { engine, ..self }
+    }
+
+    /// Same config with a worker-thread budget (`0` = one per CPU).
+    pub fn with_threads(self, threads: usize) -> Self {
+        BopsConfig { threads, ..self }
+    }
+
+    /// `true` when the level schedule is the paper's dyadic one, i.e. every
+    /// coarser cell is an aligned union of finer cells.
+    fn is_dyadic(&self) -> bool {
+        self.ratio == 0.5
     }
 
     fn sides(&self) -> Vec<f64> {
@@ -166,14 +228,20 @@ impl BopsPlot {
     }
 }
 
+/// The grid coordinate of `x` (normalized to `[0, 1]`) on an axis with
+/// `cells` cells of side `s`. The point at exactly 1.0 belongs to the last
+/// cell. **Both engines must quantize through this one function** — the
+/// bit-exactness guarantee starts here.
 #[inline]
-fn cell_key<const D: usize>(p: &sjpl_geom::Point<D>, cells_per_axis: u64, s: f64) -> [u32; D] {
+fn cell_coord(x: f64, s: f64, cells: u64) -> u32 {
+    ((x / s) as u64).min(cells - 1) as u32
+}
+
+#[inline]
+fn cell_key<const D: usize>(p: &Point<D>, cells_per_axis: u64, s: f64) -> [u32; D] {
     let mut k = [0u32; D];
     for i in 0..D {
-        // Normalized coordinates lie in [0,1]; the point at exactly 1.0
-        // belongs to the last cell.
-        let idx = (p[i] / s) as u64;
-        k[i] = idx.min(cells_per_axis - 1) as u32;
+        k[i] = cell_coord(p[i], s, cells_per_axis);
     }
     k
 }
@@ -203,40 +271,362 @@ fn check_cfg(cfg: &BopsConfig) -> Result<(), CoreError> {
     Ok(())
 }
 
-/// Builds the BOPS plot of a cross join — the Figure 7 algorithm.
-/// O((N+M) · levels · D) time, memory proportional to occupied cells.
+/// The engine actually used after `Auto` resolution, including the Morton
+/// key width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ResolvedEngine {
+    Sorted64,
+    Sorted128,
+    Hash,
+}
+
+fn resolve_engine<const D: usize>(cfg: &BopsConfig) -> Result<ResolvedEngine, CoreError> {
+    let key_bits = D as u32 * cfg.levels;
+    match cfg.engine {
+        BopsEngine::HashMap => Ok(ResolvedEngine::Hash),
+        BopsEngine::SortedMorton => {
+            if !cfg.is_dyadic() {
+                Err(CoreError::BadConfig(format!(
+                    "SortedMorton engine requires the dyadic schedule (ratio = 0.5), got {}",
+                    cfg.ratio
+                )))
+            } else if key_bits > 128 {
+                Err(CoreError::BadConfig(format!(
+                    "SortedMorton engine needs D x levels <= 128 key bits, got {D} x {} = \
+                     {key_bits}; reduce levels or use the HashMap engine",
+                    cfg.levels
+                )))
+            } else if key_bits <= 64 {
+                Ok(ResolvedEngine::Sorted64)
+            } else {
+                Ok(ResolvedEngine::Sorted128)
+            }
+        }
+        BopsEngine::Auto => {
+            if cfg.is_dyadic() && key_bits <= 64 {
+                Ok(ResolvedEngine::Sorted64)
+            } else if cfg.is_dyadic() && key_bits <= 128 {
+                Ok(ResolvedEngine::Sorted128)
+            } else {
+                Ok(ResolvedEngine::Hash)
+            }
+        }
+    }
+}
+
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
+
+/// Don't fan work out below this many points per thread — thread spawns
+/// would dominate.
+const MIN_POINTS_PER_THREAD: usize = 4096;
+
+fn data_threads(len: usize, threads: usize) -> usize {
+    threads.max(1).min((len / MIN_POINTS_PER_THREAD).max(1))
+}
+
+// ---------------------------------------------------------------------------
+// Sorted-Morton engine
+// ---------------------------------------------------------------------------
+
+/// Quantizes every point at the finest dyadic level and interleaves the
+/// coordinates into Morton keys, fanning out over `threads`.
+fn morton_keys<K: MortonKey, const D: usize>(
+    pts: &[Point<D>],
+    levels: u32,
+    threads: usize,
+) -> Vec<K> {
+    let s = 0.5f64.powi(levels as i32);
+    let cells = 1u64 << levels;
+    let key_of = |p: &Point<D>| {
+        let mut idx = [0u32; D];
+        for d in 0..D {
+            idx[d] = cell_coord(p[d], s, cells);
+        }
+        K::interleave(&idx, levels)
+    };
+    let mut keys = vec![K::default(); pts.len()];
+    let t = data_threads(pts.len(), threads);
+    if t <= 1 {
+        for (k, p) in keys.iter_mut().zip(pts) {
+            *k = key_of(p);
+        }
+    } else {
+        let chunk = pts.len().div_ceil(t);
+        let key_of = &key_of;
+        crossbeam::thread::scope(|sc| {
+            for (kc, pc) in keys.chunks_mut(chunk).zip(pts.chunks(chunk)) {
+                sc.spawn(move |_| {
+                    for (k, p) in kc.iter_mut().zip(pc) {
+                        *k = key_of(p);
+                    }
+                });
+            }
+        })
+        .expect("morton-key worker panicked");
+    }
+    keys
+}
+
+/// Runs `count_level` for every level, striping levels across up to
+/// `threads` workers (each level is an independent linear scan).
+fn per_level<F>(levels: u32, threads: usize, count_level: F) -> Vec<u64>
+where
+    F: Fn(u32) -> u64 + Sync,
+{
+    let t = threads.max(1).min(levels as usize);
+    if t <= 1 {
+        return (0..levels).map(&count_level).collect();
+    }
+    let mut values = vec![0u64; levels as usize];
+    let count_level = &count_level;
+    let partials = crossbeam::thread::scope(|sc| {
+        let handles: Vec<_> = (0..t)
+            .map(|w| {
+                sc.spawn(move |_| {
+                    (w as u32..levels)
+                        .step_by(t)
+                        .map(|i| (i, count_level(i)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("level worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope failed");
+    for (i, v) in partials.into_iter().flatten() {
+        values[i as usize] = v;
+    }
+    values
+}
+
+/// `Σᵢ C_{A,i}·C_{B,i}` at one dyadic level: co-scan two sorted key arrays,
+/// comparing keys truncated by `shift` bits (the enclosing coarse cell),
+/// multiplying run lengths of equal prefixes.
+fn cross_prefix_product_sum<K: MortonKey>(a: &[K], b: &[K], shift: u32) -> u64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut total = 0u64;
+    while i < a.len() && j < b.len() {
+        let pa = a[i].shr(shift);
+        let pb = b[j].shr(shift);
+        if pa < pb {
+            i += 1;
+        } else if pb < pa {
+            j += 1;
+        } else {
+            let mut ra = 1;
+            while i + ra < a.len() && a[i + ra].shr(shift) == pa {
+                ra += 1;
+            }
+            let mut rb = 1;
+            while j + rb < b.len() && b[j + rb].shr(shift) == pb {
+                rb += 1;
+            }
+            total += ra as u64 * rb as u64;
+            i += ra;
+            j += rb;
+        }
+    }
+    total
+}
+
+/// `Σᵢ C_i(C_i−1)/2` at one dyadic level: run lengths of equal prefixes in
+/// one sorted key array.
+fn self_prefix_pair_sum<K: MortonKey>(a: &[K], shift: u32) -> u64 {
+    let mut i = 0usize;
+    let mut total = 0u64;
+    while i < a.len() {
+        let p = a[i].shr(shift);
+        let mut run = 1;
+        while i + run < a.len() && a[i + run].shr(shift) == p {
+            run += 1;
+        }
+        total += run as u64 * (run as u64 - 1) / 2;
+        i += run;
+    }
+    total
+}
+
+/// Values for all levels (finest first) via the single-sort engine, cross
+/// join.
+fn sorted_values_cross<K: MortonKey, const D: usize>(
+    a: &[Point<D>],
+    b: &[Point<D>],
+    levels: u32,
+    threads: usize,
+) -> Vec<u64> {
+    let mut ka = morton_keys::<K, D>(a, levels, threads);
+    let mut kb = morton_keys::<K, D>(b, levels, threads);
+    par_sort_unstable(&mut ka, threads);
+    par_sort_unstable(&mut kb, threads);
+    per_level(levels, threads, |i| {
+        cross_prefix_product_sum(&ka, &kb, D as u32 * i)
+    })
+}
+
+/// Values for all levels (finest first) via the single-sort engine, self
+/// join.
+fn sorted_values_self<K: MortonKey, const D: usize>(
+    a: &[Point<D>],
+    levels: u32,
+    threads: usize,
+) -> Vec<u64> {
+    let mut ka = morton_keys::<K, D>(a, levels, threads);
+    par_sort_unstable(&mut ka, threads);
+    per_level(levels, threads, |i| self_prefix_pair_sum(&ka, D as u32 * i))
+}
+
+// ---------------------------------------------------------------------------
+// HashMap engine (Figure 7 verbatim, FxHash, thread-partial maps)
+// ---------------------------------------------------------------------------
+
+/// Splits `pts` into exactly `t` chunks (trailing ones possibly empty) so
+/// worker `i` always has a slice to own.
+fn chunks_padded<T>(pts: &[T], t: usize) -> Vec<&[T]> {
+    let chunk = pts.len().div_ceil(t).max(1);
+    let mut out: Vec<&[T]> = pts.chunks(chunk).collect();
+    out.resize(t, &[]);
+    out
+}
+
+/// One level of the cross-join product-sum via occupancy maps.
+fn hashmap_level_cross<const D: usize>(
+    a: &[Point<D>],
+    b: &[Point<D>],
+    s: f64,
+    threads: usize,
+) -> u64 {
+    let cells = cells_per_axis(s);
+    let t = data_threads(a.len() + b.len(), threads);
+    let mut occ: FxHashMap<[u32; D], (u64, u64)> = FxHashMap::default();
+    if t <= 1 {
+        for p in a {
+            occ.entry(cell_key(p, cells, s)).or_insert((0, 0)).0 += 1;
+        }
+        for p in b {
+            occ.entry(cell_key(p, cells, s)).or_insert((0, 0)).1 += 1;
+        }
+    } else {
+        let a_chunks = chunks_padded(a, t);
+        let b_chunks = chunks_padded(b, t);
+        let partials = crossbeam::thread::scope(|sc| {
+            let handles: Vec<_> = a_chunks
+                .into_iter()
+                .zip(b_chunks)
+                .map(|(ac, bc)| {
+                    sc.spawn(move |_| {
+                        let mut local: FxHashMap<[u32; D], (u64, u64)> = FxHashMap::default();
+                        for p in ac {
+                            local.entry(cell_key(p, cells, s)).or_insert((0, 0)).0 += 1;
+                        }
+                        for p in bc {
+                            local.entry(cell_key(p, cells, s)).or_insert((0, 0)).1 += 1;
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("occupancy worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("crossbeam scope failed");
+        for partial in partials {
+            for (k, (ca, cb)) in partial {
+                let e = occ.entry(k).or_insert((0, 0));
+                e.0 += ca;
+                e.1 += cb;
+            }
+        }
+    }
+    occ.values().map(|&(ca, cb)| ca * cb).sum()
+}
+
+/// One level of the self-join pair-sum via occupancy maps.
+fn hashmap_level_self<const D: usize>(a: &[Point<D>], s: f64, threads: usize) -> u64 {
+    let cells = cells_per_axis(s);
+    let t = data_threads(a.len(), threads);
+    let mut occ: FxHashMap<[u32; D], u64> = FxHashMap::default();
+    if t <= 1 {
+        for p in a {
+            *occ.entry(cell_key(p, cells, s)).or_insert(0) += 1;
+        }
+    } else {
+        let partials = crossbeam::thread::scope(|sc| {
+            let handles: Vec<_> = chunks_padded(a, t)
+                .into_iter()
+                .map(|ac| {
+                    sc.spawn(move |_| {
+                        let mut local: FxHashMap<[u32; D], u64> = FxHashMap::default();
+                        for p in ac {
+                            *local.entry(cell_key(p, cells, s)).or_insert(0) += 1;
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("occupancy worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("crossbeam scope failed");
+        for partial in partials {
+            for (k, c) in partial {
+                *occ.entry(k).or_insert(0) += c;
+            }
+        }
+    }
+    occ.values().map(|&c| c * (c - 1) / 2).sum()
+}
+
+// ---------------------------------------------------------------------------
+// Public plot builders
+// ---------------------------------------------------------------------------
+
+/// Builds the BOPS plot of a cross join — Figure 7's product-sums, computed
+/// by the engine the config selects (see the module docs). O(N+M) per grid
+/// level either way; the sorted engine quantizes and sorts only once for
+/// all levels.
 pub fn bops_plot_cross<const D: usize>(
     a: &PointSet<D>,
     b: &PointSet<D>,
     cfg: &BopsConfig,
 ) -> Result<BopsPlot, CoreError> {
     check_cfg(cfg)?;
+    let engine = resolve_engine::<D>(cfg)?;
     if a.is_empty() || b.is_empty() {
         return Err(CoreError::Geom(sjpl_geom::GeomError::EmptySet));
     }
     let info = NormalizeInfo::from_sets(&[a, b])?;
     let na = a.normalized(&info);
     let nb = b.normalized(&info);
-    let mut radii = Vec::with_capacity(cfg.levels as usize);
-    let mut values = Vec::with_capacity(cfg.levels as usize);
-    let mut sides = Vec::with_capacity(cfg.levels as usize);
-    for s in cfg.sides() {
-        let cells = cells_per_axis(s);
-        let mut occ: HashMap<[u32; D], (u64, u64)> = HashMap::new();
-        for p in na.iter() {
-            occ.entry(cell_key(p, cells, s)).or_insert((0, 0)).0 += 1;
+    let threads = resolve_threads(cfg.threads);
+    let sides = cfg.sides();
+    let values: Vec<u64> = match engine {
+        ResolvedEngine::Sorted64 => {
+            sorted_values_cross::<u64, D>(na.points(), nb.points(), cfg.levels, threads)
         }
-        for p in nb.iter() {
-            occ.entry(cell_key(p, cells, s)).or_insert((0, 0)).1 += 1;
+        ResolvedEngine::Sorted128 => {
+            sorted_values_cross::<u128, D>(na.points(), nb.points(), cfg.levels, threads)
         }
-        let bops: u64 = occ.values().map(|&(ca, cb)| ca * cb).sum();
-        radii.push(info.invert_dist(s / 2.0));
-        values.push(bops as f64);
-        sides.push(s);
-    }
+        ResolvedEngine::Hash => sides
+            .iter()
+            .map(|&s| hashmap_level_cross(na.points(), nb.points(), s, threads))
+            .collect(),
+    };
     Ok(BopsPlot {
-        radii,
-        values,
+        radii: sides.iter().map(|&s| info.invert_dist(s / 2.0)).collect(),
+        values: values.into_iter().map(|v| v as f64).collect(),
         sides_normalized: sides,
         kind: JoinKind::Cross,
         n: a.len(),
@@ -254,28 +644,27 @@ pub fn bops_plot_self<const D: usize>(
     cfg: &BopsConfig,
 ) -> Result<BopsPlot, CoreError> {
     check_cfg(cfg)?;
+    let engine = resolve_engine::<D>(cfg)?;
     if a.len() < 2 {
         return Err(CoreError::Geom(sjpl_geom::GeomError::EmptySet));
     }
     let info = NormalizeInfo::from_sets(&[a])?;
     let na = a.normalized(&info);
-    let mut radii = Vec::with_capacity(cfg.levels as usize);
-    let mut values = Vec::with_capacity(cfg.levels as usize);
-    let mut sides = Vec::with_capacity(cfg.levels as usize);
-    for s in cfg.sides() {
-        let cells = cells_per_axis(s);
-        let mut occ: HashMap<[u32; D], u64> = HashMap::new();
-        for p in na.iter() {
-            *occ.entry(cell_key(p, cells, s)).or_insert(0) += 1;
+    let threads = resolve_threads(cfg.threads);
+    let sides = cfg.sides();
+    let values: Vec<u64> = match engine {
+        ResolvedEngine::Sorted64 => sorted_values_self::<u64, D>(na.points(), cfg.levels, threads),
+        ResolvedEngine::Sorted128 => {
+            sorted_values_self::<u128, D>(na.points(), cfg.levels, threads)
         }
-        let bops: u64 = occ.values().map(|&c| c * (c - 1) / 2).sum();
-        radii.push(info.invert_dist(s / 2.0));
-        values.push(bops as f64);
-        sides.push(s);
-    }
+        ResolvedEngine::Hash => sides
+            .iter()
+            .map(|&s| hashmap_level_self(na.points(), s, threads))
+            .collect(),
+    };
     Ok(BopsPlot {
-        radii,
-        values,
+        radii: sides.iter().map(|&s| info.invert_dist(s / 2.0)).collect(),
+        values: values.into_iter().map(|v| v as f64).collect(),
         sides_normalized: sides,
         kind: JoinKind::SelfJoin,
         n: a.len(),
@@ -286,7 +675,6 @@ pub fn bops_plot_self<const D: usize>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sjpl_geom::Point;
 
     fn uniform(n: usize, seed: u64) -> PointSet<2> {
         sjpl_datagen::uniform::unit_cube::<2>(n, seed)
@@ -378,10 +766,7 @@ mod tests {
         // The same data at 10× scale must give radii 10× larger with the
         // same BOPS values (Observation 2 in action).
         let a = uniform(300, 7);
-        let scaled = PointSet::new(
-            "scaled",
-            a.iter().map(|p| *p * 10.0).collect::<Vec<_>>(),
-        );
+        let scaled = PointSet::new("scaled", a.iter().map(|p| *p * 10.0).collect::<Vec<_>>());
         let p1 = bops_plot_self(&a, &BopsConfig::dyadic(6)).unwrap();
         let p2 = bops_plot_self(&scaled, &BopsConfig::dyadic(6)).unwrap();
         assert_eq!(p1.values(), p2.values());
@@ -404,6 +789,90 @@ mod tests {
         let empty = PointSet::<2>::empty("e");
         assert!(bops_plot_self(&empty, &BopsConfig::default()).is_err());
         assert!(bops_plot_cross(&empty, &a, &BopsConfig::default()).is_err());
+    }
+
+    #[test]
+    fn forced_sorted_engine_rejects_unsupported_configs() {
+        let a = uniform(50, 12);
+        // Non-dyadic ratio: coarser cells are not key prefixes.
+        let cfg = BopsConfig {
+            ratio: 0.8,
+            ..BopsConfig::default()
+        }
+        .with_engine(BopsEngine::SortedMorton);
+        assert!(matches!(
+            bops_plot_self(&a, &cfg),
+            Err(CoreError::BadConfig(_))
+        ));
+        // 16-d x 12 levels = 192 key bits > 128.
+        let hd = sjpl_datagen::manifold::eigenfaces_like(100, 1);
+        let cfg = BopsConfig::dyadic(12).with_engine(BopsEngine::SortedMorton);
+        assert!(matches!(
+            bops_plot_self(&hd, &cfg),
+            Err(CoreError::BadConfig(_))
+        ));
+        // ...but 8 levels (128 bits) still fits, via the u128 key.
+        let cfg = BopsConfig::dyadic(8).with_engine(BopsEngine::SortedMorton);
+        assert!(bops_plot_self(&hd, &cfg).is_ok());
+    }
+
+    #[test]
+    fn auto_resolution_picks_the_expected_engine() {
+        assert_eq!(
+            resolve_engine::<2>(&BopsConfig::dyadic(12)).unwrap(),
+            ResolvedEngine::Sorted64
+        );
+        assert_eq!(
+            resolve_engine::<8>(&BopsConfig::dyadic(12)).unwrap(),
+            ResolvedEngine::Sorted128
+        );
+        assert_eq!(
+            resolve_engine::<16>(&BopsConfig::dyadic(12)).unwrap(),
+            ResolvedEngine::Hash
+        );
+        assert_eq!(
+            resolve_engine::<2>(&BopsConfig::high_dimensional()).unwrap(),
+            ResolvedEngine::Hash
+        );
+        assert_eq!(
+            resolve_engine::<2>(&BopsConfig::dyadic(12).with_engine(BopsEngine::HashMap)).unwrap(),
+            ResolvedEngine::Hash
+        );
+    }
+
+    #[test]
+    fn engines_agree_bit_for_bit_on_cross_and_self() {
+        let a = uniform(1_500, 21);
+        let b = uniform(1_200, 22);
+        let base = BopsConfig::dyadic(10);
+        let sorted = base.with_engine(BopsEngine::SortedMorton);
+        let hashed = base.with_engine(BopsEngine::HashMap);
+        let pc_s = bops_plot_cross(&a, &b, &sorted).unwrap();
+        let pc_h = bops_plot_cross(&a, &b, &hashed).unwrap();
+        assert_eq!(pc_s.values(), pc_h.values());
+        let ps_s = bops_plot_self(&a, &sorted).unwrap();
+        let ps_h = bops_plot_self(&a, &hashed).unwrap();
+        assert_eq!(ps_s.values(), ps_h.values());
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_values() {
+        let a = uniform(3_000, 23);
+        let b = uniform(2_000, 24);
+        for engine in [BopsEngine::SortedMorton, BopsEngine::HashMap] {
+            let seq = bops_plot_cross(&a, &b, &BopsConfig::dyadic(9).with_engine(engine)).unwrap();
+            for threads in [2, 4, 16, 0] {
+                let par = bops_plot_cross(
+                    &a,
+                    &b,
+                    &BopsConfig::dyadic(9)
+                        .with_engine(engine)
+                        .with_threads(threads),
+                )
+                .unwrap();
+                assert_eq!(seq.values(), par.values(), "{engine:?} threads {threads}");
+            }
+        }
     }
 
     #[test]

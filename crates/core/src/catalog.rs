@@ -80,7 +80,12 @@ impl LawCatalog {
             write!(
                 line,
                 "{name}\t{kind}\t{}\t{}\t{:e}\t{:e}\t{:e}\t{:e}\t{:e}",
-                law.n, law.m, law.exponent, law.k, law.fit.x_lo, law.fit.x_hi,
+                law.n,
+                law.m,
+                law.exponent,
+                law.k,
+                law.fit.x_lo,
+                law.fit.x_hi,
                 law.fit.line.r_squared
             )
             .expect("writing to String cannot fail");
@@ -113,8 +118,9 @@ impl LawCatalog {
                 )));
             }
             let parse = |s: &str| -> Result<f64, CoreError> {
-                s.parse()
-                    .map_err(|_| CoreError::BadConfig(format!("bad number {s:?} on line {}", idx + 1)))
+                s.parse().map_err(|_| {
+                    CoreError::BadConfig(format!("bad number {s:?} on line {}", idx + 1))
+                })
             };
             let kind = match fields[1] {
                 "cross" => JoinKind::Cross,
@@ -252,12 +258,8 @@ mod tests {
     #[test]
     fn bad_inputs_are_rejected() {
         assert!(LawCatalog::load_reader("one\ttwo\n".as_bytes()).is_err());
-        assert!(
-            LawCatalog::load_reader("n\tcross\t1\t2\tx\t1\t1\t1\t1\n".as_bytes()).is_err()
-        );
-        assert!(
-            LawCatalog::load_reader("n\tdiagonal\t1\t2\t1\t1\t1\t1\t1\n".as_bytes()).is_err()
-        );
+        assert!(LawCatalog::load_reader("n\tcross\t1\t2\tx\t1\t1\t1\t1\n".as_bytes()).is_err());
+        assert!(LawCatalog::load_reader("n\tdiagonal\t1\t2\t1\t1\t1\t1\t1\n".as_bytes()).is_err());
         let mut cat = LawCatalog::new();
         cat.insert("bad\tname", make_law());
         let mut buf = Vec::new();

@@ -159,7 +159,12 @@ impl SelectivityEstimator {
                 // use the exact pair-count ratio so tiny sets stay right.
                 let full_pairs = a.len() as f64 * (a.len() as f64 - 1.0) / 2.0;
                 let samp_pairs = sa.len() as f64 * (sa.len() as f64 - 1.0) / 2.0;
-                rescale_law(sample_law, full_pairs / samp_pairs.max(1.0), a.len(), a.len())
+                rescale_law(
+                    sample_law,
+                    full_pairs / samp_pairs.max(1.0),
+                    a.len(),
+                    a.len(),
+                )
             }
         };
         Ok(SelectivityEstimator {
@@ -202,8 +207,8 @@ impl SelectivityEstimator {
 mod tests {
     use super::*;
     use sjpl_datagen::uniform;
-    use sjpl_index::{pair_count, JoinAlgorithm};
     use sjpl_geom::Metric;
+    use sjpl_index::{pair_count, JoinAlgorithm};
 
     #[test]
     fn both_methods_estimate_uniform_cross_join_well() {
@@ -216,8 +221,13 @@ mod tests {
             let est = SelectivityEstimator::from_cross(&a, &b, method).unwrap();
             // Mid-range radius: compare against exact count.
             let r = 0.05;
-            let exact =
-                pair_count(JoinAlgorithm::KdTree, a.points(), b.points(), r, Metric::Linf) as f64;
+            let exact = pair_count(
+                JoinAlgorithm::KdTree,
+                a.points(),
+                b.points(),
+                r,
+                Metric::Linf,
+            ) as f64;
             let got = est.estimate_pair_count(r);
             let rel = (got - exact).abs() / exact;
             assert!(
@@ -344,12 +354,9 @@ mod tests {
     fn selectivity_is_in_unit_interval() {
         let a = uniform::unit_cube::<2>(800, 5);
         let b = uniform::unit_cube::<2>(900, 6);
-        let est = SelectivityEstimator::from_cross(
-            &a,
-            &b,
-            EstimationMethod::Bops(BopsConfig::default()),
-        )
-        .unwrap();
+        let est =
+            SelectivityEstimator::from_cross(&a, &b, EstimationMethod::Bops(BopsConfig::default()))
+                .unwrap();
         for r in [1e-6, 1e-3, 0.1, 1.0, 100.0] {
             let s = est.estimate_selectivity(r);
             assert!((0.0..=1.0).contains(&s), "selectivity {s} at r {r}");

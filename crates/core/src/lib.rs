@@ -77,13 +77,11 @@ mod law;
 mod pc_plot;
 pub mod streaming;
 
-pub use bops::{bops_plot_cross, bops_plot_self, BopsConfig, BopsPlot};
+pub use bops::{bops_plot_cross, bops_plot_self, BopsConfig, BopsEngine, BopsPlot};
 pub use catalog::LawCatalog;
 pub use error::CoreError;
 pub use estimator::{EstimationMethod, SelectivityEstimator};
-pub use fractal::{
-    correlation_dimension_bops, correlation_dimension_exact, generalized_dimension,
-};
+pub use fractal::{correlation_dimension_bops, correlation_dimension_exact, generalized_dimension};
 pub use invariance::{random_rotation, shuffled_copy};
 pub use law::{JoinKind, PairCountLaw};
 pub use pc_plot::{pc_plot_cross, pc_plot_self, PcPlot, PcPlotConfig};

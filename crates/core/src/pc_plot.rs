@@ -265,10 +265,7 @@ mod tests {
             // Bin-edge float fuzz can shift pairs whose distance equals an
             // edge; allow a relative sliver.
             let diff = (c as i64 - exact as i64).unsigned_abs();
-            assert!(
-                diff <= 1 + exact / 1000,
-                "r={r}: plot {c} vs exact {exact}"
-            );
+            assert!(diff <= 1 + exact / 1000, "r={r}: plot {c} vs exact {exact}");
         }
     }
 

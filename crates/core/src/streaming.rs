@@ -197,8 +197,16 @@ impl<const D: usize> StreamingBops<D> {
     /// number of points seen.
     pub fn law(&self, opts: &FitOptions) -> Result<PairCountLaw, CoreError> {
         let pts = self.plot();
-        let xs: Vec<f64> = pts.iter().filter(|&&(_, v)| v > 0.0).map(|&(x, _)| x).collect();
-        let ys: Vec<f64> = pts.iter().filter(|&&(_, v)| v > 0.0).map(|&(_, v)| v).collect();
+        let xs: Vec<f64> = pts
+            .iter()
+            .filter(|&&(_, v)| v > 0.0)
+            .map(|&(x, _)| x)
+            .collect();
+        let ys: Vec<f64> = pts
+            .iter()
+            .filter(|&&(_, v)| v > 0.0)
+            .map(|&(_, v)| v)
+            .collect();
         if xs.is_empty() {
             return Err(CoreError::NoPairs);
         }

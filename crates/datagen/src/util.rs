@@ -82,7 +82,9 @@ mod tests {
     fn normal_with_params() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut n = Normal::new();
-        let samples: Vec<f64> = (0..100_000).map(|_| n.sample_with(&mut rng, 10.0, 2.0)).collect();
+        let samples: Vec<f64> = (0..100_000)
+            .map(|_| n.sample_with(&mut rng, 10.0, 2.0))
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - 10.0).abs() < 0.05);
     }

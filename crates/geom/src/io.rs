@@ -100,11 +100,7 @@ mod tests {
     fn roundtrip_preserves_points() {
         let set = PointSet::new(
             "t",
-            vec![
-                Point([1.5, -2.25]),
-                Point([0.1, 0.2]),
-                Point([1e-10, 1e10]),
-            ],
+            vec![Point([1.5, -2.25]), Point([0.1, 0.2]), Point([1e-10, 1e10])],
         );
         let mut buf = Vec::new();
         write_csv_writer(&mut buf, &set).unwrap();

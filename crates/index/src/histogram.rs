@@ -11,6 +11,19 @@
 use sjpl_geom::{Metric, Point};
 use sjpl_stats::LogHistogram;
 
+/// Minimum rows of `A` handed to one worker thread. Below this, the
+/// per-thread histogram clone + spawn + merge costs more than the chunk's
+/// distance computations, so the thread count is clamped down rather than
+/// fanning out tiny slices.
+pub const MIN_ROWS_PER_THREAD: usize = 1024;
+
+/// Threads that are actually worth spawning for `rows` outer-loop rows.
+fn effective_threads(rows: usize, threads: usize) -> usize {
+    threads
+        .max(1)
+        .min(rows.div_ceil(MIN_ROWS_PER_THREAD).max(1))
+}
+
 /// Sequential exact pass: records the distance of every cross pair
 /// `(a, b) ∈ A × B` into `hist`.
 pub fn cross_distance_histogram<const D: usize>(
@@ -44,7 +57,8 @@ pub fn self_distance_histogram<const D: usize>(
 
 /// Multi-threaded exact cross pass: splits `A` into chunks, one histogram
 /// clone per thread, merged at the end. Exact same counts as the sequential
-/// version.
+/// version. The thread count is clamped so no worker gets fewer than
+/// [`MIN_ROWS_PER_THREAD`] rows of `A`.
 pub fn par_cross_distance_histogram<const D: usize>(
     a: &[Point<D>],
     b: &[Point<D>],
@@ -52,7 +66,7 @@ pub fn par_cross_distance_histogram<const D: usize>(
     hist: &mut LogHistogram,
     threads: usize,
 ) {
-    let threads = threads.max(1).min(a.len().max(1));
+    let threads = effective_threads(a.len(), threads);
     if threads == 1 {
         cross_distance_histogram(a, b, metric, hist);
         return;
@@ -83,14 +97,15 @@ pub fn par_cross_distance_histogram<const D: usize>(
 
 /// Multi-threaded exact self pass. Work is split by strided rows (row `i`
 /// costs `n − i − 1` inner iterations, so contiguous chunks would be badly
-/// unbalanced; striding balances within ~1 row).
+/// unbalanced; striding balances within ~1 row). The thread count is
+/// clamped as in [`par_cross_distance_histogram`].
 pub fn par_self_distance_histogram<const D: usize>(
     a: &[Point<D>],
     metric: Metric,
     hist: &mut LogHistogram,
     threads: usize,
 ) {
-    let threads = threads.max(1).min(a.len().max(1));
+    let threads = effective_threads(a.len(), threads);
     if threads == 1 {
         self_distance_histogram(a, metric, hist);
         return;
@@ -159,7 +174,10 @@ mod tests {
     #[test]
     fn cumulative_matches_brute_force_count() {
         let a = grid_points(4);
-        let b: Vec<Point<2>> = grid_points(4).iter().map(|p| *p + Point([0.3, 0.1])).collect();
+        let b: Vec<Point<2>> = grid_points(4)
+            .iter()
+            .map(|p| *p + Point([0.3, 0.1]))
+            .collect();
         let mut h = LogHistogram::new(1e-2, 20.0, 24).unwrap();
         cross_distance_histogram(&a, &b, Metric::Linf, &mut h);
         for (edge, count) in h.cumulative() {
@@ -199,6 +217,40 @@ mod tests {
             par_self_distance_histogram(&a, Metric::L1, &mut hp, threads);
             assert_eq!(hp.counts(), hs.counts(), "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn thread_count_clamps_to_min_chunk_rows() {
+        // Below one chunk's worth of rows everything collapses to 1 thread;
+        // beyond that, one thread per started chunk, never more than asked.
+        assert_eq!(effective_threads(0, 8), 1);
+        assert_eq!(effective_threads(MIN_ROWS_PER_THREAD, 8), 1);
+        assert_eq!(effective_threads(MIN_ROWS_PER_THREAD + 1, 8), 2);
+        assert_eq!(effective_threads(10 * MIN_ROWS_PER_THREAD, 4), 4);
+        assert_eq!(effective_threads(3 * MIN_ROWS_PER_THREAD, 64), 3);
+        assert_eq!(effective_threads(usize::MAX, 0), 1);
+    }
+
+    #[test]
+    fn parallel_path_exact_above_clamp_threshold() {
+        // 1.5 chunks of rows: 2 workers actually spawn, counts stay exact.
+        let n = MIN_ROWS_PER_THREAD * 3 / 2;
+        let a: Vec<Point<2>> = (0..n)
+            .map(|i| Point([(i % 53) as f64, (i % 31) as f64]))
+            .collect();
+        let b = grid_points(4);
+        let mut hs = LogHistogram::new(1e-2, 100.0, 20).unwrap();
+        cross_distance_histogram(&a, &b, Metric::L2, &mut hs);
+        let mut hp = LogHistogram::new(1e-2, 100.0, 20).unwrap();
+        par_cross_distance_histogram(&a, &b, Metric::L2, &mut hp, 8);
+        assert_eq!(hp.counts(), hs.counts());
+        assert_eq!(hp.total(), (n * b.len()) as u64);
+
+        let mut ss = LogHistogram::new(1e-2, 100.0, 20).unwrap();
+        self_distance_histogram(&a[..MIN_ROWS_PER_THREAD + 100], Metric::L2, &mut ss);
+        let mut sp = LogHistogram::new(1e-2, 100.0, 20).unwrap();
+        par_self_distance_histogram(&a[..MIN_ROWS_PER_THREAD + 100], Metric::L2, &mut sp, 8);
+        assert_eq!(sp.counts(), ss.counts());
     }
 
     #[test]

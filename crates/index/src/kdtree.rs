@@ -336,10 +336,12 @@ impl<const D: usize> KdTree<D> {
                 c
             }
             (true, false) => {
-                self.self_join_rec(u, nv.left, r, metric) + self.self_join_rec(u, nv.right, r, metric)
+                self.self_join_rec(u, nv.left, r, metric)
+                    + self.self_join_rec(u, nv.right, r, metric)
             }
             (false, true) => {
-                self.self_join_rec(nu.left, v, r, metric) + self.self_join_rec(nu.right, v, r, metric)
+                self.self_join_rec(nu.left, v, r, metric)
+                    + self.self_join_rec(nu.right, v, r, metric)
             }
             (false, false) => {
                 if nu.len() >= nv.len() {
@@ -409,7 +411,9 @@ fn build_rec<const D: usize>(
         }
         let mid = (end - start) / 2;
         pts[start..end].select_nth_unstable_by(mid, |a, b| {
-            a[axis].partial_cmp(&b[axis]).expect("NaN coordinate in kd-tree build")
+            a[axis]
+                .partial_cmp(&b[axis])
+                .expect("NaN coordinate in kd-tree build")
         });
         let left = build_rec(pts, start, start + mid, nodes);
         let right = build_rec(pts, start + mid, end, nodes);

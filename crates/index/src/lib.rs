@@ -18,9 +18,13 @@
 //!   split) for workloads that insert while querying.
 //! * [`sweep`] — a plane-sweep distance join for low dimensions.
 //! * [`zorder`] — a Morton-curve sorted-array index with implicit-quadtree
-//!   search (the [ORE 86] lineage the related work opens with).
+//!   search (the [ORE 86] lineage the related work opens with), plus the
+//!   [`MortonKey`] interleaving trait reused by sjpl-core's BOPS engine.
 //! * [`join`] — one uniform entry point over all algorithms, used by the
 //!   cross-algorithm agreement tests and the benchmark harness.
+//! * [`psort`] — parallel chunk-sort + merge for `Ord + Copy` arrays.
+//! * [`fxhash`] — the Fx multiplicative hasher and `FxHashMap` alias for
+//!   hot hash paths keyed by small integer tuples.
 //!
 //! Pair-count semantics follow the paper exactly: cross joins count ordered
 //! `(a, b)` pairs (up to `N·M`); self joins omit self-pairs and count each
@@ -29,18 +33,22 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fxhash;
 pub mod grid;
 pub mod histogram;
 pub mod join;
 pub mod kdtree;
+pub mod psort;
 pub mod rtree;
 pub mod rtree_dyn;
 pub mod sweep;
 pub mod zorder;
 
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use grid::UniformGrid;
 pub use join::{pair_count, self_pair_count, JoinAlgorithm};
 pub use kdtree::KdTree;
+pub use psort::par_sort_unstable;
 pub use rtree::RTree;
 pub use rtree_dyn::DynRTree;
-pub use zorder::ZOrderIndex;
+pub use zorder::{MortonKey, ZOrderIndex};

@@ -1,0 +1,145 @@
+//! Parallel unstable sort: chunk-sort on scoped threads, then bottom-up
+//! pairwise merging. Built for the BOPS sorted-Morton engine, where two
+//! large key arrays are each sorted exactly once and then co-scanned per
+//! grid level, but generic over any `Ord + Copy` element.
+//!
+//! The split mirrors the workspace's other data-parallel code
+//! (`histogram.rs`): crossbeam scoped threads, a minimum chunk size so tiny
+//! inputs never pay thread-spawn overhead, and results identical to the
+//! sequential path.
+
+/// Below this many elements per thread, extra threads cost more than they
+/// save.
+const MIN_CHUNK: usize = 16 * 1024;
+
+/// Number of workers actually worth spawning for `len` elements.
+fn effective_threads(len: usize, threads: usize) -> usize {
+    threads.max(1).min(len.div_ceil(MIN_CHUNK).max(1))
+}
+
+/// Sorts `data` ascending using up to `threads` worker threads. With one
+/// thread (or a small input) this is exactly `slice::sort_unstable`.
+pub fn par_sort_unstable<T: Ord + Copy + Send + Sync>(data: &mut [T], threads: usize) {
+    let threads = effective_threads(data.len(), threads);
+    if threads <= 1 {
+        data.sort_unstable();
+        return;
+    }
+    let n = data.len();
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for part in data.chunks_mut(chunk) {
+            s.spawn(move |_| part.sort_unstable());
+        }
+    })
+    .expect("sort worker panicked");
+
+    // Bottom-up merge rounds, ping-ponging between `data` and an aux
+    // buffer; each round merges adjacent sorted runs of width `width` into
+    // disjoint output regions, one scoped thread per pair.
+    let mut aux = data.to_vec();
+    let mut width = chunk;
+    let mut result_in_aux = false;
+    while width < n {
+        {
+            let (src, dst): (&[T], &mut [T]) = if result_in_aux {
+                (&aux, &mut *data)
+            } else {
+                (&*data, &mut aux)
+            };
+            crossbeam::thread::scope(|s| {
+                let mut rest = dst;
+                let mut start = 0;
+                while start < n {
+                    let mid = (start + width).min(n);
+                    let end = (start + 2 * width).min(n);
+                    let (region, tail) = rest.split_at_mut(end - start);
+                    rest = tail;
+                    let (a, b) = (&src[start..mid], &src[mid..end]);
+                    s.spawn(move |_| merge_into(a, b, region));
+                    start = end;
+                }
+            })
+            .expect("merge worker panicked");
+        }
+        result_in_aux = !result_in_aux;
+        width *= 2;
+    }
+    if result_in_aux {
+        data.copy_from_slice(&aux);
+    }
+}
+
+/// Merges two sorted slices into `out` (`out.len() == a.len() + b.len()`).
+fn merge_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut [T]) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
+        if take_a {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_u64s(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<u64>() % 1000).collect()
+    }
+
+    #[test]
+    fn matches_sequential_sort_across_thread_counts() {
+        for n in [0usize, 1, 2, 100, 10_000, 100_000] {
+            let base = random_u64s(n, n as u64);
+            let mut expect = base.clone();
+            expect.sort_unstable();
+            for threads in [1, 2, 3, 7, 16] {
+                let mut got = base.clone();
+                par_sort_unstable(&mut got, threads);
+                assert_eq!(got, expect, "n {n} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_do_not_fan_out() {
+        // With fewer elements than MIN_CHUNK one worker handles it all.
+        assert_eq!(effective_threads(10, 64), 1);
+        assert_eq!(effective_threads(MIN_CHUNK, 64), 1);
+        assert_eq!(effective_threads(MIN_CHUNK + 1, 64), 2);
+        assert_eq!(effective_threads(0, 4), 1);
+        // Thread budget still caps the fan-out.
+        assert_eq!(effective_threads(1_000_000, 4), 4);
+    }
+
+    #[test]
+    fn merge_handles_empty_and_duplicate_runs() {
+        let mut out = vec![0u32; 3];
+        merge_into(&[1, 2, 3], &[], &mut out);
+        assert_eq!(out, [1, 2, 3]);
+        let mut out = vec![0u32; 6];
+        merge_into(&[2, 2, 5], &[2, 3, 5], &mut out);
+        assert_eq!(out, [2, 2, 2, 3, 5, 5]);
+    }
+
+    #[test]
+    fn already_sorted_and_reverse_sorted() {
+        let mut asc: Vec<u64> = (0..50_000).collect();
+        let expect = asc.clone();
+        par_sort_unstable(&mut asc, 8);
+        assert_eq!(asc, expect);
+        let mut desc: Vec<u64> = (0..50_000).rev().collect();
+        par_sort_unstable(&mut desc, 8);
+        assert_eq!(desc, expect);
+    }
+}

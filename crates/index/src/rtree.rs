@@ -183,9 +183,7 @@ impl<const D: usize> RTree<D> {
     /// Dual-tree self join: unordered pairs within `r`, self-pairs omitted.
     pub fn self_join_count(&self, r: f64, metric: Metric) -> u64 {
         match self.root {
-            Some(root) if self.len() >= 2 && r >= 0.0 => {
-                self.self_join_rec(root, root, r, metric)
-            }
+            Some(root) if self.len() >= 2 && r >= 0.0 => self.self_join_rec(root, root, r, metric),
             _ => 0,
         }
     }

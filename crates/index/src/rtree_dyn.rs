@@ -85,8 +85,7 @@ impl<const D: usize> DynRTree<D> {
             let bbox = self.nodes[left as usize]
                 .bbox
                 .union(&self.nodes[right as usize].bbox);
-            let size =
-                self.nodes[left as usize].size + self.nodes[right as usize].size;
+            let size = self.nodes[left as usize].size + self.nodes[right as usize].size;
             self.nodes.push(Node {
                 bbox,
                 size,
@@ -142,10 +141,9 @@ impl<const D: usize> DynRTree<D> {
     /// group; the new right node gets the other. Returns `(node, right)`.
     fn split_leaf(&mut self, node: u32) -> (u32, u32) {
         let ni = node as usize;
-        let NodeKind::Leaf(points) = std::mem::replace(
-            &mut self.nodes[ni].kind,
-            NodeKind::Leaf(Vec::new()),
-        ) else {
+        let NodeKind::Leaf(points) =
+            std::mem::replace(&mut self.nodes[ni].kind, NodeKind::Leaf(Vec::new()))
+        else {
             unreachable!("split_leaf on internal node");
         };
         let (ga, gb) = quadratic_split(points, |p| Aabb::from_point(*p));
@@ -165,10 +163,9 @@ impl<const D: usize> DynRTree<D> {
     /// Quadratic split of an overflowing internal node.
     fn split_internal(&mut self, node: u32) -> (u32, u32) {
         let ni = node as usize;
-        let NodeKind::Internal(children) = std::mem::replace(
-            &mut self.nodes[ni].kind,
-            NodeKind::Internal(Vec::new()),
-        ) else {
+        let NodeKind::Internal(children) =
+            std::mem::replace(&mut self.nodes[ni].kind, NodeKind::Internal(Vec::new()))
+        else {
             unreachable!("split_internal on leaf");
         };
         let boxes: Vec<Aabb<D>> = children
@@ -178,9 +175,7 @@ impl<const D: usize> DynRTree<D> {
         let paired: Vec<(u32, Aabb<D>)> = children.into_iter().zip(boxes).collect();
         let (ga, gb) = quadratic_split(paired, |(_, b)| *b);
         let summarize = |group: &[(u32, Aabb<D>)], nodes: &[Node<D>]| {
-            let bbox = group
-                .iter()
-                .fold(Aabb::empty(), |acc, (_, b)| acc.union(b));
+            let bbox = group.iter().fold(Aabb::empty(), |acc, (_, b)| acc.union(b));
             let size = group
                 .iter()
                 .map(|(c, _)| nodes[*c as usize].size)
@@ -240,8 +235,7 @@ impl<const D: usize> DynRTree<D> {
             };
             if under {
                 self.collect_points(node, &mut orphans);
-                let NodeKind::Internal(children) = &mut self.nodes[parent as usize].kind
-                else {
+                let NodeKind::Internal(children) = &mut self.nodes[parent as usize].kind else {
                     unreachable!("parents on the path are internal");
                 };
                 children.retain(|&c| c != node);
@@ -354,9 +348,7 @@ impl<const D: usize> DynRTree<D> {
         }
         match &n.kind {
             NodeKind::Leaf(points) => points.iter().filter(|p| w.contains(p)).count() as u64,
-            NodeKind::Internal(children) => {
-                children.iter().map(|&c| self.window_rec(c, w)).sum()
-            }
+            NodeKind::Internal(children) => children.iter().map(|&c| self.window_rec(c, w)).sum(),
         }
     }
 
@@ -379,7 +371,10 @@ impl<const D: usize> DynRTree<D> {
         match &n.kind {
             NodeKind::Leaf(points) => {
                 let thresh = metric.rdist_threshold(r);
-                points.iter().filter(|p| metric.rdist(p, q) <= thresh).count() as u64
+                points
+                    .iter()
+                    .filter(|p| metric.rdist(p, q) <= thresh)
+                    .count() as u64
             }
             NodeKind::Internal(children) => children
                 .iter()
@@ -513,10 +508,7 @@ mod tests {
         for (i, p) in pts.iter().enumerate() {
             tree.insert(*p);
             if i % 37 == 0 {
-                let brute = pts[..=i]
-                    .iter()
-                    .filter(|x| x.dist_linf(&q) <= 0.25)
-                    .count() as u64;
+                let brute = pts[..=i].iter().filter(|x| x.dist_linf(&q) <= 0.25).count() as u64;
                 assert_eq!(tree.range_count(&q, 0.25, Metric::Linf), brute, "after {i}");
             }
         }
@@ -553,7 +545,10 @@ mod tests {
         let pts = vec![Point([0.25, 0.25]); 200];
         let tree = DynRTree::from_points(&pts);
         assert_eq!(tree.len(), 200);
-        assert_eq!(tree.range_count(&Point([0.25, 0.25]), 0.0, Metric::Linf), 200);
+        assert_eq!(
+            tree.range_count(&Point([0.25, 0.25]), 0.0, Metric::Linf),
+            200
+        );
         assert_eq!(tree.range_count(&Point([0.9, 0.9]), 0.1, Metric::Linf), 0);
     }
 

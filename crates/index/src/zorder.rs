@@ -14,6 +14,85 @@
 
 use sjpl_geom::{Aabb, Metric, Point};
 
+/// An unsigned integer wide enough to hold `D · bits` interleaved bits —
+/// the key type of a Morton (Z-order) code. Implemented for `u64` and
+/// `u128`; callers pick the narrowest type that fits so the hot sort/scan
+/// paths avoid 128-bit arithmetic when 64 bits suffice (e.g. the BOPS
+/// sorted-Morton engine in `sjpl-core`).
+pub trait MortonKey: Copy + Ord + Send + Sync + Default {
+    /// Total key width in bits.
+    const WIDTH: u32;
+
+    /// Bit-interleaves `idx` (low `bits` bits of each axis), axis 0 in the
+    /// most significant position of each digit — the same layout as
+    /// [`ZOrderIndex`] keys, so cells that share a coarser-grid ancestor
+    /// share a key prefix.
+    fn interleave<const D: usize>(idx: &[u32; D], bits: u32) -> Self;
+
+    /// Logical shift right — truncating a key by `D·k` bits yields the key
+    /// of the enclosing cell `k` dyadic levels coarser.
+    fn shr(self, shift: u32) -> Self;
+}
+
+/// Spreads the low 32 bits of `x` so a zero bit separates consecutive
+/// bits ("Part1By1" magic masks) — the 2-d interleave building block.
+#[inline]
+fn spread_bits_2d(x: u64) -> u64 {
+    let mut x = x & 0xffff_ffff;
+    x = (x | (x << 16)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x << 8)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    (x | (x << 1)) & 0x5555_5555_5555_5555
+}
+
+/// Generic bit-by-bit interleave, shared by both key widths.
+#[inline]
+fn interleave_loop<const D: usize>(idx: &[u32; D], bits: u32) -> u128 {
+    let mut key = 0u128;
+    for bit in (0..bits).rev() {
+        for &v in idx.iter() {
+            key = (key << 1) | (((v >> bit) & 1) as u128);
+        }
+    }
+    key
+}
+
+impl MortonKey for u64 {
+    const WIDTH: u32 = 64;
+
+    #[inline]
+    fn interleave<const D: usize>(idx: &[u32; D], bits: u32) -> u64 {
+        debug_assert!(D as u32 * bits <= 64);
+        match D {
+            1 => idx[0] as u64,
+            // Axis 0 occupies the higher bit of each 2-bit digit.
+            2 => (spread_bits_2d(idx[0] as u64) << 1) | spread_bits_2d(idx[1] as u64),
+            _ => interleave_loop(idx, bits) as u64,
+        }
+    }
+
+    #[inline]
+    fn shr(self, shift: u32) -> u64 {
+        self >> shift
+    }
+}
+
+impl MortonKey for u128 {
+    const WIDTH: u32 = 128;
+
+    #[inline]
+    fn interleave<const D: usize>(idx: &[u32; D], bits: u32) -> u128 {
+        debug_assert!(D as u32 * bits <= 128);
+        interleave_loop(idx, bits)
+    }
+
+    #[inline]
+    fn shr(self, shift: u32) -> u128 {
+        self >> shift
+    }
+}
+
 /// Bits per axis: `D · BITS_FOR(D)` must fit a `u128` key.
 const fn bits_for(d: usize) -> u32 {
     let b = 128 / d;
@@ -155,14 +234,7 @@ impl<const D: usize> ZOrderIndex<D> {
         let mut total = 0;
         for child in 0..(1u128 << D) {
             let child_box = split_box(&cell_box, child as usize);
-            total += self.count_rec(
-                (prefix << D) | child,
-                level - 1,
-                child_box,
-                q,
-                r,
-                metric,
-            );
+            total += self.count_rec((prefix << D) | child, level - 1, child_box, q, r, metric);
         }
         total
     }
@@ -171,19 +243,12 @@ impl<const D: usize> ZOrderIndex<D> {
 /// Quantizes and bit-interleaves a point into its Morton key.
 fn morton_key<const D: usize>(p: &Point<D>, lo: &Point<D>, cell: f64, bits: u32) -> u128 {
     let max_idx = (1u64 << bits) - 1;
-    let mut idx = [0u64; D];
+    let mut idx = [0u32; D];
     for i in 0..D {
         let v = ((p[i] - lo[i]) / cell) as u64;
-        idx[i] = v.min(max_idx);
+        idx[i] = v.min(max_idx) as u32;
     }
-    let mut key = 0u128;
-    for bit in (0..bits).rev() {
-        for (axis, &v) in idx.iter().enumerate() {
-            key = (key << 1) | (((v >> bit) & 1) as u128);
-            let _ = axis;
-        }
-    }
-    key
+    u128::interleave(&idx, bits)
 }
 
 /// The sub-box of `parent` addressed by one Morton digit (`D` bits, the

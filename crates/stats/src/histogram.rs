@@ -206,12 +206,7 @@ mod tests {
         let mut h = LogHistogram::new(1.0, 1000.0, 3).unwrap();
         h.record(10.0);
         h.record(100.0);
-        let (i, _) = h
-            .counts()
-            .iter()
-            .enumerate()
-            .find(|(_, &c)| c > 0)
-            .unwrap();
+        let (i, _) = h.counts().iter().enumerate().find(|(_, &c)| c > 0).unwrap();
         let lower = if i == 0 { h.lo() } else { h.upper_edge(i - 1) };
         assert!(lower < 10.0 + 1e-9 && 10.0 <= h.upper_edge(i) + 1e-9);
         assert_eq!(h.total(), 2);

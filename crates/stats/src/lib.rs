@@ -65,7 +65,10 @@ impl fmt::Display for StatsError {
             StatsError::LengthMismatch => write!(f, "x and y slices have different lengths"),
             StatsError::DegenerateX => write!(f, "x values are all equal; line fit undefined"),
             StatsError::NonPositive { value } => {
-                write!(f, "log-log fit requires positive finite values, got {value}")
+                write!(
+                    f,
+                    "log-log fit requires positive finite values, got {value}"
+                )
             }
             StatsError::BadRate { rate } => write!(f, "rate {rate} outside [0, 1]"),
         }

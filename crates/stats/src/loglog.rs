@@ -198,7 +198,9 @@ mod tests {
     use super::*;
 
     fn power_series(k: f64, alpha: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
-        let xs: Vec<f64> = (0..n).map(|i| 10f64.powf(-2.0 + 3.0 * i as f64 / n as f64)).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|i| 10f64.powf(-2.0 + 3.0 * i as f64 / n as f64))
+            .collect();
         let ys: Vec<f64> = xs.iter().map(|x| k * x.powf(alpha)).collect();
         (xs, ys)
     }

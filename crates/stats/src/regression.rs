@@ -223,7 +223,10 @@ mod tests {
     #[test]
     fn running_fit_matches_batch_fit() {
         let xs: Vec<f64> = (0..20).map(|i| (i as f64).sqrt()).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 1.5 * x + 0.3 + (x * 7.0).sin() * 0.01).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.5 * x + 0.3 + (x * 7.0).sin() * 0.01)
+            .collect();
         let mut rf = RunningFit::default();
         for (&x, &y) in xs.iter().zip(ys.iter()) {
             rf.push(x, y);

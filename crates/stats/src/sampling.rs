@@ -85,7 +85,10 @@ mod tests {
     fn bernoulli_edge_rates() {
         let mut rng = StdRng::seed_from_u64(7);
         assert!(bernoulli_sample(&data(), 0.0, &mut rng).unwrap().is_empty());
-        assert_eq!(bernoulli_sample(&data(), 1.0, &mut rng).unwrap().len(), 10_000);
+        assert_eq!(
+            bernoulli_sample(&data(), 1.0, &mut rng).unwrap().len(),
+            10_000
+        );
     }
 
     #[test]
@@ -104,7 +107,11 @@ mod tests {
         let mut sorted = s.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), 500, "duplicates in without-replacement sample");
+        assert_eq!(
+            sorted.len(),
+            500,
+            "duplicates in without-replacement sample"
+        );
     }
 
     #[test]

@@ -17,7 +17,12 @@ use sjpl_index::{self_pair_count, JoinAlgorithm};
 
 fn main() {
     let faces = manifold::eigenfaces_like(8_000, 99);
-    println!("dataset: {} — {} x {}-d", faces.name(), faces.len(), faces.dim());
+    println!(
+        "dataset: {} — {} x {}-d",
+        faces.name(),
+        faces.len(),
+        faces.dim()
+    );
 
     let law = pc_plot_self(&faces, &PcPlotConfig::default())
         .unwrap()

@@ -40,7 +40,10 @@ fn main() {
     );
 
     // Step 3 — O(1) answers at any radius.
-    println!("\n{:>10} {:>16} {:>14}", "radius", "est. pairs", "selectivity");
+    println!(
+        "\n{:>10} {:>16} {:>14}",
+        "radius", "est. pairs", "selectivity"
+    );
     for r in [0.001, 0.005, 0.02, 0.08] {
         println!(
             "{:>10.4} {:>16.1} {:>14.3e}",

@@ -12,9 +12,7 @@
 //! sweep of radius questions in O(1) each — including after reloading the
 //! catalog from disk.
 
-use sjpl_core::{
-    BopsConfig, EstimationMethod, LawCatalog, SelectivityEstimator,
-};
+use sjpl_core::{BopsConfig, EstimationMethod, LawCatalog, SelectivityEstimator};
 use sjpl_datagen::{galaxy, roads};
 
 fn main() {
@@ -53,8 +51,8 @@ fn main() {
         "radius", "near ours", "near competition", "ratio"
     );
     for r in [0.002, 0.005, 0.01, 0.02, 0.05] {
-        let ours = SelectivityEstimator::from_law(*catalog.get("ours").unwrap())
-            .estimate_pair_count(r);
+        let ours =
+            SelectivityEstimator::from_law(*catalog.get("ours").unwrap()).estimate_pair_count(r);
         let comp = SelectivityEstimator::from_law(*catalog.get("competition").unwrap())
             .estimate_pair_count(r);
         println!(

@@ -35,7 +35,11 @@ fn bops_exponent_matches_pc_exponent_within_paper_error() {
             radius_range: Some((bops_law.fit.x_lo, bops_law.fit.x_hi)),
             ..Default::default()
         };
-        let pc = pc_plot_self(set, &pc_cfg).unwrap().fit(&opts).unwrap().exponent;
+        let pc = pc_plot_self(set, &pc_cfg)
+            .unwrap()
+            .fit(&opts)
+            .unwrap()
+            .exponent;
         let bops = bops_law.exponent;
         let rel = (pc - bops).abs() / pc;
         assert!(

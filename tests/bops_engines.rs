@@ -1,0 +1,136 @@
+//! Property tests pinning the tentpole guarantee of the BOPS engine split:
+//! the single-sort Morton engine and the per-level HashMap engine are
+//! **bit-identical** — same `BOPS(s)` values, same radii — for every input,
+//! dimension, join kind, and thread count. Any drift here means the
+//! prefix-truncation trick no longer quantizes like the per-level pass.
+
+use proptest::prelude::*;
+use sjpl_core::{bops_plot_cross, bops_plot_self, BopsConfig, BopsEngine};
+use sjpl_geom::{Point, PointSet};
+
+/// Arbitrary D-dimensional point sets over a generously scaled box, so
+/// normalization, boundary clamps, and duplicate coordinates all get hit.
+fn point_set<const D: usize>(min: usize, max: usize) -> impl Strategy<Value = PointSet<D>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, D..D + 1).prop_map(|v| {
+            let mut c = [0.0f64; D];
+            c.copy_from_slice(&v);
+            Point(c)
+        }),
+        min..max,
+    )
+    .prop_map(|v| PointSet::new("prop", v))
+}
+
+/// Cross join: both engines, both thread counts, bit-for-bit equality of
+/// values and radii against the single-threaded HashMap reference.
+fn assert_cross_engines_agree<const D: usize>(a: &PointSet<D>, b: &PointSet<D>, levels: u32) {
+    let base = BopsConfig::dyadic(levels);
+    let reference = bops_plot_cross(a, b, &base.with_engine(BopsEngine::HashMap)).unwrap();
+    for threads in [1usize, 4] {
+        for engine in [
+            BopsEngine::SortedMorton,
+            BopsEngine::HashMap,
+            BopsEngine::Auto,
+        ] {
+            let cfg = base.with_engine(engine).with_threads(threads);
+            let plot = bops_plot_cross(a, b, &cfg).unwrap();
+            assert_eq!(
+                plot.values(),
+                reference.values(),
+                "{D}-d cross values diverge: {engine:?}, {threads} threads"
+            );
+            assert_eq!(
+                plot.radii(),
+                reference.radii(),
+                "{D}-d cross radii diverge: {engine:?}, {threads} threads"
+            );
+        }
+    }
+}
+
+/// Self join: same matrix, against the single-threaded HashMap reference.
+fn assert_self_engines_agree<const D: usize>(a: &PointSet<D>, levels: u32) {
+    let base = BopsConfig::dyadic(levels);
+    let reference = bops_plot_self(a, &base.with_engine(BopsEngine::HashMap)).unwrap();
+    for threads in [1usize, 4] {
+        for engine in [
+            BopsEngine::SortedMorton,
+            BopsEngine::HashMap,
+            BopsEngine::Auto,
+        ] {
+            let cfg = base.with_engine(engine).with_threads(threads);
+            let plot = bops_plot_self(a, &cfg).unwrap();
+            assert_eq!(
+                plot.values(),
+                reference.values(),
+                "{D}-d self values diverge: {engine:?}, {threads} threads"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// 1-d: keys are the coordinates themselves (no interleaving).
+    #[test]
+    fn engines_agree_1d(a in point_set::<1>(2, 120), b in point_set::<1>(1, 120)) {
+        assert_cross_engines_agree(&a, &b, 12);
+        assert_self_engines_agree(&a, 12);
+    }
+
+    /// 2-d: the paper's main case; exercises the fast Part1By1 interleave.
+    #[test]
+    fn engines_agree_2d(a in point_set::<2>(2, 120), b in point_set::<2>(1, 120)) {
+        assert_cross_engines_agree(&a, &b, 12);
+        assert_self_engines_agree(&a, 12);
+    }
+
+    /// 3-d: odd dimension, loop interleave, 36-bit keys still in u64.
+    #[test]
+    fn engines_agree_3d(a in point_set::<3>(2, 100), b in point_set::<3>(1, 100)) {
+        assert_cross_engines_agree(&a, &b, 12);
+        assert_self_engines_agree(&a, 12);
+    }
+
+    /// 8-d: 96-bit keys force the u128 Morton path.
+    #[test]
+    fn engines_agree_8d(a in point_set::<8>(2, 80), b in point_set::<8>(1, 80)) {
+        assert_cross_engines_agree(&a, &b, 12);
+        assert_self_engines_agree(&a, 12);
+    }
+
+    /// 8-d at 16 levels = exactly 128 key bits: the u128 width boundary.
+    #[test]
+    fn engines_agree_at_the_key_width_boundary(a in point_set::<8>(2, 50)) {
+        assert_self_engines_agree(&a, 16);
+    }
+
+    /// Heavy duplication — many identical points — stresses run-length
+    /// scans (long equal-key runs) and occupancy counts far above 1.
+    #[test]
+    fn engines_agree_with_duplicates(
+        seeds in prop::collection::vec([0.0f64..4.0, 0.0f64..4.0].prop_map(Point::new), 1..6),
+        reps in 2usize..40,
+    ) {
+        let pts: Vec<Point<2>> = seeds.iter().cycle().take(seeds.len() * reps).copied().collect();
+        let a = PointSet::new("dups", pts);
+        assert_cross_engines_agree(&a, &a, 10);
+        assert_self_engines_agree(&a, 10);
+    }
+}
+
+/// A point set whose spread collapses to a single cell at coarse levels and
+/// one point per cell at fine levels — deterministic spot-check that the
+/// engine agreement holds at both occupancy extremes.
+#[test]
+fn engines_agree_on_degenerate_grids() {
+    let line: Vec<Point<2>> = (0..64).map(|i| Point([i as f64, 0.0])).collect();
+    let a = PointSet::new("line", line);
+    assert_cross_engines_agree(&a, &a, 8);
+    assert_self_engines_agree(&a, 8);
+
+    let clump = PointSet::new("clump", vec![Point([0.25, 0.25]); 33]);
+    assert_self_engines_agree(&clump, 6);
+}

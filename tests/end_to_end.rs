@@ -4,8 +4,8 @@
 //! (domain stand-ins).
 
 use sjpl_core::{
-    bops_plot_cross, bops_plot_self, pc_plot_cross, pc_plot_self, BopsConfig, FitOptions,
-    JoinKind, PcPlotConfig,
+    bops_plot_cross, bops_plot_self, pc_plot_cross, pc_plot_self, BopsConfig, FitOptions, JoinKind,
+    PcPlotConfig,
 };
 use sjpl_datagen::{galaxy, levy, manifold, roads, sierpinski, water};
 
@@ -23,7 +23,11 @@ fn sierpinski_self_join_recovers_closed_form_dimension() {
         "PC exponent {} vs log3/log2 ≈ 1.585",
         law.exponent
     );
-    assert!(law.fit.line.r_squared > 0.995, "r² {}", law.fit.line.r_squared);
+    assert!(
+        law.fit.line.r_squared > 0.995,
+        "r² {}",
+        law.fit.line.r_squared
+    );
     assert_eq!(law.kind, JoinKind::SelfJoin);
 }
 

@@ -3,9 +3,7 @@
 //! finds PC ≈ 2–7% and BOPS ≈ 14–35% on its data; our synthetic stand-ins
 //! are noisier, so the assertions check the *ordering* and loose bounds.
 
-use sjpl_core::{
-    BopsConfig, EstimationMethod, PcPlotConfig, SelectivityEstimator,
-};
+use sjpl_core::{BopsConfig, EstimationMethod, PcPlotConfig, SelectivityEstimator};
 use sjpl_datagen::{galaxy, roads, water};
 use sjpl_geom::{Metric, PointSet};
 use sjpl_index::{pair_count, self_pair_count, JoinAlgorithm};
@@ -19,7 +17,13 @@ fn cross_error(est: &SelectivityEstimator, a: &PointSet<2>, b: &PointSet<2>) -> 
     let mut pairs = Vec::new();
     for i in 0..8 {
         let r = lo * (hi / lo).powf(i as f64 / 7.0);
-        let exact = pair_count(JoinAlgorithm::KdTree, a.points(), b.points(), r, Metric::Linf);
+        let exact = pair_count(
+            JoinAlgorithm::KdTree,
+            a.points(),
+            b.points(),
+            r,
+            Metric::Linf,
+        );
         if exact >= 50 {
             pairs.push((est.estimate_pair_count(r), exact as f64));
         }

@@ -8,8 +8,11 @@ use sjpl_core::{
 use sjpl_geom::{Point, PointSet};
 
 fn point_set(min: usize, max: usize) -> impl Strategy<Value = PointSet<2>> {
-    prop::collection::vec([-50.0f64..50.0, -50.0f64..50.0].prop_map(Point::new), min..max)
-        .prop_map(|v| PointSet::new("prop", v))
+    prop::collection::vec(
+        [-50.0f64..50.0, -50.0f64..50.0].prop_map(Point::new),
+        min..max,
+    )
+    .prop_map(|v| PointSet::new("prop", v))
 }
 
 proptest! {
