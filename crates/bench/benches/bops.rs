@@ -6,7 +6,12 @@
 //!
 //! A custom `main` drains the harness registry after all groups run and
 //! writes `BENCH_bops.json` at the repository root, so engine speedups are
-//! machine-checkable across commits.
+//! machine-checkable across commits. Since schema 2 the file is an object:
+//! run metadata (`meta`), the per-benchmark `results` (each carrying the
+//! previous run's mean as `prev_mean_ns` for before/after diffing), a
+//! per-stage span breakdown of one observed BOPS run (`stages`, from the
+//! `sjpl-obs` recorder), and a disabled-vs-enabled recorder cost
+//! measurement (`obs_overhead`).
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sjpl_core::streaming::Side;
@@ -134,28 +139,121 @@ criterion_group! {
               streaming_updates
 }
 
+/// The fixed workload used for the stage breakdown and the recorder-cost
+/// measurement: a 10⁵-per-side cross join on the fast engine.
+fn observed_workload() -> (sjpl_geom::PointSet<2>, sjpl_geom::PointSet<2>, BopsConfig) {
+    let (a, b) = galaxy::correlated_pair(100_000, 100_000, 11);
+    let cfg = BopsConfig::dyadic(12)
+        .with_engine(BopsEngine::SortedMorton)
+        .with_threads(4);
+    (a, b, cfg)
+}
+
+/// Times `iters` runs of the observed workload and returns the mean in ns.
+fn mean_run_ns(a: &sjpl_geom::PointSet<2>, b: &sjpl_geom::PointSet<2>, cfg: &BopsConfig) -> f64 {
+    const ITERS: u32 = 8;
+    let t0 = std::time::Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(bops_plot_cross(a, b, cfg).unwrap());
+    }
+    t0.elapsed().as_nanos() as f64 / f64::from(ITERS)
+}
+
+/// Parses `"name": "..."` / `"mean_ns": ...` pairs from the previous
+/// BENCH_bops.json. Both the schema-1 flat array and the schema-2 object
+/// keep one result per line, so a line scan reads either. (`mean_ns` is
+/// matched with its leading quote, which skips `prev_mean_ns`.)
+fn previous_means(path: &str) -> std::collections::HashMap<String, f64> {
+    let mut map = std::collections::HashMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return map;
+    };
+    for line in text.lines() {
+        let Some(name) = line
+            .split("\"name\": \"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+        else {
+            continue;
+        };
+        let Some(mean) = line
+            .split("\"mean_ns\": ")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.trim().parse::<f64>().ok())
+        else {
+            continue;
+        };
+        map.insert(name.to_owned(), mean);
+    }
+    map
+}
+
 fn main() {
     benches();
     let results = criterion::take_results();
-    let mut json = String::from("[\n");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bops.json");
+    let prev = previous_means(out);
+
+    // Stage breakdown: one observed run with the recorder on.
+    let (a, b, cfg) = observed_workload();
+    let (_, stage_snap) = sjpl_obs::capture(|| bops_plot_cross(&a, &b, &cfg).unwrap());
+
+    // Recorder cost on the same workload: disabled vs enabled means.
+    sjpl_obs::set_enabled(false);
+    let _ = mean_run_ns(&a, &b, &cfg); // warm-up
+    let disabled_ns = mean_run_ns(&a, &b, &cfg);
+    sjpl_obs::reset();
+    sjpl_obs::set_enabled(true);
+    let enabled_ns = mean_run_ns(&a, &b, &cfg);
+    sjpl_obs::set_enabled(false);
+    sjpl_obs::reset();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::from("{\n  \"schema\": 2,\n");
+    json.push_str(&format!(
+        "  \"meta\": {{\"host_cores\": {cores}, \"engines\": [\"sorted\", \"hashmap\"], \
+         \"threads_matrix\": [1, 4], \"levels_matrix\": [8, 12], \
+         \"observed_workload\": \"cross 100k x 100k, 2-d, sorted engine, t4, L12\"}},\n"
+    ));
+    json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let elements = match r.throughput {
             Some(criterion::Throughput::Elements(n)) => n as i64,
             _ => -1,
         };
+        let prev_field = match prev.get(&r.name) {
+            Some(m) => format!(", \"prev_mean_ns\": {m:.1}"),
+            None => String::new(),
+        };
         json.push_str(&format!(
-            "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
-             \"iters\": {}, \"elements\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"iters\": {}, \"elements\": {}{}}}{}\n",
             r.name,
             r.mean_ns,
             r.min_ns,
             r.iters,
             elements,
+            prev_field,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    json.push_str("]\n");
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bops.json");
+    json.push_str("  ],\n");
+    json.push_str("  \"stages\": ");
+    json.push_str(&stage_snap.to_json().trim_end().replace('\n', "\n  "));
+    json.push_str(",\n");
+    json.push_str(&format!(
+        "  \"obs_overhead\": {{\"disabled_mean_ns\": {disabled_ns:.1}, \
+         \"enabled_mean_ns\": {enabled_ns:.1}, \"overhead_pct\": {:.2}}}\n",
+        100.0 * (enabled_ns - disabled_ns) / disabled_ns
+    ));
+    json.push_str("}\n");
     std::fs::write(out, json).expect("write BENCH_bops.json");
     println!("wrote {out}");
+    println!(
+        "recorder cost on observed workload: disabled {:.2} ms, enabled {:.2} ms ({:+.2}%)",
+        disabled_ns / 1e6,
+        enabled_ns / 1e6,
+        100.0 * (enabled_ns - disabled_ns) / disabled_ns
+    );
 }

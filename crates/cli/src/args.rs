@@ -5,6 +5,15 @@
 use sjpl_core::BopsEngine;
 use sjpl_geom::Metric;
 
+/// Output format for the `--trace` observability snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Structured JSON (machine-readable; the `sjpl-obs` snapshot schema).
+    Json,
+    /// Aligned human-readable table.
+    Pretty,
+}
+
 /// Parsed common options.
 #[derive(Debug, Clone)]
 pub struct Options {
@@ -30,6 +39,10 @@ pub struct Options {
     pub algo: Option<String>,
     /// `-k` (neighbor count).
     pub k: Option<usize>,
+    /// `--trace[=json|pretty]` (enable the observability recorder).
+    pub trace: Option<TraceFormat>,
+    /// `--obs-out <file>` (write the snapshot to a file; implies `--trace`).
+    pub obs_out: Option<String>,
 }
 
 /// Parses `argv` into [`Options`].
@@ -46,6 +59,8 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
         engine: None,
         algo: None,
         k: None,
+        trace: None,
+        obs_out: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -94,6 +109,21 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
             "-k" => {
                 let v = take_value("-k")?;
                 o.k = Some(v.parse().map_err(|_| format!("bad k {v:?}"))?);
+            }
+            "--trace" | "--trace=pretty" => {
+                o.trace = Some(TraceFormat::Pretty);
+            }
+            "--trace=json" => {
+                o.trace = Some(TraceFormat::Json);
+            }
+            flag if flag.starts_with("--trace=") => {
+                return Err(format!(
+                    "unknown trace format {:?} (use json or pretty)",
+                    &flag["--trace=".len()..]
+                ));
+            }
+            "--obs-out" => {
+                o.obs_out = Some(take_value("--obs-out")?);
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}"));
@@ -178,6 +208,27 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(parse(&sv(&["a.csv", "--radius"])).is_err());
+        assert!(parse(&sv(&["a.csv", "--obs-out"])).is_err());
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        assert_eq!(parse(&sv(&["a.csv"])).unwrap().trace, None);
+        assert_eq!(
+            parse(&sv(&["a.csv", "--trace"])).unwrap().trace,
+            Some(TraceFormat::Pretty)
+        );
+        assert_eq!(
+            parse(&sv(&["a.csv", "--trace=pretty"])).unwrap().trace,
+            Some(TraceFormat::Pretty)
+        );
+        assert_eq!(
+            parse(&sv(&["a.csv", "--trace=json"])).unwrap().trace,
+            Some(TraceFormat::Json)
+        );
+        assert!(parse(&sv(&["a.csv", "--trace=xml"])).is_err());
+        let o = parse(&sv(&["a.csv", "--trace=json", "--obs-out", "obs.json"])).unwrap();
+        assert_eq!(o.obs_out.as_deref(), Some("obs.json"));
     }
 
     #[test]

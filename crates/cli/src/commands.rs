@@ -10,7 +10,7 @@ use sjpl_core::{
 use sjpl_geom::{read_csv, write_csv, Metric, PointSet};
 use sjpl_index::{pair_count, self_pair_count, JoinAlgorithm};
 
-use crate::args::{parse, Options};
+use crate::args::{parse, Options, TraceFormat};
 
 const USAGE: &str = "\
 usage: sjpl <command> [args]
@@ -40,7 +40,11 @@ options:
   --method <m>         pc | bops (estimate, catalog-add)  [default bops]
   --engine <e>         BOPS engine: auto | sorted | hashmap  [default auto]
   --algo <a>           nested-loop | grid | kd-tree | r-tree | plane-sweep | z-order
-  -k <n>               neighbor count for knn         [default 1]";
+  -k <n>               neighbor count for knn         [default 1]
+  --trace[=json|pretty]  record spans/counters/gauges while the command runs
+                       and print the snapshot (json -> stdout, pretty -> stderr)
+  --obs-out <file>     write the snapshot to <file> instead (implies --trace;
+                       json unless --trace=pretty)";
 
 /// Entry point used by `main` (and by the tests).
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -48,7 +52,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         return Err(format!("no command given\n{USAGE}"));
     };
     let opts = parse(rest)?;
-    match cmd.as_str() {
+    let tracing = opts.trace.is_some() || opts.obs_out.is_some();
+    if tracing {
+        sjpl_obs::reset();
+        sjpl_obs::set_enabled(true);
+    }
+    let result = match cmd.as_str() {
         "generate" => cmd_generate(&opts),
         "pc-plot" => dispatch_dim(&opts, CmdKind::PcPlot),
         "bops" => dispatch_dim(&opts, CmdKind::Bops),
@@ -65,6 +74,46 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    if tracing {
+        sjpl_obs::set_enabled(false);
+        let snap = sjpl_obs::snapshot();
+        sjpl_obs::reset();
+        // Emit the snapshot even when the command failed: a trace of the
+        // work done up to the error is exactly what debugging wants.
+        emit_trace(&opts, &snap)?;
+    }
+    result
+}
+
+/// Renders the snapshot per `--trace` / `--obs-out`: JSON unless pretty was
+/// requested; to the output file when given, else JSON goes to stdout (it
+/// *is* the requested output) and pretty goes to stderr (commentary around
+/// the command's own stdout).
+fn emit_trace(o: &Options, snap: &sjpl_obs::Snapshot) -> Result<(), String> {
+    let format = o.trace.unwrap_or(TraceFormat::Json);
+    let body = match format {
+        TraceFormat::Json => snap.to_json(),
+        TraceFormat::Pretty => snap.to_pretty(),
+    };
+    match &o.obs_out {
+        Some(path) => {
+            std::fs::write(path, body.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote observability snapshot to {path}");
+        }
+        None => match format {
+            TraceFormat::Json => println!("{body}"),
+            TraceFormat::Pretty => eprintln!("{body}"),
+        },
+    }
+    Ok(())
+}
+
+/// One-line stderr note when the BOPS Auto resolution silently would have
+/// switched engines — the fallback must be visible, not just recorded.
+fn warn_fallback(plot: &sjpl_core::BopsPlot) {
+    if let Some(reason) = plot.fallback() {
+        eprintln!("note: BOPS fell back to the hashmap engine: {reason}");
     }
 }
 
@@ -102,8 +151,14 @@ fn catalog_add_typed<const D: usize>(orig: &Options, data_opts: &Options) -> Res
     let pc_cfg = PcPlotConfig::default();
     let fit_opts = FitOptions::default();
     let law = match (orig.method.as_deref().unwrap_or("bops"), &b) {
-        ("bops", Some(b)) => bops_plot_cross(&a, b, &bops_cfg).and_then(|p| p.fit(&fit_opts)),
-        ("bops", None) => bops_plot_self(&a, &bops_cfg).and_then(|p| p.fit(&fit_opts)),
+        ("bops", Some(b)) => bops_plot_cross(&a, b, &bops_cfg).and_then(|p| {
+            warn_fallback(&p);
+            p.fit(&fit_opts)
+        }),
+        ("bops", None) => bops_plot_self(&a, &bops_cfg).and_then(|p| {
+            warn_fallback(&p);
+            p.fit(&fit_opts)
+        }),
         ("pc", Some(b)) => pc_plot_cross(&a, b, &pc_cfg).and_then(|p| p.fit(&fit_opts)),
         ("pc", None) => pc_plot_self(&a, &pc_cfg).and_then(|p| p.fit(&fit_opts)),
         (m, _) => return Err(format!("unknown method {m:?}")),
@@ -301,6 +356,7 @@ fn run_typed<const D: usize>(o: &Options, kind: CmdKind) -> Result<(), String> {
                 None => bops_plot_self(&a, &bops_cfg),
             }
             .map_err(|e| e.to_string())?;
+            warn_fallback(&plot);
             println!("# radius (s/2), bops");
             for (&r, &v) in plot.radii().iter().zip(plot.values().iter()) {
                 println!("{r:.6e}, {v}");
@@ -312,10 +368,14 @@ fn run_typed<const D: usize>(o: &Options, kind: CmdKind) -> Result<(), String> {
             let r = o.radius.ok_or("estimate needs --radius")?;
             let method = o.method.as_deref().unwrap_or("bops");
             let law = match (method, &b) {
-                ("bops", Some(b)) => {
-                    bops_plot_cross(&a, b, &bops_cfg).and_then(|p| p.fit(&fit_opts))
-                }
-                ("bops", None) => bops_plot_self(&a, &bops_cfg).and_then(|p| p.fit(&fit_opts)),
+                ("bops", Some(b)) => bops_plot_cross(&a, b, &bops_cfg).and_then(|p| {
+                    warn_fallback(&p);
+                    p.fit(&fit_opts)
+                }),
+                ("bops", None) => bops_plot_self(&a, &bops_cfg).and_then(|p| {
+                    warn_fallback(&p);
+                    p.fit(&fit_opts)
+                }),
                 ("pc", Some(b)) => pc_plot_cross(&a, b, &pc_cfg).and_then(|p| p.fit(&fit_opts)),
                 ("pc", None) => pc_plot_self(&a, &pc_cfg).and_then(|p| p.fit(&fit_opts)),
                 (m, _) => return Err(format!("unknown method {m:?} (pc or bops)")),
@@ -366,6 +426,7 @@ fn run_typed<const D: usize>(o: &Options, kind: CmdKind) -> Result<(), String> {
         }
         CmdKind::Dim => {
             let plot = bops_plot_self(&a, &bops_cfg).map_err(|e| e.to_string())?;
+            warn_fallback(&plot);
             let law = plot.fit(&fit_opts).map_err(|e| e.to_string())?;
             println!(
                 "correlation fractal dimension D2 ≈ {:.4} (fit r^2 = {:.4}; embedding E = {D})",
@@ -573,6 +634,45 @@ mod tests {
     #[test]
     fn help_succeeds() {
         run(&sv(&["help"])).unwrap();
+    }
+
+    #[test]
+    fn trace_writes_a_json_snapshot() {
+        let dir = tmpdir();
+        let data = dir.join("trace_in.csv");
+        let obs = dir.join("obs.json");
+        run(&sv(&[
+            "generate",
+            "uniform",
+            "4000",
+            "11",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "bops",
+            data.to_str().unwrap(),
+            "--levels",
+            "8",
+            "--trace=json",
+            "--obs-out",
+            obs.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&obs).unwrap();
+        // The recorder is process-global and other tests run concurrently,
+        // so assert presence of this run's keys, not exact values.
+        for needle in [
+            "\"schema\": 1",
+            "bops.quantize",
+            "bops.sort",
+            "bops.scan",
+            "bops.points",
+            "fit.r_squared",
+        ] {
+            assert!(json.contains(needle), "missing {needle:?} in:\n{json}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -32,7 +32,20 @@
 //!   at the end.
 //!
 //! [`BopsEngine::Auto`] (the default) picks SortedMorton whenever the
-//! config allows it.
+//! config allows it. When it cannot (non-dyadic ratio, or `D · levels >
+//! 128`), the fallback to HashMap is **not** silent: the plot records it
+//! ([`BopsPlot::fallback`]) and an `sjpl-obs` event is emitted, so callers
+//! (the CLI prints a one-line stderr note) and traces both see the switch.
+//!
+//! # Observability
+//!
+//! The hot path is instrumented with [`sjpl_obs`] spans — `bops.normalize`,
+//! `bops.quantize`, `bops.sort`, `bops.scan` — plus the `bops.points`
+//! counter and the `bops.levels` gauge, and every fit records `fit.r_squared`
+//! / `fit.exponent` / `fit.rmse_log10` gauges. With the recorder disabled
+//! (the default) each probe is a single relaxed atomic load, measured at
+//! < 2% of the end-to-end BOPS cost (see `BENCH_bops.json`,
+//! `obs_overhead`).
 
 use sjpl_geom::{NormalizeInfo, Point, PointSet};
 use sjpl_index::{par_sort_unstable, FxHashMap, MortonKey};
@@ -146,6 +159,8 @@ pub struct BopsPlot {
     kind: JoinKind,
     n: usize,
     m: usize,
+    engine_used: &'static str,
+    fallback: Option<String>,
 }
 
 impl BopsPlot {
@@ -168,6 +183,20 @@ impl BopsPlot {
     /// Cross or self join.
     pub fn kind(&self) -> JoinKind {
         self.kind
+    }
+
+    /// The engine that actually produced the values after `Auto`
+    /// resolution: `"sorted-morton-64"`, `"sorted-morton-128"`, or
+    /// `"hashmap"`.
+    pub fn engine_used(&self) -> &'static str {
+        self.engine_used
+    }
+
+    /// `Some(reason)` when [`BopsEngine::Auto`] could not use the fast
+    /// Morton engine and fell back to the per-level HashMap pass — callers
+    /// should surface this (the values are still exact, only slower).
+    pub fn fallback(&self) -> Option<&str> {
+        self.fallback.as_deref()
     }
 
     /// `(r, BOPS)` pairs with non-zero values, ready for a log-log fit.
@@ -198,6 +227,7 @@ impl BopsPlot {
             });
         }
         let fit = fit_loglog(&xs, &ys, opts)?;
+        crate::law::record_fit_obs(&fit);
         Ok(PairCountLaw {
             exponent: fit.exponent,
             k: fit.k,
@@ -217,6 +247,7 @@ impl BopsPlot {
             return Err(CoreError::NoPairs);
         }
         let fit = sjpl_stats::fit_loglog_full_range(&xs, &ys)?;
+        crate::law::record_fit_obs(&fit);
         Ok(PairCountLaw {
             exponent: fit.exponent,
             k: fit.k,
@@ -280,10 +311,26 @@ enum ResolvedEngine {
     Hash,
 }
 
-fn resolve_engine<const D: usize>(cfg: &BopsConfig) -> Result<ResolvedEngine, CoreError> {
+impl ResolvedEngine {
+    fn name(self) -> &'static str {
+        match self {
+            ResolvedEngine::Sorted64 => "sorted-morton-64",
+            ResolvedEngine::Sorted128 => "sorted-morton-128",
+            ResolvedEngine::Hash => "hashmap",
+        }
+    }
+}
+
+/// Resolves the configured engine. The second component is `Some(reason)`
+/// when `Auto` *wanted* the Morton engine but had to fall back to the
+/// HashMap pass — the caller records it on the plot and emits an obs event,
+/// so the switch is never silent.
+fn resolve_engine<const D: usize>(
+    cfg: &BopsConfig,
+) -> Result<(ResolvedEngine, Option<String>), CoreError> {
     let key_bits = D as u32 * cfg.levels;
     match cfg.engine {
-        BopsEngine::HashMap => Ok(ResolvedEngine::Hash),
+        BopsEngine::HashMap => Ok((ResolvedEngine::Hash, None)),
         BopsEngine::SortedMorton => {
             if !cfg.is_dyadic() {
                 Err(CoreError::BadConfig(format!(
@@ -297,21 +344,54 @@ fn resolve_engine<const D: usize>(cfg: &BopsConfig) -> Result<ResolvedEngine, Co
                     cfg.levels
                 )))
             } else if key_bits <= 64 {
-                Ok(ResolvedEngine::Sorted64)
+                Ok((ResolvedEngine::Sorted64, None))
             } else {
-                Ok(ResolvedEngine::Sorted128)
+                Ok((ResolvedEngine::Sorted128, None))
             }
         }
         BopsEngine::Auto => {
             if cfg.is_dyadic() && key_bits <= 64 {
-                Ok(ResolvedEngine::Sorted64)
+                Ok((ResolvedEngine::Sorted64, None))
             } else if cfg.is_dyadic() && key_bits <= 128 {
-                Ok(ResolvedEngine::Sorted128)
+                Ok((ResolvedEngine::Sorted128, None))
+            } else if !cfg.is_dyadic() {
+                Ok((
+                    ResolvedEngine::Hash,
+                    Some(format!(
+                        "non-dyadic ratio {} (coarser cells are not Morton-key prefixes)",
+                        cfg.ratio
+                    )),
+                ))
             } else {
-                Ok(ResolvedEngine::Hash)
+                Ok((
+                    ResolvedEngine::Hash,
+                    Some(format!(
+                        "key width {D} x {} levels = {key_bits} bits exceeds the 128-bit \
+                         Morton key",
+                        cfg.levels
+                    )),
+                ))
             }
         }
     }
+}
+
+/// Resolves the engine, publishing the decision (and any fallback) to the
+/// observability layer.
+fn resolve_engine_observed<const D: usize>(
+    cfg: &BopsConfig,
+) -> Result<(ResolvedEngine, Option<String>), CoreError> {
+    let (engine, fallback) = resolve_engine::<D>(cfg)?;
+    if let Some(reason) = &fallback {
+        sjpl_obs::counter_add("bops.fallbacks", 1);
+        sjpl_obs::event(
+            "bops.engine_fallback",
+            format!("Auto fell back to the HashMap engine: {reason}"),
+        );
+    } else {
+        sjpl_obs::event("bops.engine", engine.name());
+    }
+    Ok((engine, fallback))
 }
 
 fn resolve_threads(threads: usize) -> usize {
@@ -463,10 +543,15 @@ fn sorted_values_cross<K: MortonKey, const D: usize>(
     levels: u32,
     threads: usize,
 ) -> Vec<u64> {
+    let quantize = sjpl_obs::span("bops.quantize");
     let mut ka = morton_keys::<K, D>(a, levels, threads);
     let mut kb = morton_keys::<K, D>(b, levels, threads);
+    quantize.close();
+    let sort = sjpl_obs::span("bops.sort");
     par_sort_unstable(&mut ka, threads);
     par_sort_unstable(&mut kb, threads);
+    sort.close();
+    let _scan = sjpl_obs::span("bops.scan");
     per_level(levels, threads, |i| {
         cross_prefix_product_sum(&ka, &kb, D as u32 * i)
     })
@@ -479,8 +564,13 @@ fn sorted_values_self<K: MortonKey, const D: usize>(
     levels: u32,
     threads: usize,
 ) -> Vec<u64> {
+    let quantize = sjpl_obs::span("bops.quantize");
     let mut ka = morton_keys::<K, D>(a, levels, threads);
+    quantize.close();
+    let sort = sjpl_obs::span("bops.sort");
     par_sort_unstable(&mut ka, threads);
+    sort.close();
+    let _scan = sjpl_obs::span("bops.scan");
     per_level(levels, threads, |i| self_prefix_pair_sum(&ka, D as u32 * i))
 }
 
@@ -603,13 +693,18 @@ pub fn bops_plot_cross<const D: usize>(
     cfg: &BopsConfig,
 ) -> Result<BopsPlot, CoreError> {
     check_cfg(cfg)?;
-    let engine = resolve_engine::<D>(cfg)?;
+    let (engine, fallback) = resolve_engine_observed::<D>(cfg)?;
     if a.is_empty() || b.is_empty() {
         return Err(CoreError::Geom(sjpl_geom::GeomError::EmptySet));
     }
+    sjpl_obs::counter_add("bops.plots", 1);
+    sjpl_obs::counter_add("bops.points", (a.len() + b.len()) as u64);
+    sjpl_obs::gauge_set("bops.levels", cfg.levels as f64);
+    let normalize = sjpl_obs::span("bops.normalize");
     let info = NormalizeInfo::from_sets(&[a, b])?;
     let na = a.normalized(&info);
     let nb = b.normalized(&info);
+    normalize.close();
     let threads = resolve_threads(cfg.threads);
     let sides = cfg.sides();
     let values: Vec<u64> = match engine {
@@ -619,10 +714,13 @@ pub fn bops_plot_cross<const D: usize>(
         ResolvedEngine::Sorted128 => {
             sorted_values_cross::<u128, D>(na.points(), nb.points(), cfg.levels, threads)
         }
-        ResolvedEngine::Hash => sides
-            .iter()
-            .map(|&s| hashmap_level_cross(na.points(), nb.points(), s, threads))
-            .collect(),
+        ResolvedEngine::Hash => {
+            let _scan = sjpl_obs::span("bops.scan");
+            sides
+                .iter()
+                .map(|&s| hashmap_level_cross(na.points(), nb.points(), s, threads))
+                .collect()
+        }
     };
     Ok(BopsPlot {
         radii: sides.iter().map(|&s| info.invert_dist(s / 2.0)).collect(),
@@ -631,6 +729,8 @@ pub fn bops_plot_cross<const D: usize>(
         kind: JoinKind::Cross,
         n: a.len(),
         m: b.len(),
+        engine_used: engine.name(),
+        fallback,
     })
 }
 
@@ -644,12 +744,17 @@ pub fn bops_plot_self<const D: usize>(
     cfg: &BopsConfig,
 ) -> Result<BopsPlot, CoreError> {
     check_cfg(cfg)?;
-    let engine = resolve_engine::<D>(cfg)?;
+    let (engine, fallback) = resolve_engine_observed::<D>(cfg)?;
     if a.len() < 2 {
         return Err(CoreError::Geom(sjpl_geom::GeomError::EmptySet));
     }
+    sjpl_obs::counter_add("bops.plots", 1);
+    sjpl_obs::counter_add("bops.points", a.len() as u64);
+    sjpl_obs::gauge_set("bops.levels", cfg.levels as f64);
+    let normalize = sjpl_obs::span("bops.normalize");
     let info = NormalizeInfo::from_sets(&[a])?;
     let na = a.normalized(&info);
+    normalize.close();
     let threads = resolve_threads(cfg.threads);
     let sides = cfg.sides();
     let values: Vec<u64> = match engine {
@@ -657,10 +762,13 @@ pub fn bops_plot_self<const D: usize>(
         ResolvedEngine::Sorted128 => {
             sorted_values_self::<u128, D>(na.points(), cfg.levels, threads)
         }
-        ResolvedEngine::Hash => sides
-            .iter()
-            .map(|&s| hashmap_level_self(na.points(), s, threads))
-            .collect(),
+        ResolvedEngine::Hash => {
+            let _scan = sjpl_obs::span("bops.scan");
+            sides
+                .iter()
+                .map(|&s| hashmap_level_self(na.points(), s, threads))
+                .collect()
+        }
     };
     Ok(BopsPlot {
         radii: sides.iter().map(|&s| info.invert_dist(s / 2.0)).collect(),
@@ -669,6 +777,8 @@ pub fn bops_plot_self<const D: usize>(
         kind: JoinKind::SelfJoin,
         n: a.len(),
         m: a.len(),
+        engine_used: engine.name(),
+        fallback,
     })
 }
 
@@ -819,25 +929,73 @@ mod tests {
     #[test]
     fn auto_resolution_picks_the_expected_engine() {
         assert_eq!(
-            resolve_engine::<2>(&BopsConfig::dyadic(12)).unwrap(),
+            resolve_engine::<2>(&BopsConfig::dyadic(12)).unwrap().0,
             ResolvedEngine::Sorted64
         );
         assert_eq!(
-            resolve_engine::<8>(&BopsConfig::dyadic(12)).unwrap(),
+            resolve_engine::<8>(&BopsConfig::dyadic(12)).unwrap().0,
             ResolvedEngine::Sorted128
         );
         assert_eq!(
-            resolve_engine::<16>(&BopsConfig::dyadic(12)).unwrap(),
+            resolve_engine::<16>(&BopsConfig::dyadic(12)).unwrap().0,
             ResolvedEngine::Hash
         );
         assert_eq!(
-            resolve_engine::<2>(&BopsConfig::high_dimensional()).unwrap(),
+            resolve_engine::<2>(&BopsConfig::high_dimensional())
+                .unwrap()
+                .0,
             ResolvedEngine::Hash
         );
         assert_eq!(
-            resolve_engine::<2>(&BopsConfig::dyadic(12).with_engine(BopsEngine::HashMap)).unwrap(),
+            resolve_engine::<2>(&BopsConfig::dyadic(12).with_engine(BopsEngine::HashMap))
+                .unwrap()
+                .0,
             ResolvedEngine::Hash
         );
+    }
+
+    #[test]
+    fn auto_fallback_to_hashmap_is_reported_not_silent() {
+        // 16-d x 12 dyadic levels: 192 key bits — Auto must fall back and
+        // say so on the plot.
+        let (_, reason) = resolve_engine::<16>(&BopsConfig::dyadic(12)).unwrap();
+        assert!(reason.unwrap().contains("192"));
+        // Non-dyadic ratio: the other fallback trigger.
+        let (_, reason) = resolve_engine::<2>(&BopsConfig::high_dimensional()).unwrap();
+        assert!(reason.unwrap().contains("non-dyadic"));
+        // A forced HashMap engine is a deliberate choice, not a fallback.
+        let (_, reason) =
+            resolve_engine::<16>(&BopsConfig::dyadic(12).with_engine(BopsEngine::HashMap)).unwrap();
+        assert!(reason.is_none());
+        // End to end: the plot carries the fallback and the engine name.
+        let hd = sjpl_datagen::manifold::eigenfaces_like(100, 1);
+        let plot = bops_plot_self(&hd, &BopsConfig::dyadic(12)).unwrap();
+        assert_eq!(plot.engine_used(), "hashmap");
+        assert!(plot.fallback().is_some());
+        let fast = bops_plot_self(&uniform(100, 2), &BopsConfig::dyadic(12)).unwrap();
+        assert_eq!(fast.engine_used(), "sorted-morton-64");
+        assert!(fast.fallback().is_none());
+    }
+
+    #[test]
+    fn bops_emits_stage_spans_and_counters() {
+        // NOTE: the recorder is process-global and sibling tests run
+        // concurrently, so assert lower bounds, not exact values.
+        let a = uniform(5_000, 31);
+        let b = uniform(5_000, 32);
+        let (plot, snap) =
+            sjpl_obs::capture(|| bops_plot_cross(&a, &b, &BopsConfig::dyadic(8)).unwrap());
+        for span in ["bops.normalize", "bops.quantize", "bops.sort", "bops.scan"] {
+            assert!(snap.span(span).is_some(), "missing span {span}");
+        }
+        assert!(snap.counter("bops.points").unwrap() >= 10_000);
+        assert!(snap.counter("bops.plots").unwrap() >= 1);
+        assert!(snap.gauge("bops.levels").is_some());
+        // Fitting afterwards records the fit gauges.
+        let (_, snap) = sjpl_obs::capture(|| plot.fit(&FitOptions::default()).unwrap());
+        let r2 = snap.gauge("fit.r_squared").unwrap();
+        assert!(r2 > 0.0 && r2 <= 1.0);
+        assert!(snap.gauge("fit.exponent").is_some());
     }
 
     #[test]

@@ -3,6 +3,21 @@
 use sjpl_geom::Metric;
 use sjpl_stats::LogLogFit;
 
+/// Publishes a completed log-log fit to the observability layer: the
+/// `fit.r_squared` / `fit.exponent` / `fit.rmse_log10` / `fit.points_used`
+/// gauges (last fit wins, which matches "what did the run I just traced
+/// fit?") plus a running `fit.count`. Free when the recorder is disabled.
+pub(crate) fn record_fit_obs(fit: &LogLogFit) {
+    if !sjpl_obs::enabled() {
+        return;
+    }
+    sjpl_obs::gauge_set("fit.r_squared", fit.line.r_squared);
+    sjpl_obs::gauge_set("fit.exponent", fit.exponent);
+    sjpl_obs::gauge_set("fit.rmse_log10", fit.line.rmse);
+    sjpl_obs::gauge_set("fit.points_used", fit.line.n as f64);
+    sjpl_obs::counter_add("fit.count", 1);
+}
+
 /// Whether a law describes a cross join (`A × B`, ordered pairs) or a self
 /// join (`A × A`, unordered, self-pairs omitted) — the paper's two cases
 /// from Definition 1.

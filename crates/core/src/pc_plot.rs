@@ -97,6 +97,7 @@ impl PcPlot {
             });
         }
         let fit = fit_loglog(&xs, &ys, opts)?;
+        crate::law::record_fit_obs(&fit);
         Ok(PairCountLaw {
             exponent: fit.exponent,
             k: fit.k,
@@ -119,6 +120,7 @@ impl PcPlot {
             return Err(CoreError::NoPairs);
         }
         let fit = sjpl_stats::fit_loglog_full_range(&xs, &ys)?;
+        crate::law::record_fit_obs(&fit);
         Ok(PairCountLaw {
             exponent: fit.exponent,
             k: fit.k,

@@ -10,9 +10,20 @@
 //! paper (which computes BOPS in one batch pass), in the spirit of its
 //! "previously kept statistics" usage.
 //!
+//! The same trick covers self joins: inserting into a cell already holding
+//! `C` same-side points adds exactly `C` unordered pairs to `Σ C(C−1)/2`,
+//! so per-side self-join sums ([`StreamingBops::self_plot`]) ride along at
+//! no extra asymptotic cost.
+//!
 //! The address space must be fixed up front (a bounding box that all future
 //! points fall into), because renormalizing would invalidate every cell
 //! count. Points outside the declared box are rejected.
+//!
+//! # Observability
+//!
+//! When the [`sjpl_obs`] recorder is enabled, successful inserts/removals
+//! bump the `streaming.updates` counter and rejected out-of-bounds points
+//! bump `streaming.rejected_points`; both are free when tracing is off.
 
 use std::collections::HashMap;
 
@@ -36,6 +47,12 @@ struct Level<const D: usize> {
     occ: HashMap<[u32; D], (u64, u64)>,
     /// Current Σ C_A·C_B for this level, maintained incrementally.
     bops: u64,
+    /// Current Σ C_A(C_A−1)/2 for this level (the self-join BOPS of side
+    /// A), maintained incrementally: inserting into a cell with `C` points
+    /// adds `C` unordered pairs, removing from a cell leaves `C` pairs gone.
+    self_a: u64,
+    /// Σ C_B(C_B−1)/2, symmetrically.
+    self_b: u64,
 }
 
 /// An incrementally maintained cross-join BOPS sketch.
@@ -75,6 +92,8 @@ impl<const D: usize> StreamingBops<D> {
                 cells_per_axis: 1u64 << j,
                 occ: HashMap::new(),
                 bops: 0,
+                self_a: 0,
+                self_b: 0,
             })
             .collect();
         Ok(StreamingBops {
@@ -106,6 +125,7 @@ impl<const D: usize> StreamingBops<D> {
     /// Rejects points outside the declared bounding box.
     pub fn insert(&mut self, side: Side, p: &Point<D>) -> Result<(), CoreError> {
         if !self.bounds.contains(p) {
+            sjpl_obs::counter_add("streaming.rejected_points", 1);
             return Err(CoreError::BadConfig(format!(
                 "point outside the declared address space: {p:?}"
             )));
@@ -117,10 +137,12 @@ impl<const D: usize> StreamingBops<D> {
             match side {
                 Side::A => {
                     level.bops += entry.1;
+                    level.self_a += entry.0;
                     entry.0 += 1;
                 }
                 Side::B => {
                     level.bops += entry.0;
+                    level.self_b += entry.1;
                     entry.1 += 1;
                 }
             }
@@ -129,6 +151,7 @@ impl<const D: usize> StreamingBops<D> {
             Side::A => self.n += 1,
             Side::B => self.m += 1,
         }
+        sjpl_obs::counter_add("streaming.updates", 1);
         Ok(())
     }
 
@@ -140,6 +163,7 @@ impl<const D: usize> StreamingBops<D> {
     /// at every level is indistinguishable — as with any sketch).
     pub fn remove(&mut self, side: Side, p: &Point<D>) -> Result<(), CoreError> {
         if !self.bounds.contains(p) {
+            sjpl_obs::counter_add("streaming.rejected_points", 1);
             return Err(CoreError::BadConfig(
                 "point outside the declared address space".to_owned(),
             ));
@@ -166,10 +190,12 @@ impl<const D: usize> StreamingBops<D> {
                 Side::A => {
                     entry.0 -= 1;
                     level.bops -= entry.1;
+                    level.self_a -= entry.0;
                 }
                 Side::B => {
                     entry.1 -= 1;
                     level.bops -= entry.0;
+                    level.self_b -= entry.1;
                 }
             }
             if *entry == (0, 0) {
@@ -180,6 +206,7 @@ impl<const D: usize> StreamingBops<D> {
             Side::A => self.n -= 1,
             Side::B => self.m -= 1,
         }
+        sjpl_obs::counter_add("streaming.updates", 1);
         Ok(())
     }
 
@@ -190,6 +217,26 @@ impl<const D: usize> StreamingBops<D> {
             .iter()
             .rev()
             .map(|l| (l.side_len / 2.0 / self.scale, l.bops as f64))
+            .collect()
+    }
+
+    /// The current *self-join* BOPS plot for one side, as `(radius,
+    /// Σ C(C−1)/2)` pairs in original coordinates, ascending radius.
+    ///
+    /// Maintained incrementally alongside the cross sum, so a single sketch
+    /// fed with both sides answers all three join shapes (`A × B`, `A × A`,
+    /// `B × B`) without a rescan.
+    pub fn self_plot(&self, side: Side) -> Vec<(f64, f64)> {
+        self.levels
+            .iter()
+            .rev()
+            .map(|l| {
+                let v = match side {
+                    Side::A => l.self_a,
+                    Side::B => l.self_b,
+                };
+                (l.side_len / 2.0 / self.scale, v as f64)
+            })
             .collect()
     }
 
@@ -297,11 +344,30 @@ mod tests {
         let before = s.plot();
         // Insert then remove the same point: plot must be unchanged.
         let p = Point([0.25, 0.75]);
+        let self_before = s.self_plot(Side::A);
         s.insert(Side::A, &p).unwrap();
         assert_ne!(s.plot(), before);
+        assert_ne!(s.self_plot(Side::A), self_before);
         s.remove(Side::A, &p).unwrap();
         assert_eq!(s.plot(), before);
+        assert_eq!(s.self_plot(Side::A), self_before);
         assert_eq!(s.counts(), (200, 200));
+    }
+
+    #[test]
+    fn self_plot_counts_unordered_pairs() {
+        let mut s = StreamingBops::new(unit_bounds(), 2).unwrap();
+        // Three A-points in the same finest cell: C(C−1)/2 = 3 pairs.
+        let p = Point([0.1, 0.1]);
+        for _ in 0..3 {
+            s.insert(Side::A, &p).unwrap();
+        }
+        for &(_, v) in &s.self_plot(Side::A) {
+            assert_eq!(v, 3.0);
+        }
+        for &(_, v) in &s.self_plot(Side::B) {
+            assert_eq!(v, 0.0);
+        }
     }
 
     #[test]

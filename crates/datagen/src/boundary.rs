@@ -86,7 +86,9 @@ pub fn nested_boundaries_with_hubs(n: usize, seed: u64, hubs: &[Hub]) -> PointSe
             rings[idx].at(theta)
         })
         .collect();
-    PointSet::new("political", points)
+    let set = PointSet::new("political", points);
+    crate::util::record_generated(&set);
+    set
 }
 
 #[cfg(test)]

@@ -44,7 +44,9 @@ pub fn dust_with_depth<const D: usize>(n: usize, depth: u32, seed: u64) -> Point
             Point(c)
         })
         .collect();
-    PointSet::new(format!("cantor-{D}d"), points)
+    let set = PointSet::new(format!("cantor-{D}d"), points);
+    crate::util::record_generated(&set);
+    set
 }
 
 #[cfg(test)]

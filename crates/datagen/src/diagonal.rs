@@ -35,7 +35,9 @@ pub fn line_with_noise<const D: usize>(n: usize, noise: f64, seed: u64) -> Point
             Point(c)
         })
         .collect();
-    PointSet::new(format!("diagonal-{D}d"), points)
+    let set = PointSet::new(format!("diagonal-{D}d"), points);
+    crate::util::record_generated(&set);
+    set
 }
 
 #[cfg(test)]

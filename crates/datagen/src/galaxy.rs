@@ -63,7 +63,9 @@ fn sample_class(
             ])
         })
         .collect();
-    PointSet::new(name, points)
+    let set = PointSet::new(name, points);
+    crate::util::record_generated(&set);
+    set
 }
 
 /// A pair of correlated galaxy classes (`dev`, `exp`) built over one shared

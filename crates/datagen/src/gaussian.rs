@@ -45,7 +45,9 @@ pub fn mixture<const D: usize>(n: usize, blobs: &[Blob<D>], seed: u64) -> PointS
             Point(c)
         })
         .collect();
-    PointSet::new("gaussian-mixture", points)
+    let set = PointSet::new("gaussian-mixture", points);
+    crate::util::record_generated(&set);
+    set
 }
 
 /// A single isotropic Gaussian blob (convenience wrapper).

@@ -37,7 +37,9 @@ pub fn levy_flight(n: usize, alpha: f64, seed: u64) -> PointSet<2> {
             pos
         })
         .collect();
-    PointSet::new(format!("levy-a{alpha:.2}"), points)
+    let set = PointSet::new(format!("levy-a{alpha:.2}"), points);
+    crate::util::record_generated(&set);
+    set
 }
 
 #[cfg(test)]

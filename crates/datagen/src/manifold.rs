@@ -117,7 +117,9 @@ impl<const D: usize> Embedding<D> {
                 Point(c)
             })
             .collect();
-        PointSet::new(format!("manifold-k{}-{D}d", self.intrinsic_dim), points)
+        let set = PointSet::new(format!("manifold-k{}-{D}d", self.intrinsic_dim), points);
+        crate::util::record_generated(&set);
+        set
     }
 }
 

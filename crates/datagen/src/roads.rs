@@ -123,7 +123,9 @@ pub fn street_network(n: usize, seed: u64) -> PointSet<2> {
 pub fn street_network_with_hubs(n: usize, seed: u64, hubs: &[Hub]) -> PointSet<2> {
     let mut rng = StdRng::seed_from_u64(seed);
     let segments = build_network(&mut rng, hubs, 5, 6, 3, 0.6, 0.75);
-    PointSet::new("streets", sample_along(&mut rng, &segments, n, 0.0015))
+    let set = PointSet::new("streets", sample_along(&mut rng, &segments, n, 0.0015));
+    crate::util::record_generated(&set);
+    set
 }
 
 /// Rail-network stand-in for CA-rai: few levels, long weakly-aligned
@@ -136,7 +138,9 @@ pub fn rail_network(n: usize, seed: u64) -> PointSet<2> {
 pub fn rail_network_with_hubs(n: usize, seed: u64, hubs: &[Hub]) -> PointSet<2> {
     let mut rng = StdRng::seed_from_u64(seed);
     let segments = build_network(&mut rng, hubs, 3, 4, 2, 0.9, 0.2);
-    PointSet::new("rails", sample_along(&mut rng, &segments, n, 0.0008))
+    let set = PointSet::new("rails", sample_along(&mut rng, &segments, n, 0.0008));
+    crate::util::record_generated(&set);
+    set
 }
 
 #[cfg(test)]

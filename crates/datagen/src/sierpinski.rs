@@ -53,7 +53,9 @@ pub fn chaos_game<const D: usize>(
             cur
         })
         .collect();
-    PointSet::new("chaos-game", points)
+    let set = PointSet::new("chaos-game", points);
+    crate::util::record_generated(&set);
+    set
 }
 
 #[cfg(test)]

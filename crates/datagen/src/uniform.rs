@@ -21,7 +21,9 @@ pub fn unit_cube<const D: usize>(n: usize, seed: u64) -> PointSet<D> {
             Point(c)
         })
         .collect();
-    PointSet::new(format!("uniform-{D}d"), points)
+    let set = PointSet::new(format!("uniform-{D}d"), points);
+    crate::util::record_generated(&set);
+    set
 }
 
 #[cfg(test)]

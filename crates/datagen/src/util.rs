@@ -2,6 +2,21 @@
 
 use rand::Rng;
 
+/// Publishes a freshly generated point-set to the observability layer:
+/// bulk `datagen.points` / `datagen.sets` counters plus one event naming
+/// the generator. Free when the recorder is disabled.
+pub(crate) fn record_generated<const D: usize>(set: &sjpl_geom::PointSet<D>) {
+    if !sjpl_obs::enabled() {
+        return;
+    }
+    sjpl_obs::counter_add("datagen.points", set.len() as u64);
+    sjpl_obs::counter_add("datagen.sets", 1);
+    sjpl_obs::event(
+        "datagen.generated",
+        format!("{}: {} points", set.name(), set.len()),
+    );
+}
+
 /// A standard-normal sampler using the Marsaglia polar method.
 ///
 /// `rand` without `rand_distr` has no Gaussian sampler; rather than pull in

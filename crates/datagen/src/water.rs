@@ -139,7 +139,9 @@ pub fn drainage_with_hubs(n: usize, seed: u64, hubs: &[Hub]) -> PointSet<2> {
         pts.truncate(n);
         pts
     };
-    PointSet::new("water", points)
+    let set = PointSet::new("water", points);
+    crate::util::record_generated(&set);
+    set
 }
 
 #[cfg(test)]

@@ -149,6 +149,8 @@ pub fn grid_join_count<const D: usize>(
     // Degenerate radius: count exact coincidences.
     let cell = if r > 0.0 { r } else { 1.0 };
     let grid = UniformGrid::build(b, cell);
+    sjpl_obs::counter_add("index.grid.probes", a.len() as u64);
+    sjpl_obs::counter_add("index.grid.occupied_cells", grid.occupied_cells() as u64);
     a.iter().map(|p| grid.count_within(p, r, metric)).sum()
 }
 
@@ -160,6 +162,8 @@ pub fn grid_self_join_count<const D: usize>(a: &[Point<D>], r: f64, metric: Metr
     }
     let cell = if r > 0.0 { r } else { 1.0 };
     let grid = UniformGrid::build(a, cell);
+    sjpl_obs::counter_add("index.grid.probes", a.len() as u64);
+    sjpl_obs::counter_add("index.grid.occupied_cells", grid.occupied_cells() as u64);
     // Each unordered pair is counted twice in the ordered sum; every point
     // also counts itself once (distance 0 ≤ r).
     let ordered: u64 = a.iter().map(|p| grid.count_within(p, r, metric)).sum();

@@ -9,6 +9,8 @@
 
 use sjpl_geom::{Aabb, Metric, Point};
 
+use crate::stats::JoinStats;
+
 const LEAF_CAP: usize = 16;
 const NO_CHILD: u32 = u32::MAX;
 
@@ -236,20 +238,35 @@ impl<const D: usize> KdTree<D> {
         if self.root == NO_CHILD || other.root == NO_CHILD || r < 0.0 {
             return 0;
         }
-        self.join_rec(self.root, other, other.root, r, metric)
+        let mut st = JoinStats::default();
+        let c = self.join_rec(self.root, other, other.root, r, metric, &mut st);
+        st.publish();
+        c
     }
 
-    fn join_rec(&self, u: u32, other: &KdTree<D>, v: u32, r: f64, metric: Metric) -> u64 {
+    fn join_rec(
+        &self,
+        u: u32,
+        other: &KdTree<D>,
+        v: u32,
+        r: f64,
+        metric: Metric,
+        st: &mut JoinStats,
+    ) -> u64 {
+        st.visits += 1;
         let nu = &self.nodes[u as usize];
         let nv = &other.nodes[v as usize];
         if nu.bbox.min_dist_box(&nv.bbox, metric) > r {
+            st.pruned += 1;
             return 0;
         }
         if nu.bbox.max_dist_box(&nv.bbox, metric) <= r {
+            st.contained += 1;
             return nu.len() * nv.len();
         }
         match (nu.is_leaf(), nv.is_leaf()) {
             (true, true) => {
+                st.candidates += nu.len() * nv.len();
                 let thresh = metric.rdist_threshold(r);
                 let mut c = 0u64;
                 for pa in &self.points[nu.start as usize..nu.end as usize] {
@@ -263,20 +280,20 @@ impl<const D: usize> KdTree<D> {
             }
             // Split the larger non-leaf side (keeps boxes balanced).
             (true, false) => {
-                self.join_rec(u, other, nv.left, r, metric)
-                    + self.join_rec(u, other, nv.right, r, metric)
+                self.join_rec(u, other, nv.left, r, metric, st)
+                    + self.join_rec(u, other, nv.right, r, metric, st)
             }
             (false, true) => {
-                self.join_rec(nu.left, other, v, r, metric)
-                    + self.join_rec(nu.right, other, v, r, metric)
+                self.join_rec(nu.left, other, v, r, metric, st)
+                    + self.join_rec(nu.right, other, v, r, metric, st)
             }
             (false, false) => {
                 if nu.len() >= nv.len() {
-                    self.join_rec(nu.left, other, v, r, metric)
-                        + self.join_rec(nu.right, other, v, r, metric)
+                    self.join_rec(nu.left, other, v, r, metric, st)
+                        + self.join_rec(nu.right, other, v, r, metric, st)
                 } else {
-                    self.join_rec(u, other, nv.left, r, metric)
-                        + self.join_rec(u, other, nv.right, r, metric)
+                    self.join_rec(u, other, nv.left, r, metric, st)
+                        + self.join_rec(u, other, nv.right, r, metric, st)
                 }
             }
         }
@@ -288,19 +305,24 @@ impl<const D: usize> KdTree<D> {
         if self.len() < 2 || r < 0.0 {
             return 0;
         }
-        self.self_join_rec(self.root, self.root, r, metric)
+        let mut st = JoinStats::default();
+        let c = self.self_join_rec(self.root, self.root, r, metric, &mut st);
+        st.publish();
+        c
     }
 
     /// Counts unordered pairs between subtrees `u` and `v`. Invariant:
     /// either `u == v`, or the point ranges of `u` and `v` are disjoint
     /// (guaranteed because distinct kd subtrees never share points).
-    fn self_join_rec(&self, u: u32, v: u32, r: f64, metric: Metric) -> u64 {
+    fn self_join_rec(&self, u: u32, v: u32, r: f64, metric: Metric, st: &mut JoinStats) -> u64 {
+        st.visits += 1;
         let nu = &self.nodes[u as usize];
         let nv = &self.nodes[v as usize];
         if u == v {
             if nu.is_leaf() {
-                let thresh = metric.rdist_threshold(r);
                 let pts = &self.points[nu.start as usize..nu.end as usize];
+                st.candidates += (pts.len() * pts.len().saturating_sub(1) / 2) as u64;
+                let thresh = metric.rdist_threshold(r);
                 let mut c = 0u64;
                 for i in 0..pts.len() {
                     for j in (i + 1)..pts.len() {
@@ -311,19 +333,22 @@ impl<const D: usize> KdTree<D> {
                 }
                 return c;
             }
-            return self.self_join_rec(nu.left, nu.left, r, metric)
-                + self.self_join_rec(nu.right, nu.right, r, metric)
-                + self.self_join_rec(nu.left, nu.right, r, metric);
+            return self.self_join_rec(nu.left, nu.left, r, metric, st)
+                + self.self_join_rec(nu.right, nu.right, r, metric, st)
+                + self.self_join_rec(nu.left, nu.right, r, metric, st);
         }
         // Disjoint subtrees: every cross pair is a distinct unordered pair.
         if nu.bbox.min_dist_box(&nv.bbox, metric) > r {
+            st.pruned += 1;
             return 0;
         }
         if nu.bbox.max_dist_box(&nv.bbox, metric) <= r {
+            st.contained += 1;
             return nu.len() * nv.len();
         }
         match (nu.is_leaf(), nv.is_leaf()) {
             (true, true) => {
+                st.candidates += nu.len() * nv.len();
                 let thresh = metric.rdist_threshold(r);
                 let mut c = 0u64;
                 for pa in &self.points[nu.start as usize..nu.end as usize] {
@@ -336,20 +361,20 @@ impl<const D: usize> KdTree<D> {
                 c
             }
             (true, false) => {
-                self.self_join_rec(u, nv.left, r, metric)
-                    + self.self_join_rec(u, nv.right, r, metric)
+                self.self_join_rec(u, nv.left, r, metric, st)
+                    + self.self_join_rec(u, nv.right, r, metric, st)
             }
             (false, true) => {
-                self.self_join_rec(nu.left, v, r, metric)
-                    + self.self_join_rec(nu.right, v, r, metric)
+                self.self_join_rec(nu.left, v, r, metric, st)
+                    + self.self_join_rec(nu.right, v, r, metric, st)
             }
             (false, false) => {
                 if nu.len() >= nv.len() {
-                    self.self_join_rec(nu.left, v, r, metric)
-                        + self.self_join_rec(nu.right, v, r, metric)
+                    self.self_join_rec(nu.left, v, r, metric, st)
+                        + self.self_join_rec(nu.right, v, r, metric, st)
                 } else {
-                    self.self_join_rec(u, nv.left, r, metric)
-                        + self.self_join_rec(u, nv.right, r, metric)
+                    self.self_join_rec(u, nv.left, r, metric, st)
+                        + self.self_join_rec(u, nv.right, r, metric, st)
                 }
             }
         }

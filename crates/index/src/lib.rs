@@ -29,9 +29,16 @@
 //! Pair-count semantics follow the paper exactly: cross joins count ordered
 //! `(a, b)` pairs (up to `N·M`); self joins omit self-pairs and count each
 //! unordered pair once (up to `N(N−1)/2`).
+//!
+//! When the [`sjpl_obs`] recorder is enabled, the dual-tree joins publish
+//! traversal work as `index.node_visits` / `index.pruned_pairs` /
+//! `index.contained_pairs` / `index.candidate_pairs` counters, and the grid
+//! join publishes `index.grid.probes` / `index.grid.occupied_cells`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+mod stats;
 
 pub mod fxhash;
 pub mod grid;

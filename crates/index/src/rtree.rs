@@ -11,6 +11,8 @@
 
 use sjpl_geom::{Aabb, Metric, Point};
 
+use crate::stats::JoinStats;
+
 const LEAF_CAP: usize = 24;
 const FANOUT: usize = 8;
 
@@ -138,22 +140,39 @@ impl<const D: usize> RTree<D> {
     /// Dual-tree cross distance join: ordered pairs within `r`.
     pub fn join_count(&self, other: &RTree<D>, r: f64, metric: Metric) -> u64 {
         match (self.root, other.root) {
-            (Some(u), Some(v)) if r >= 0.0 => self.join_rec(u, other, v, r, metric),
+            (Some(u), Some(v)) if r >= 0.0 => {
+                let mut st = JoinStats::default();
+                let c = self.join_rec(u, other, v, r, metric, &mut st);
+                st.publish();
+                c
+            }
             _ => 0,
         }
     }
 
-    fn join_rec(&self, u: u32, other: &RTree<D>, v: u32, r: f64, metric: Metric) -> u64 {
+    fn join_rec(
+        &self,
+        u: u32,
+        other: &RTree<D>,
+        v: u32,
+        r: f64,
+        metric: Metric,
+        st: &mut JoinStats,
+    ) -> u64 {
+        st.visits += 1;
         let nu = &self.nodes[u as usize];
         let nv = &other.nodes[v as usize];
         if nu.bbox.min_dist_box(&nv.bbox, metric) > r {
+            st.pruned += 1;
             return 0;
         }
         if nu.bbox.max_dist_box(&nv.bbox, metric) <= r {
+            st.contained += 1;
             return nu.size * nv.size;
         }
         match (&nu.kind, &nv.kind) {
             (NodeKind::Leaf { start: s1, end: e1 }, NodeKind::Leaf { start: s2, end: e2 }) => {
+                st.candidates += nu.size * nv.size;
                 let thresh = metric.rdist_threshold(r);
                 let mut c = 0u64;
                 for pa in &self.points[*s1 as usize..*e1 as usize] {
@@ -167,15 +186,15 @@ impl<const D: usize> RTree<D> {
             }
             (NodeKind::Internal { children }, _) if nu.size >= nv.size => children
                 .iter()
-                .map(|&c| self.join_rec(c, other, v, r, metric))
+                .map(|&c| self.join_rec(c, other, v, r, metric, st))
                 .sum(),
             (_, NodeKind::Internal { children }) => children
                 .iter()
-                .map(|&c| self.join_rec(u, other, c, r, metric))
+                .map(|&c| self.join_rec(u, other, c, r, metric, st))
                 .sum(),
             (NodeKind::Internal { children }, NodeKind::Leaf { .. }) => children
                 .iter()
-                .map(|&c| self.join_rec(c, other, v, r, metric))
+                .map(|&c| self.join_rec(c, other, v, r, metric, st))
                 .sum(),
         }
     }
@@ -183,12 +202,18 @@ impl<const D: usize> RTree<D> {
     /// Dual-tree self join: unordered pairs within `r`, self-pairs omitted.
     pub fn self_join_count(&self, r: f64, metric: Metric) -> u64 {
         match self.root {
-            Some(root) if self.len() >= 2 && r >= 0.0 => self.self_join_rec(root, root, r, metric),
+            Some(root) if self.len() >= 2 && r >= 0.0 => {
+                let mut st = JoinStats::default();
+                let c = self.self_join_rec(root, root, r, metric, &mut st);
+                st.publish();
+                c
+            }
             _ => 0,
         }
     }
 
-    fn self_join_rec(&self, u: u32, v: u32, r: f64, metric: Metric) -> u64 {
+    fn self_join_rec(&self, u: u32, v: u32, r: f64, metric: Metric, st: &mut JoinStats) -> u64 {
+        st.visits += 1;
         let nu = &self.nodes[u as usize];
         let nv = &self.nodes[v as usize];
         if u == v {
@@ -196,6 +221,7 @@ impl<const D: usize> RTree<D> {
                 NodeKind::Leaf { start, end } => {
                     let thresh = metric.rdist_threshold(r);
                     let pts = &self.points[*start as usize..*end as usize];
+                    st.candidates += (pts.len() * pts.len().saturating_sub(1) / 2) as u64;
                     let mut c = 0u64;
                     for i in 0..pts.len() {
                         for j in (i + 1)..pts.len() {
@@ -209,9 +235,9 @@ impl<const D: usize> RTree<D> {
                 NodeKind::Internal { children } => {
                     let mut c = 0u64;
                     for (i, &a) in children.iter().enumerate() {
-                        c += self.self_join_rec(a, a, r, metric);
+                        c += self.self_join_rec(a, a, r, metric, st);
                         for &b in &children[i + 1..] {
-                            c += self.self_join_rec(a, b, r, metric);
+                            c += self.self_join_rec(a, b, r, metric, st);
                         }
                     }
                     c
@@ -221,13 +247,16 @@ impl<const D: usize> RTree<D> {
             // Disjoint subtrees (STR partitions points): cross pairs are
             // distinct unordered pairs.
             if nu.bbox.min_dist_box(&nv.bbox, metric) > r {
+                st.pruned += 1;
                 return 0;
             }
             if nu.bbox.max_dist_box(&nv.bbox, metric) <= r {
+                st.contained += 1;
                 return nu.size * nv.size;
             }
             match (&nu.kind, &nv.kind) {
                 (NodeKind::Leaf { start: s1, end: e1 }, NodeKind::Leaf { start: s2, end: e2 }) => {
+                    st.candidates += nu.size * nv.size;
                     let thresh = metric.rdist_threshold(r);
                     let mut c = 0u64;
                     for pa in &self.points[*s1 as usize..*e1 as usize] {
@@ -241,15 +270,15 @@ impl<const D: usize> RTree<D> {
                 }
                 (NodeKind::Internal { children }, _) if nu.size >= nv.size => children
                     .iter()
-                    .map(|&c| self.self_join_rec(c, v, r, metric))
+                    .map(|&c| self.self_join_rec(c, v, r, metric, st))
                     .sum(),
                 (_, NodeKind::Internal { children }) => children
                     .iter()
-                    .map(|&c| self.self_join_rec(u, c, r, metric))
+                    .map(|&c| self.self_join_rec(u, c, r, metric, st))
                     .sum(),
                 (NodeKind::Internal { children }, NodeKind::Leaf { .. }) => children
                     .iter()
-                    .map(|&c| self.self_join_rec(c, v, r, metric))
+                    .map(|&c| self.self_join_rec(c, v, r, metric, st))
                     .sum(),
             }
         }

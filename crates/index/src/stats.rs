@@ -1,0 +1,36 @@
+//! Dual-tree traversal statistics for the observability layer.
+
+/// Work counters accumulated locally during one dual-tree distance join —
+/// plain integer increments on the stack, no atomics — and published as
+/// `index.*` counters in a single batch when the join finishes.
+///
+/// Publishing is a no-op while the [`sjpl_obs`] recorder is disabled, so
+/// the only always-on cost is the increments themselves (a few adds per
+/// node pair, dwarfed by the box-distance arithmetic next to them).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct JoinStats {
+    /// Node pairs visited (recursion entries).
+    pub visits: u64,
+    /// Node pairs pruned because their boxes are farther apart than `r`.
+    pub pruned: u64,
+    /// Node pairs whose boxes lie entirely within `r`, counted as a size
+    /// product without visiting any point.
+    pub contained: u64,
+    /// Candidate point pairs actually distance-tested in leaves.
+    pub candidates: u64,
+}
+
+impl JoinStats {
+    /// Publishes the accumulated counts as `index.node_visits`,
+    /// `index.pruned_pairs`, `index.contained_pairs`, and
+    /// `index.candidate_pairs`.
+    pub fn publish(&self) {
+        if !sjpl_obs::enabled() {
+            return;
+        }
+        sjpl_obs::counter_add("index.node_visits", self.visits);
+        sjpl_obs::counter_add("index.pruned_pairs", self.pruned);
+        sjpl_obs::counter_add("index.contained_pairs", self.contained);
+        sjpl_obs::counter_add("index.candidate_pairs", self.candidates);
+    }
+}

@@ -1,0 +1,141 @@
+//! Log2-bucketed latency histograms.
+//!
+//! Bucket `i` counts samples whose value has bit length `i`, i.e. values in
+//! `[2^(i-1), 2^i)` (bucket 0 holds exact zeros). Bit-length bucketing costs
+//! one `leading_zeros` per record, needs no configuration, and spans the
+//! full `u64` nanosecond range — from single-digit nanoseconds to hours —
+//! with a constant ~2× relative resolution, which is all a latency
+//! distribution needs to expose its shape and tail.
+
+/// Number of buckets: bit lengths 0 (zero) through 64 (`u64::MAX`).
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log2 histogram over `u64` samples (typically nanoseconds).
+#[derive(Clone, Debug)]
+pub struct Log2Histogram {
+    counts: [u64; BUCKETS],
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            counts: [0; BUCKETS],
+        }
+    }
+}
+
+/// The bucket index of a sample: its bit length.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The exclusive upper bound of bucket `i` (`u64::MAX` for the last).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Occupied buckets as `(upper_bound_exclusive, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper_bound(i), c))
+            .collect()
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// containing the `q`-th sample. Returns 0 on an empty histogram. The
+    /// answer is exact to within the bucket's ~2× width — good enough for
+    /// p50/p90/p99 tail summaries.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_bit_lengths() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn record_and_quantile() {
+        let mut h = Log2Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        // p50 lands in the bucket of the 3rd sample (value 3, bucket [2,4)).
+        assert_eq!(h.quantile(0.5), 4);
+        // p100 is the top occupied bucket's bound.
+        assert!(h.quantile(1.0) >= 100_000);
+        assert_eq!(Log2Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        let nz = a.nonzero_buckets();
+        assert_eq!(nz.len(), 2);
+        assert_eq!(nz[0], (8, 2));
+    }
+}

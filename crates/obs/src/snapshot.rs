@@ -1,0 +1,292 @@
+//! Point-in-time snapshots of the recorder, renderable as structured JSON
+//! (machine consumption: `--obs-out`, bench reports, CI schema checks) or a
+//! compact human-readable table (`--trace=pretty`).
+//!
+//! The JSON is hand-rolled — the schema is small, fixed, and flat, so a
+//! serialization dependency would cost more than the ~60 lines it saves.
+
+use crate::hist::Log2Histogram;
+
+/// Aggregated statistics of one named span (or standalone timing series).
+#[derive(Clone, Debug)]
+pub struct TimingSnapshot {
+    /// Span name (dotted path, e.g. `bops.sort`).
+    pub name: String,
+    /// Number of recorded intervals.
+    pub count: u64,
+    /// Sum of all interval durations, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest interval, nanoseconds.
+    pub min_ns: u64,
+    /// Longest interval, nanoseconds.
+    pub max_ns: u64,
+    /// Log2-bucketed distribution of the interval durations.
+    pub hist: Log2Histogram,
+}
+
+impl TimingSnapshot {
+    /// Mean interval duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// One recorded event (a discrete, noteworthy occurrence — e.g. an engine
+/// fallback decision).
+#[derive(Clone, Debug)]
+pub struct EventSnapshot {
+    /// Monotonic sequence number (order of occurrence).
+    pub seq: u64,
+    /// Event name.
+    pub name: String,
+    /// Free-form detail string.
+    pub detail: String,
+}
+
+/// A point-in-time copy of every metric the recorder holds.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Span/timing statistics, sorted by name.
+    pub spans: Vec<TimingSnapshot>,
+    /// Counters `(name, value)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges `(name, value)`, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Events in occurrence order (bounded; see `events_dropped`).
+    pub events: Vec<EventSnapshot>,
+    /// Events discarded because the ring buffer was full.
+    pub events_dropped: u64,
+}
+
+impl Default for TimingSnapshot {
+    fn default() -> Self {
+        TimingSnapshot {
+            name: String::new(),
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            hist: Log2Histogram::new(),
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as JSON (JSON has no NaN/Infinity; map them to null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl Snapshot {
+    /// Looks up a span snapshot by name.
+    pub fn span(&self, name: &str) -> Option<&TimingSnapshot> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Renders the snapshot as structured JSON.
+    ///
+    /// Schema (stable; validated by CI):
+    /// ```json
+    /// {
+    ///   "schema": 1,
+    ///   "spans":    [{"name", "count", "total_ns", "mean_ns", "min_ns",
+    ///                 "max_ns", "p50_ns", "p99_ns",
+    ///                 "log2_hist": [[upper_bound_ns, count], ...]}],
+    ///   "counters": [{"name", "value"}],
+    ///   "gauges":   [{"name", "value"}],
+    ///   "events":   [{"seq", "name", "detail"}],
+    ///   "events_dropped": 0
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": 1,\n  \"spans\": [\n");
+        for (i, s) in self.spans.iter().enumerate() {
+            let hist: Vec<String> = s
+                .hist
+                .nonzero_buckets()
+                .iter()
+                .map(|&(ub, c)| format!("[{ub}, {c}]"))
+                .collect();
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \
+                 \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"p50_ns\": {}, \"p99_ns\": {}, \"log2_hist\": [{}]}}{}\n",
+                json_escape(&s.name),
+                s.count,
+                s.total_ns,
+                json_f64(s.mean_ns()),
+                if s.count == 0 { 0 } else { s.min_ns },
+                s.max_ns,
+                s.hist.quantile(0.5),
+                s.hist.quantile(0.99),
+                hist.join(", "),
+                comma(i, self.spans.len()),
+            ));
+        }
+        out.push_str("  ],\n  \"counters\": [\n");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"value\": {}}}{}\n",
+                json_escape(name),
+                value,
+                comma(i, self.counters.len()),
+            ));
+        }
+        out.push_str("  ],\n  \"gauges\": [\n");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"value\": {}}}{}\n",
+                json_escape(name),
+                json_f64(*value),
+                comma(i, self.gauges.len()),
+            ));
+        }
+        out.push_str("  ],\n  \"events\": [\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"seq\": {}, \"name\": \"{}\", \"detail\": \"{}\"}}{}\n",
+                e.seq,
+                json_escape(&e.name),
+                json_escape(&e.detail),
+                comma(i, self.events.len()),
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"events_dropped\": {}\n}}\n",
+            self.events_dropped
+        ));
+        out
+    }
+
+    /// Renders the snapshot as an aligned human-readable table.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            let w = self.spans.iter().map(|s| s.name.len()).max().unwrap_or(0);
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "  {:<w$}  count {:>8}  total {:>12}  mean {:>12}  p99 {:>10}\n",
+                    s.name,
+                    s.count,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(s.mean_ns() as u64),
+                    fmt_ns(s.hist.quantile(0.99)),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let w = self
+                .counters
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(0);
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<w$}  {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let w = self.gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:<w$}  {value:.6}\n"));
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str("events:\n");
+            for e in &self.events {
+                out.push_str(&format!("  [{}] {}: {}\n", e.seq, e.name, e.detail));
+            }
+            if self.events_dropped > 0 {
+                out.push_str(&format!("  ({} events dropped)\n", self.events_dropped));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// Human-scale duration formatting: ns → µs → ms → s.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn nonfinite_gauges_render_as_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_shape() {
+        let s = Snapshot::default();
+        let j = s.to_json();
+        assert!(j.contains("\"spans\": ["));
+        assert!(j.contains("\"events_dropped\": 0"));
+        assert!(s.to_pretty().contains("no metrics"));
+    }
+}
