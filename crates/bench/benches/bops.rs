@@ -11,14 +11,18 @@
 //! previous run's mean as `prev_mean_ns` for before/after diffing), a
 //! per-stage span breakdown of one observed BOPS run (`stages`, from the
 //! `sjpl-obs` recorder), and a disabled-vs-enabled recorder cost
-//! measurement (`obs_overhead`).
+//! measurement (`obs_overhead`). Schema 3 adds the two sections `sjpl
+//! regress` consumes: a `summary` (schema-versioned `{name, mean_ns,
+//! prev_mean_ns}` series — the external bench-trajectory harness reads the
+//! same shape) and an `accuracy` array of estimator-vs-exact-join records
+//! on fixed datasets and radii.
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sjpl_core::streaming::Side;
 use sjpl_core::{
     bops_plot_cross, bops_plot_self, BopsConfig, BopsEngine, FitOptions, StreamingBops,
 };
-use sjpl_datagen::{galaxy, manifold, uniform};
+use sjpl_datagen::{galaxy, manifold, sierpinski, uniform};
 use sjpl_geom::{Aabb, Point};
 
 fn bops_vs_size(c: &mut Criterion) {
@@ -189,6 +193,58 @@ fn previous_means(path: &str) -> std::collections::HashMap<String, f64> {
     map
 }
 
+/// Estimator accuracy on fixed datasets and radii: BOPS-backed estimates
+/// against exact kd-tree join counts, recorded through the estimator's own
+/// telemetry path so `BENCH_bops.json` and the snapshot schema agree.
+fn accuracy_records() -> Vec<sjpl_obs::Accuracy> {
+    use sjpl_core::{EstimationMethod, SelectivityEstimator};
+    use sjpl_geom::Metric;
+    use sjpl_index::{pair_count, self_pair_count, JoinAlgorithm};
+
+    const RADII: [f64; 3] = [0.02, 0.05, 0.1];
+    sjpl_obs::reset();
+    sjpl_obs::set_enabled(true);
+
+    let uni = uniform::unit_cube::<2>(20_000, 31);
+    let sier = sierpinski::triangle(20_000, 32);
+    for (name, set) in [("uniform-20k", &uni), ("sierpinski-20k", &sier)] {
+        let est =
+            SelectivityEstimator::from_self(set, EstimationMethod::Bops(BopsConfig::default()))
+                .expect("fit self-join law");
+        for r in RADII {
+            let truth =
+                self_pair_count(JoinAlgorithm::KdTree, set.points(), r, Metric::Linf) as f64;
+            est.estimate_pair_count_observed(name, r, Some(truth));
+        }
+    }
+    let (ga, gb) = galaxy::correlated_pair(20_000, 20_000, 33);
+    let est =
+        SelectivityEstimator::from_cross(&ga, &gb, EstimationMethod::Bops(BopsConfig::default()))
+            .expect("fit cross-join law");
+    for r in RADII {
+        let truth = pair_count(
+            JoinAlgorithm::KdTree,
+            ga.points(),
+            gb.points(),
+            r,
+            Metric::Linf,
+        ) as f64;
+        est.estimate_pair_count_observed("galaxy-20k", r, Some(truth));
+    }
+
+    let snap = sjpl_obs::snapshot();
+    sjpl_obs::set_enabled(false);
+    sjpl_obs::reset();
+    snap.accuracy
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x}"),
+        _ => "null".to_owned(),
+    }
+}
+
 fn main() {
     benches();
     let results = criterion::take_results();
@@ -209,8 +265,10 @@ fn main() {
     sjpl_obs::set_enabled(false);
     sjpl_obs::reset();
 
+    let accuracy = accuracy_records();
+
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut json = String::from("{\n  \"schema\": 2,\n");
+    let mut json = String::from("{\n  \"schema\": 3,\n");
     json.push_str(&format!(
         "  \"meta\": {{\"host_cores\": {cores}, \"engines\": [\"sorted\", \"hashmap\"], \
          \"threads_matrix\": [1, 4], \"levels_matrix\": [8, 12], \
@@ -236,6 +294,36 @@ fn main() {
             elements,
             prev_field,
             if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    // The machine-parseable summary: the exact shape `sjpl regress` (and
+    // the external bench-trajectory harness) consumes.
+    json.push_str("  \"summary\": {\"schema\": 1, \"series\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"prev_mean_ns\": {}}}{}\n",
+            r.name,
+            r.mean_ns,
+            json_opt(prev.get(&r.name).copied()),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]},\n");
+    json.push_str("  \"accuracy\": [\n");
+    for (i, a) in accuracy.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"method\": \"{}\", \"join_kind\": \"{}\", \
+             \"radius\": {}, \"estimated_pc\": {:.1}, \"true_pc\": {}, \
+             \"rel_error\": {}}}{}\n",
+            a.dataset,
+            a.method,
+            a.join_kind,
+            a.radius,
+            a.estimated_pc,
+            json_opt(a.true_pc),
+            json_opt(a.rel_error()),
+            if i + 1 < accuracy.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");

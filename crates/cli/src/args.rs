@@ -43,6 +43,17 @@ pub struct Options {
     pub trace: Option<TraceFormat>,
     /// `--obs-out <file>` (write the snapshot to a file; implies `--trace`).
     pub obs_out: Option<String>,
+    /// `--trace-out <file>` (write the timeline as a Chrome trace; implies
+    /// `--trace`).
+    pub trace_out: Option<String>,
+    /// `--true-pc <count>` (known ground-truth pair count for accuracy
+    /// telemetry on `estimate` / `catalog-estimate`).
+    pub true_pc: Option<f64>,
+    /// `--max-perf-regress <pct>` (regress gate; `10%` or `10` = +10%,
+    /// stored as a fraction).
+    pub max_perf_regress: Option<f64>,
+    /// `--max-error-regress <x>` (regress gate; absolute rel-error growth).
+    pub max_error_regress: Option<f64>,
 }
 
 /// Parses `argv` into [`Options`].
@@ -61,6 +72,10 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
         k: None,
         trace: None,
         obs_out: None,
+        trace_out: None,
+        true_pc: None,
+        max_perf_regress: None,
+        max_error_regress: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -124,6 +139,24 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
             }
             "--obs-out" => {
                 o.obs_out = Some(take_value("--obs-out")?);
+            }
+            "--trace-out" => {
+                o.trace_out = Some(take_value("--trace-out")?);
+            }
+            "--true-pc" => {
+                let v = take_value("--true-pc")?;
+                o.true_pc = Some(v.parse().map_err(|_| format!("bad true-pc {v:?}"))?);
+            }
+            "--max-perf-regress" => {
+                let v = take_value("--max-perf-regress")?;
+                o.max_perf_regress = Some(crate::regress::parse_percent(&v)?);
+            }
+            "--max-error-regress" => {
+                let v = take_value("--max-error-regress")?;
+                o.max_error_regress = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad error threshold {v:?}"))?,
+                );
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}"));
@@ -229,6 +262,26 @@ mod tests {
         assert!(parse(&sv(&["a.csv", "--trace=xml"])).is_err());
         let o = parse(&sv(&["a.csv", "--trace=json", "--obs-out", "obs.json"])).unwrap();
         assert_eq!(o.obs_out.as_deref(), Some("obs.json"));
+    }
+
+    #[test]
+    fn regress_and_trace_out_flags_parse() {
+        let o = parse(&sv(&[
+            "old.json",
+            "new.json",
+            "--max-perf-regress",
+            "15%",
+            "--max-error-regress",
+            "0.02",
+        ]))
+        .unwrap();
+        assert_eq!(o.max_perf_regress, Some(0.15));
+        assert_eq!(o.max_error_regress, Some(0.02));
+        let o = parse(&sv(&["a.csv", "--trace-out", "t.json", "--true-pc", "123"])).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(o.true_pc, Some(123.0));
+        assert!(parse(&sv(&["a.csv", "--max-perf-regress", "x"])).is_err());
+        assert!(parse(&sv(&["a.csv", "--trace-out"])).is_err());
     }
 
     #[test]

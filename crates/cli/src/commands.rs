@@ -29,6 +29,12 @@ commands:
   knn      <a.csv> <x,y,...> -k <k>      k nearest neighbors of a query point
   catalog-add <cat.tsv> <name> <a.csv> [b.csv]   fit a law, store it
   catalog-estimate <cat.tsv> <name> -r <radius>  O(1) estimate from stored law
+  trace-export <snapshot.json> <trace.json>      convert a saved snapshot's
+                                                 timeline to Chrome Trace Format
+                                                 (open at https://ui.perfetto.dev)
+  regress <old.json> <new.json>                  diff two snapshot/bench reports;
+                                                 exit nonzero on perf or accuracy
+                                                 regression beyond the thresholds
 
 options:
   -r, --radius <r>     query radius (estimate, join)
@@ -42,9 +48,17 @@ options:
   --algo <a>           nested-loop | grid | kd-tree | r-tree | plane-sweep | z-order
   -k <n>               neighbor count for knn         [default 1]
   --trace[=json|pretty]  record spans/counters/gauges while the command runs
-                       and print the snapshot (json -> stdout, pretty -> stderr)
+                       and print the snapshot to stderr (stdout stays clean
+                       for the command's own output)
   --obs-out <file>     write the snapshot to <file> instead (implies --trace;
-                       json unless --trace=pretty)";
+                       json unless --trace=pretty)
+  --trace-out <file>   write the run's span timeline to <file> in Chrome
+                       Trace Format (implies --trace; open in Perfetto)
+  --true-pc <count>    known ground-truth pair count, recorded in accuracy
+                       telemetry (estimate, catalog-estimate)
+  --max-perf-regress <pct>  regress: allowed mean-time growth [default 10%]
+  --max-error-regress <x>   regress: allowed absolute rel-error growth
+                            [default 0.05]";
 
 /// Entry point used by `main` (and by the tests).
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -52,7 +66,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         return Err(format!("no command given\n{USAGE}"));
     };
     let opts = parse(rest)?;
-    let tracing = opts.trace.is_some() || opts.obs_out.is_some();
+    let tracing = opts.trace.is_some() || opts.obs_out.is_some() || opts.trace_out.is_some();
     if tracing {
         sjpl_obs::reset();
         sjpl_obs::set_enabled(true);
@@ -69,6 +83,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "knn" => dispatch_dim(&opts, CmdKind::Knn),
         "catalog-add" => cmd_catalog_add(&opts),
         "catalog-estimate" => cmd_catalog_estimate(&opts),
+        "trace-export" => cmd_trace_export(&opts),
+        "regress" => cmd_regress(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -86,27 +102,82 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     result
 }
 
-/// Renders the snapshot per `--trace` / `--obs-out`: JSON unless pretty was
-/// requested; to the output file when given, else JSON goes to stdout (it
-/// *is* the requested output) and pretty goes to stderr (commentary around
-/// the command's own stdout).
+/// Renders the snapshot per `--trace` / `--obs-out` / `--trace-out`: JSON
+/// unless pretty was requested; to the output file when given, else to
+/// **stderr** — never stdout, which belongs to the command's own output
+/// (the snapshot used to interleave with result `println!`s and corrupt
+/// piped JSON). `--trace-out` additionally writes the run's timeline as a
+/// Chrome Trace Format file.
 fn emit_trace(o: &Options, snap: &sjpl_obs::Snapshot) -> Result<(), String> {
-    let format = o.trace.unwrap_or(TraceFormat::Json);
-    let body = match format {
-        TraceFormat::Json => snap.to_json(),
-        TraceFormat::Pretty => snap.to_pretty(),
-    };
-    match &o.obs_out {
-        Some(path) => {
-            std::fs::write(path, body.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
-            eprintln!("wrote observability snapshot to {path}");
+    if o.trace.is_some() || o.obs_out.is_some() {
+        let format = o.trace.unwrap_or(TraceFormat::Json);
+        let body = match format {
+            TraceFormat::Json => snap.to_json(),
+            TraceFormat::Pretty => snap.to_pretty(),
+        };
+        match &o.obs_out {
+            Some(path) => {
+                std::fs::write(path, body.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("wrote observability snapshot to {path}");
+            }
+            None => eprintln!("{body}"),
         }
-        None => match format {
-            TraceFormat::Json => println!("{body}"),
-            TraceFormat::Pretty => eprintln!("{body}"),
-        },
+    }
+    if let Some(path) = &o.trace_out {
+        std::fs::write(path, snap.to_chrome_trace().as_bytes())
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path} (open at https://ui.perfetto.dev)");
     }
     Ok(())
+}
+
+/// `trace-export <snapshot.json> <trace.json>` — converts a saved schema-2
+/// snapshot into a Chrome Trace Format file.
+fn cmd_trace_export(o: &Options) -> Result<(), String> {
+    let [input, output] = o.positional.as_slice() else {
+        return Err("trace-export needs: <snapshot.json> <trace.json>".to_owned());
+    };
+    let text = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let trace = sjpl_obs::chrome::snapshot_json_to_chrome(&text)?;
+    std::fs::write(output, trace.as_bytes()).map_err(|e| format!("{output}: {e}"))?;
+    println!("wrote Chrome trace to {output} (open at https://ui.perfetto.dev)");
+    Ok(())
+}
+
+/// `regress <old.json> <new.json>` — the perf + accuracy gate. Exits
+/// nonzero (via `Err`) when any compared series regresses beyond the
+/// thresholds; identical inputs always pass.
+fn cmd_regress(o: &Options) -> Result<(), String> {
+    let [old_path, new_path] = o.positional.as_slice() else {
+        return Err("regress needs: <old.json> <new.json>".to_owned());
+    };
+    let defaults = crate::regress::Thresholds::default();
+    let thresholds = crate::regress::Thresholds {
+        max_perf: o.max_perf_regress.unwrap_or(defaults.max_perf),
+        max_error: o.max_error_regress.unwrap_or(defaults.max_error),
+    };
+    let rep = crate::regress::compare_files(old_path, new_path, &thresholds)?;
+    for note in &rep.notes {
+        eprintln!("note: {note}");
+    }
+    println!(
+        "compared {} perf series and {} accuracy records \
+         (thresholds: perf +{:.1}%, rel_error +{:.3})",
+        rep.perf_compared,
+        rep.accuracy_compared,
+        thresholds.max_perf * 100.0,
+        thresholds.max_error
+    );
+    if rep.passed() {
+        println!("regress: OK");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} regression(s):\n  {}",
+            rep.regressions.len(),
+            rep.regressions.join("\n  ")
+        ))
+    }
 }
 
 /// One-line stderr note when the BOPS Auto resolution silently would have
@@ -197,7 +268,7 @@ fn cmd_catalog_estimate(o: &Options) -> Result<(), String> {
     );
     println!(
         "estimate at r = {r}: pairs ≈ {:.1}, selectivity ≈ {:.4e}{}",
-        est.estimate_pair_count(r),
+        est.estimate_pair_count_observed(name, r, o.true_pc),
         est.estimate_selectivity(r),
         if law.in_fitted_range(r) {
             ""
@@ -294,6 +365,14 @@ fn load_sets<const D: usize>(o: &Options) -> Result<(PointSet<D>, Option<PointSe
     Ok((a, b))
 }
 
+/// Telemetry dataset label: the input set name(s), `a` or `a x b`.
+fn dataset_label<const D: usize>(a: &PointSet<D>, b: Option<&PointSet<D>>) -> String {
+    match b {
+        Some(b) => format!("{} x {}", a.name(), b.name()),
+        None => a.name().to_owned(),
+    }
+}
+
 fn print_law(law: &PairCountLaw) {
     println!(
         "law: PC(r) = {:.6e} * r^{:.4}   (fit r^2 = {:.4}, usable range [{:.3e}, {:.3e}])",
@@ -367,24 +446,38 @@ fn run_typed<const D: usize>(o: &Options, kind: CmdKind) -> Result<(), String> {
         CmdKind::Estimate => {
             let r = o.radius.ok_or("estimate needs --radius")?;
             let method = o.method.as_deref().unwrap_or("bops");
-            let law = match (method, &b) {
-                ("bops", Some(b)) => bops_plot_cross(&a, b, &bops_cfg).and_then(|p| {
-                    warn_fallback(&p);
-                    p.fit(&fit_opts)
-                }),
-                ("bops", None) => bops_plot_self(&a, &bops_cfg).and_then(|p| {
-                    warn_fallback(&p);
-                    p.fit(&fit_opts)
-                }),
-                ("pc", Some(b)) => pc_plot_cross(&a, b, &pc_cfg).and_then(|p| p.fit(&fit_opts)),
-                ("pc", None) => pc_plot_self(&a, &pc_cfg).and_then(|p| p.fit(&fit_opts)),
+            let (law, label) = match (method, &b) {
+                ("bops", Some(b)) => (
+                    bops_plot_cross(&a, b, &bops_cfg).and_then(|p| {
+                        warn_fallback(&p);
+                        p.fit(&fit_opts)
+                    }),
+                    "bops",
+                ),
+                ("bops", None) => (
+                    bops_plot_self(&a, &bops_cfg).and_then(|p| {
+                        warn_fallback(&p);
+                        p.fit(&fit_opts)
+                    }),
+                    "bops",
+                ),
+                ("pc", Some(b)) => (
+                    pc_plot_cross(&a, b, &pc_cfg).and_then(|p| p.fit(&fit_opts)),
+                    "pc",
+                ),
+                ("pc", None) => (
+                    pc_plot_self(&a, &pc_cfg).and_then(|p| p.fit(&fit_opts)),
+                    "pc",
+                ),
                 (m, _) => return Err(format!("unknown method {m:?} (pc or bops)")),
-            }
-            .map_err(|e| e.to_string())?;
+            };
+            let law = law.map_err(|e| e.to_string())?;
+            let est = sjpl_core::SelectivityEstimator::from_law_labeled(law, label);
+            let dataset = dataset_label(&a, b.as_ref());
+            let pairs = est.estimate_pair_count_observed(&dataset, r, o.true_pc);
             print_law(&law);
             println!(
-                "estimate at r = {r}: pairs ≈ {:.1}, selectivity ≈ {:.4e}{}",
-                law.pair_count(r),
+                "estimate at r = {r}: pairs ≈ {pairs:.1}, selectivity ≈ {:.4e}{}",
                 law.selectivity(r),
                 if law.in_fitted_range(r) {
                     ""
@@ -663,15 +756,201 @@ mod tests {
         // The recorder is process-global and other tests run concurrently,
         // so assert presence of this run's keys, not exact values.
         for needle in [
-            "\"schema\": 1",
+            "\"schema\": 2",
             "bops.quantize",
             "bops.sort",
             "bops.scan",
             "bops.points",
             "fit.r_squared",
+            "\"timeline\": {",
+            "\"dropped_events\":",
         ] {
             assert!(json.contains(needle), "missing {needle:?} in:\n{json}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_out_and_trace_export_produce_chrome_traces() {
+        let dir = tmpdir();
+        let data = dir.join("chrome_in.csv");
+        let obs = dir.join("chrome_obs.json");
+        let direct = dir.join("direct_trace.json");
+        let exported = dir.join("exported_trace.json");
+        run(&sv(&[
+            "generate",
+            "uniform",
+            "3000",
+            "17",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "bops",
+            data.to_str().unwrap(),
+            "--levels",
+            "8",
+            "--obs-out",
+            obs.to_str().unwrap(),
+            "--trace-out",
+            direct.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "trace-export",
+            obs.to_str().unwrap(),
+            exported.to_str().unwrap(),
+        ]))
+        .unwrap();
+        for path in [&direct, &exported] {
+            let text = std::fs::read_to_string(path).unwrap();
+            let doc = sjpl_obs::json::Json::parse(&text).unwrap();
+            let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+            assert!(!events.is_empty(), "{path:?} has no trace events");
+            assert!(events
+                .iter()
+                .any(|e| e.get("name").unwrap().as_str() == Some("bops.plot")));
+            // The per-thread scan workers parent under the scan span.
+            let scan_id = events
+                .iter()
+                .find(|e| e.get("name").unwrap().as_str() == Some("bops.scan"))
+                .map(|e| e.get("args").unwrap().get("id").unwrap().as_f64().unwrap());
+            if let Some(scan_id) = scan_id {
+                let worker_parents: Vec<f64> = events
+                    .iter()
+                    .filter(|e| e.get("name").unwrap().as_str() == Some("bops.scan.worker"))
+                    .map(|e| {
+                        e.get("args")
+                            .unwrap()
+                            .get("parent")
+                            .unwrap()
+                            .as_f64()
+                            .unwrap()
+                    })
+                    .collect();
+                for p in worker_parents {
+                    assert_eq!(p, scan_id);
+                }
+            }
+        }
+        // Refusing a schema-1 (timeline-less) snapshot is an error, not a panic.
+        let legacy = dir.join("legacy.json");
+        std::fs::write(&legacy, "{\"schema\": 1, \"spans\": []}\n").unwrap();
+        assert!(run(&sv(&[
+            "trace-export",
+            legacy.to_str().unwrap(),
+            exported.to_str().unwrap(),
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn estimate_records_accuracy_in_the_snapshot() {
+        let dir = tmpdir();
+        let data = dir.join("acc.csv");
+        let obs = dir.join("acc_obs.json");
+        run(&sv(&[
+            "generate",
+            "uniform",
+            "3000",
+            "19",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "estimate",
+            data.to_str().unwrap(),
+            "-r",
+            "0.05",
+            "--levels",
+            "8",
+            "--true-pc",
+            "10000",
+            "--obs-out",
+            obs.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&obs).unwrap();
+        let doc = sjpl_obs::json::Json::parse(&json).unwrap();
+        let acc = doc.get("accuracy").unwrap().as_array().unwrap();
+        let rec = acc
+            .iter()
+            .find(|a| a.get("method").unwrap().as_str() == Some("bops"))
+            .expect("estimate emitted a bops accuracy record");
+        assert_eq!(rec.get("join_kind").unwrap().as_str(), Some("self"));
+        assert_eq!(rec.get("radius").unwrap().as_f64(), Some(0.05));
+        assert_eq!(rec.get("true_pc").unwrap().as_f64(), Some(10000.0));
+        assert!(rec.get("rel_error").unwrap().as_f64().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn regress_gate_passes_identical_and_fails_perturbed() {
+        let dir = tmpdir();
+        let old = dir.join("old.json");
+        let new = dir.join("new.json");
+        let base = r#"{
+          "summary": {"schema": 1, "series": [
+            {"name": "bops/sorted/100k", "mean_ns": 1000000, "prev_mean_ns": null}
+          ]},
+          "accuracy": [
+            {"dataset": "uniform", "method": "bops", "join_kind": "self",
+             "radius": 0.05, "estimated_pc": 110.0, "true_pc": 100.0,
+             "rel_error": 0.10}
+          ]
+        }"#;
+        std::fs::write(&old, base).unwrap();
+        std::fs::write(&new, base).unwrap();
+        // Identical inputs: exit 0.
+        run(&sv(&[
+            "regress",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // +50% mean: fails at the default 10% gate, passes at 60%.
+        let slower = base.replace("\"mean_ns\": 1000000", "\"mean_ns\": 1500000");
+        std::fs::write(&new, &slower).unwrap();
+        assert!(run(&sv(&[
+            "regress",
+            old.to_str().unwrap(),
+            new.to_str().unwrap()
+        ]))
+        .is_err());
+        run(&sv(&[
+            "regress",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--max-perf-regress",
+            "60%",
+        ]))
+        .unwrap();
+        // Accuracy degradation beyond the absolute threshold fails too.
+        let worse = base.replace("\"rel_error\": 0.10", "\"rel_error\": 0.30");
+        std::fs::write(&new, &worse).unwrap();
+        assert!(run(&sv(&[
+            "regress",
+            old.to_str().unwrap(),
+            new.to_str().unwrap()
+        ]))
+        .is_err());
+        run(&sv(&[
+            "regress",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--max-error-regress",
+            "0.5",
+        ]))
+        .unwrap();
+        // Unparseable input is an error.
+        std::fs::write(&new, "not json").unwrap();
+        assert!(run(&sv(&[
+            "regress",
+            old.to_str().unwrap(),
+            new.to_str().unwrap()
+        ]))
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

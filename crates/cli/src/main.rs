@@ -15,6 +15,7 @@
 
 mod args;
 mod commands;
+mod regress;
 
 use std::process::ExitCode;
 

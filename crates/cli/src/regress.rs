@@ -1,0 +1,279 @@
+//! `sjpl regress` — diff two observability/bench JSON reports against
+//! thresholds and fail on regression.
+//!
+//! Both inputs may be any of the workspace's machine-readable reports:
+//!
+//! * a `BENCH_bops.json` (schema ≥ 3): perf series from `summary.series`
+//!   (falling back to `results`), accuracy from the top-level `accuracy`
+//!   array;
+//! * an `sjpl-obs` snapshot (schema ≥ 1, as written by `--obs-out`): perf
+//!   series from `spans` (`mean_ns` per span name), accuracy from the
+//!   schema-2 `accuracy` array.
+//!
+//! Comparison is by name: series present in only one file are reported but
+//! never fail the gate (benches come and go); a name present in both fails
+//! when the new mean exceeds the old by more than `--max-perf-regress`
+//! (percent), or when a matching accuracy record's relative error grows by
+//! more than `--max-error-regress` (absolute). Identical inputs therefore
+//! always pass — that is the CI self-check.
+
+use sjpl_obs::json::Json;
+
+/// Gate thresholds (defaults match the documented CI gate).
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Allowed mean-time growth as a fraction (0.10 = +10%).
+    pub max_perf: f64,
+    /// Allowed absolute growth of a record's relative error.
+    pub max_error: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            max_perf: 0.10,
+            max_error: 0.05,
+        }
+    }
+}
+
+/// Parses a `--max-perf-regress` value: `10%` or `10` both mean +10%.
+pub fn parse_percent(s: &str) -> Result<f64, String> {
+    let t = s.strip_suffix('%').unwrap_or(s);
+    let v: f64 = t
+        .parse()
+        .map_err(|_| format!("bad percentage {s:?} (use e.g. 10%)"))?;
+    if !(v >= 0.0 && v.is_finite()) {
+        return Err(format!("percentage {s:?} must be finite and >= 0"));
+    }
+    Ok(v / 100.0)
+}
+
+/// The outcome of one comparison.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Human-readable regression lines (empty = gate passes).
+    pub regressions: Vec<String>,
+    /// Per-series notes (improvements, new/vanished series).
+    pub notes: Vec<String>,
+    /// Number of perf series compared in both files.
+    pub perf_compared: usize,
+    /// Number of accuracy records compared in both files.
+    pub accuracy_compared: usize,
+}
+
+impl Report {
+    /// Did the gate pass?
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Extracts the perf series `(name, mean_ns)` from a report document, in
+/// order of preference: `summary.series`, `results`, `spans`.
+fn perf_series(doc: &Json) -> Vec<(String, f64)> {
+    let from = |items: &[Json]| -> Vec<(String, f64)> {
+        items
+            .iter()
+            .filter_map(|it| {
+                let name = it.get("name")?.as_str()?.to_owned();
+                let mean = it.get("mean_ns")?.as_f64()?;
+                Some((name, mean))
+            })
+            .collect()
+    };
+    if let Some(series) = doc
+        .get("summary")
+        .and_then(|s| s.get("series"))
+        .and_then(Json::as_array)
+    {
+        return from(series);
+    }
+    if let Some(results) = doc.get("results").and_then(Json::as_array) {
+        return from(results);
+    }
+    if let Some(spans) = doc.get("spans").and_then(Json::as_array) {
+        return from(spans);
+    }
+    Vec::new()
+}
+
+/// Extracts accuracy records `(key, rel_error)` from a report document.
+/// Records without a computable relative error are skipped.
+fn accuracy_series(doc: &Json) -> Vec<(String, f64)> {
+    let Some(items) = doc.get("accuracy").and_then(Json::as_array) else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|it| {
+            let key = format!(
+                "{}/{}/{}@{}",
+                it.get("dataset")?.as_str()?,
+                it.get("method")?.as_str()?,
+                it.get("join_kind")?.as_str()?,
+                it.get("radius")?.as_f64()?,
+            );
+            let rel = it.get("rel_error")?.as_f64()?;
+            Some((key, rel))
+        })
+        .collect()
+}
+
+fn lookup(series: &[(String, f64)], name: &str) -> Option<f64> {
+    series.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+}
+
+/// Compares two parsed report documents under the given thresholds.
+pub fn compare(old: &Json, new: &Json, t: &Thresholds) -> Report {
+    let mut rep = Report::default();
+
+    let old_perf = perf_series(old);
+    let new_perf = perf_series(new);
+    for (name, old_mean) in &old_perf {
+        let Some(new_mean) = lookup(&new_perf, name) else {
+            rep.notes.push(format!("perf {name}: gone from new report"));
+            continue;
+        };
+        rep.perf_compared += 1;
+        if *old_mean > 0.0 {
+            let growth = new_mean / old_mean - 1.0;
+            if growth > t.max_perf {
+                rep.regressions.push(format!(
+                    "perf {name}: mean {old_mean:.0}ns -> {new_mean:.0}ns \
+                     (+{:.1}% > allowed +{:.1}%)",
+                    growth * 100.0,
+                    t.max_perf * 100.0
+                ));
+            } else if growth < -t.max_perf {
+                rep.notes
+                    .push(format!("perf {name}: improved {:.1}%", -growth * 100.0));
+            }
+        }
+    }
+    for (name, _) in &new_perf {
+        if lookup(&old_perf, name).is_none() {
+            rep.notes.push(format!("perf {name}: new series"));
+        }
+    }
+
+    let old_acc = accuracy_series(old);
+    let new_acc = accuracy_series(new);
+    for (key, old_err) in &old_acc {
+        let Some(new_err) = lookup(&new_acc, key) else {
+            rep.notes
+                .push(format!("accuracy {key}: gone from new report"));
+            continue;
+        };
+        rep.accuracy_compared += 1;
+        let growth = new_err - old_err;
+        if growth > t.max_error {
+            rep.regressions.push(format!(
+                "accuracy {key}: rel_error {old_err:.4} -> {new_err:.4} \
+                 (+{growth:.4} > allowed +{:.4})",
+                t.max_error
+            ));
+        } else if growth < -t.max_error {
+            rep.notes
+                .push(format!("accuracy {key}: improved by {:.4}", -growth));
+        }
+    }
+
+    rep
+}
+
+/// Loads, parses and compares two report files; `Err` carries parse
+/// failures (the caller turns a failed gate into a nonzero exit).
+pub fn compare_files(old_path: &str, new_path: &str, t: &Thresholds) -> Result<Report, String> {
+    let read = |p: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let old = read(old_path)?;
+    let new = read(new_path)?;
+    Ok(compare(&old, &new, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = r#"{
+      "summary": {"schema": 1, "series": [
+        {"name": "bops/sorted/100k", "mean_ns": 1000000, "prev_mean_ns": null},
+        {"name": "bops/hash/100k", "mean_ns": 2000000, "prev_mean_ns": null},
+        {"name": "vanishing", "mean_ns": 5}
+      ]},
+      "accuracy": [
+        {"dataset": "uniform", "method": "bops", "join_kind": "self",
+         "radius": 0.05, "estimated_pc": 110.0, "true_pc": 100.0,
+         "rel_error": 0.10},
+        {"dataset": "galaxy", "method": "bops", "join_kind": "cross",
+         "radius": 0.1, "estimated_pc": 50.0, "true_pc": null,
+         "rel_error": null}
+      ]
+    }"#;
+
+    fn doc(s: &str) -> Json {
+        Json::parse(s).unwrap()
+    }
+
+    #[test]
+    fn identical_inputs_pass() {
+        let rep = compare(&doc(OLD), &doc(OLD), &Thresholds::default());
+        assert!(rep.passed(), "regressions: {:?}", rep.regressions);
+        assert_eq!(rep.perf_compared, 3);
+        // The null-rel_error record is skipped, not compared.
+        assert_eq!(rep.accuracy_compared, 1);
+    }
+
+    #[test]
+    fn perf_growth_beyond_threshold_fails() {
+        let new = OLD.replace("\"mean_ns\": 1000000", "\"mean_ns\": 1200000");
+        let rep = compare(&doc(OLD), &doc(&new), &Thresholds::default());
+        assert_eq!(rep.regressions.len(), 1);
+        assert!(rep.regressions[0].contains("bops/sorted/100k"));
+        // A looser gate lets the same diff through.
+        let loose = Thresholds {
+            max_perf: 0.25,
+            max_error: 0.05,
+        };
+        assert!(compare(&doc(OLD), &doc(&new), &loose).passed());
+    }
+
+    #[test]
+    fn error_growth_beyond_threshold_fails() {
+        let new = OLD.replace("\"rel_error\": 0.10", "\"rel_error\": 0.30");
+        let rep = compare(&doc(OLD), &doc(&new), &Thresholds::default());
+        assert_eq!(rep.regressions.len(), 1);
+        assert!(rep.regressions[0].contains("uniform/bops/self@0.05"));
+    }
+
+    #[test]
+    fn vanished_and_new_series_are_notes_not_failures() {
+        let new = OLD.replace("vanishing", "appearing");
+        let rep = compare(&doc(OLD), &doc(&new), &Thresholds::default());
+        assert!(rep.passed());
+        assert!(rep.notes.iter().any(|n| n.contains("vanishing")));
+        assert!(rep.notes.iter().any(|n| n.contains("appearing")));
+    }
+
+    #[test]
+    fn snapshot_spans_work_as_a_perf_source() {
+        let snap = r#"{"schema": 2, "spans": [
+            {"name": "bops.sort", "count": 4, "mean_ns": 500000.0}
+        ]}"#;
+        let slower = snap.replace("500000.0", "900000.0");
+        let rep = compare(&doc(snap), &doc(&slower), &Thresholds::default());
+        assert_eq!(rep.perf_compared, 1);
+        assert!(!rep.passed());
+    }
+
+    #[test]
+    fn percent_parsing() {
+        assert_eq!(parse_percent("10%").unwrap(), 0.10);
+        assert_eq!(parse_percent("2.5").unwrap(), 0.025);
+        assert!(parse_percent("abc").is_err());
+        assert!(parse_percent("-5%").is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Process-level checks of the `--trace` output routing: the snapshot must
+//! never land on stdout (which carries the command's own, often piped,
+//! output) — it goes to stderr or the `--obs-out` / `--trace-out` files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn sjpl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sjpl"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("sjpl_trace_out_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn generate(dir: &std::path::Path) -> PathBuf {
+    let data = dir.join("pts.csv");
+    let out = sjpl()
+        .args(["generate", "uniform", "3000", "5", data.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    data
+}
+
+#[test]
+fn trace_json_goes_to_stderr_not_stdout() {
+    let dir = tmpdir("stderr");
+    let data = generate(&dir);
+    let out = sjpl()
+        .args([
+            "bops",
+            data.to_str().unwrap(),
+            "--levels",
+            "8",
+            "--trace=json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    // stdout is exactly the command's own report — no snapshot JSON mixed in.
+    assert!(stdout.contains("# radius (s/2), bops"), "stdout:\n{stdout}");
+    assert!(
+        !stdout.contains("\"schema\""),
+        "snapshot leaked to stdout:\n{stdout}"
+    );
+    // The snapshot went to stderr, complete and parseable.
+    let start = stderr.find('{').expect("snapshot JSON on stderr");
+    let snap = sjpl_obs::json::Json::parse(stderr[start..].trim()).unwrap();
+    assert_eq!(snap.get("schema").unwrap().as_f64(), Some(2.0));
+    assert!(snap.get("timeline").is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn obs_out_keeps_both_streams_clean_of_json() {
+    let dir = tmpdir("obsout");
+    let data = generate(&dir);
+    let obs = dir.join("obs.json");
+    let out = sjpl()
+        .args([
+            "bops",
+            data.to_str().unwrap(),
+            "--levels",
+            "8",
+            "--trace=json",
+            "--obs-out",
+            obs.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!stdout.contains("\"schema\""), "snapshot leaked to stdout");
+    let snap = sjpl_obs::json::Json::parse(&std::fs::read_to_string(&obs).unwrap()).unwrap();
+    assert_eq!(snap.get("schema").unwrap().as_f64(), Some(2.0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn regress_exit_codes_follow_the_gate() {
+    let dir = tmpdir("regress");
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    let base = r#"{"summary": {"schema": 1, "series": [
+        {"name": "s", "mean_ns": 100}]}, "accuracy": []}"#;
+    std::fs::write(&old, base).unwrap();
+    std::fs::write(&new, base).unwrap();
+    let ok = sjpl()
+        .args(["regress", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(ok.status.success(), "identical inputs must exit 0: {ok:?}");
+    std::fs::write(&new, base.replace("100", "200")).unwrap();
+    let bad = sjpl()
+        .args(["regress", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success(), "2x slowdown must exit nonzero");
+    std::fs::remove_dir_all(&dir).ok();
+}

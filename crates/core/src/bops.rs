@@ -454,8 +454,11 @@ fn morton_keys<K: MortonKey, const D: usize>(
 }
 
 /// Runs `count_level` for every level, striping levels across up to
-/// `threads` workers (each level is an independent linear scan).
-fn per_level<F>(levels: u32, threads: usize, count_level: F) -> Vec<u64>
+/// `threads` workers (each level is an independent linear scan). Each
+/// worker's scan is timed as a `bops.scan.worker` span parented under
+/// `ctx` (the enclosing `bops.scan` span), so the flight-recorder timeline
+/// shows the per-thread stripe durations — the partition-skew view.
+fn per_level<F>(levels: u32, threads: usize, ctx: sjpl_obs::SpanContext, count_level: F) -> Vec<u64>
 where
     F: Fn(u32) -> u64 + Sync,
 {
@@ -469,6 +472,7 @@ where
         let handles: Vec<_> = (0..t)
             .map(|w| {
                 sc.spawn(move |_| {
+                    let _worker = sjpl_obs::span_under("bops.scan.worker", ctx);
                     (w as u32..levels)
                         .step_by(t)
                         .map(|i| (i, count_level(i)))
@@ -551,8 +555,8 @@ fn sorted_values_cross<K: MortonKey, const D: usize>(
     par_sort_unstable(&mut ka, threads);
     par_sort_unstable(&mut kb, threads);
     sort.close();
-    let _scan = sjpl_obs::span("bops.scan");
-    per_level(levels, threads, |i| {
+    let scan = sjpl_obs::span("bops.scan");
+    per_level(levels, threads, scan.context(), |i| {
         cross_prefix_product_sum(&ka, &kb, D as u32 * i)
     })
 }
@@ -570,8 +574,10 @@ fn sorted_values_self<K: MortonKey, const D: usize>(
     let sort = sjpl_obs::span("bops.sort");
     par_sort_unstable(&mut ka, threads);
     sort.close();
-    let _scan = sjpl_obs::span("bops.scan");
-    per_level(levels, threads, |i| self_prefix_pair_sum(&ka, D as u32 * i))
+    let scan = sjpl_obs::span("bops.scan");
+    per_level(levels, threads, scan.context(), |i| {
+        self_prefix_pair_sum(&ka, D as u32 * i)
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -700,6 +706,14 @@ pub fn bops_plot_cross<const D: usize>(
     sjpl_obs::counter_add("bops.plots", 1);
     sjpl_obs::counter_add("bops.points", (a.len() + b.len()) as u64);
     sjpl_obs::gauge_set("bops.levels", cfg.levels as f64);
+    let _plot = sjpl_obs::span_with("bops.plot", || {
+        format!(
+            "join=cross points={} levels={} engine={}",
+            a.len() + b.len(),
+            cfg.levels,
+            engine.name()
+        )
+    });
     let normalize = sjpl_obs::span("bops.normalize");
     let info = NormalizeInfo::from_sets(&[a, b])?;
     let na = a.normalized(&info);
@@ -751,6 +765,14 @@ pub fn bops_plot_self<const D: usize>(
     sjpl_obs::counter_add("bops.plots", 1);
     sjpl_obs::counter_add("bops.points", a.len() as u64);
     sjpl_obs::gauge_set("bops.levels", cfg.levels as f64);
+    let _plot = sjpl_obs::span_with("bops.plot", || {
+        format!(
+            "join=self points={} levels={} engine={}",
+            a.len(),
+            cfg.levels,
+            engine.name()
+        )
+    });
     let normalize = sjpl_obs::span("bops.normalize");
     let info = NormalizeInfo::from_sets(&[a])?;
     let na = a.normalized(&info);

@@ -49,6 +49,17 @@ pub enum EstimationMethod {
     },
 }
 
+impl EstimationMethod {
+    /// Short stable label for telemetry (`accuracy` records, reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EstimationMethod::ExactPcPlot(_) => "pc",
+            EstimationMethod::Bops(_) => "bops",
+            EstimationMethod::SampledPcPlot { .. } => "sampled-pc",
+        }
+    }
+}
+
 impl Default for EstimationMethod {
     fn default() -> Self {
         EstimationMethod::Bops(BopsConfig::default())
@@ -94,6 +105,7 @@ fn rescale_law(mut law: PairCountLaw, factor: f64, n: usize, m: usize) -> PairCo
 pub struct SelectivityEstimator {
     law: PairCountLaw,
     fit_opts_used: FitOptions,
+    method_label: &'static str,
 }
 
 impl SelectivityEstimator {
@@ -131,6 +143,7 @@ impl SelectivityEstimator {
         Ok(SelectivityEstimator {
             law,
             fit_opts_used: *opts,
+            method_label: method.label(),
         })
     }
 
@@ -170,15 +183,24 @@ impl SelectivityEstimator {
         Ok(SelectivityEstimator {
             law,
             fit_opts_used: *opts,
+            method_label: method.label(),
         })
     }
 
     /// Wraps a previously fitted law (e.g. statistics stored by a query
     /// optimizer catalog — the paper's "previously kept statistics" path).
     pub fn from_law(law: PairCountLaw) -> Self {
+        Self::from_law_labeled(law, "stored-law")
+    }
+
+    /// [`Self::from_law`] with an explicit telemetry method label, for
+    /// callers that built the law themselves and know which method
+    /// produced it.
+    pub fn from_law_labeled(law: PairCountLaw, label: &'static str) -> Self {
         SelectivityEstimator {
             law,
             fit_opts_used: FitOptions::default(),
+            method_label: label,
         }
     }
 
@@ -192,9 +214,37 @@ impl SelectivityEstimator {
         &self.fit_opts_used
     }
 
+    /// Short stable label of the construction method (`pc`, `bops`,
+    /// `sampled-pc`, or `stored-law`), used to tag telemetry.
+    pub fn method_label(&self) -> &'static str {
+        self.method_label
+    }
+
     /// O(1) estimate of the number of qualifying pairs at radius `r`.
     pub fn estimate_pair_count(&self, r: f64) -> f64 {
         self.law.pair_count(r)
+    }
+
+    /// [`Self::estimate_pair_count`] that also emits one accuracy telemetry
+    /// record (dataset label, method, join kind, radius, the estimate, and
+    /// the true pair count when the caller knows it — e.g. from an exact
+    /// join it ran for validation). Free when the recorder is disabled.
+    pub fn estimate_pair_count_observed(&self, dataset: &str, r: f64, true_pc: Option<f64>) -> f64 {
+        let est = self.law.pair_count(r);
+        if sjpl_obs::enabled() {
+            sjpl_obs::accuracy(sjpl_obs::Accuracy {
+                dataset: dataset.to_owned(),
+                method: self.method_label.to_owned(),
+                join_kind: match self.law.kind {
+                    crate::JoinKind::Cross => "cross".to_owned(),
+                    crate::JoinKind::SelfJoin => "self".to_owned(),
+                },
+                radius: r,
+                estimated_pc: est,
+                true_pc,
+            });
+        }
+        est
     }
 
     /// O(1) estimate of the join selectivity at radius `r`.
@@ -348,6 +398,34 @@ mod tests {
         .unwrap();
         assert_eq!(exact.law().exponent, one.law().exponent);
         assert!((exact.law().k - one.law().k).abs() / exact.law().k < 1e-12);
+    }
+
+    #[test]
+    fn observed_estimates_emit_accuracy_records() {
+        let a = uniform::unit_cube::<2>(1_500, 21);
+        let est =
+            SelectivityEstimator::from_self(&a, EstimationMethod::Bops(BopsConfig::default()))
+                .unwrap();
+        let (got, snap) = sjpl_obs::capture(|| {
+            est.estimate_pair_count_observed("uniform-1500", 0.05, Some(1000.0))
+        });
+        assert_eq!(got, est.estimate_pair_count(0.05));
+        let rec = snap
+            .accuracy
+            .iter()
+            .find(|r| r.dataset == "uniform-1500")
+            .expect("accuracy record emitted");
+        assert_eq!(rec.method, "bops");
+        assert_eq!(rec.join_kind, "self");
+        assert_eq!(rec.radius, 0.05);
+        assert_eq!(rec.estimated_pc, got);
+        assert_eq!(rec.true_pc, Some(1000.0));
+        assert!(rec.rel_error().is_some());
+        // Stored laws are labeled as such.
+        assert_eq!(
+            SelectivityEstimator::from_law(*est.law()).method_label(),
+            "stored-law"
+        );
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //!
 //! A dependency-free observability layer: RAII [`Span`]s timed on the
 //! monotonic clock, named [counters](counter_add) and [gauges](gauge_set),
-//! [log2-bucketed latency histograms](hist::Log2Histogram), and discrete
-//! [events](event) — all feeding one global recorder that can
-//! [snapshot](snapshot) to structured JSON.
+//! [log2-bucketed latency histograms](hist::Log2Histogram), discrete
+//! [events](event), estimator [accuracy telemetry](accuracy), and a
+//! [flight-recorder timeline](timeline) of every closed span (id, parent
+//! id, thread id, duration) — all feeding one global recorder that can
+//! [snapshot](snapshot) to structured JSON (schema 2) or export the
+//! timeline in [Chrome Trace Event Format](chrome) for Perfetto.
 //!
 //! Design constraints (and how they are met):
 //!
@@ -12,32 +15,46 @@
 //!   with one `Relaxed` atomic load of the global enable flag and returns
 //!   immediately when it is off — no clock read, no lock, no allocation.
 //!   A disabled [`span`] is a `None`-carrying struct whose `Drop` does
-//!   nothing. Measured on the instrumented BOPS hot path, the disabled
+//!   nothing, and lazy span arguments ([`span_with`]) are never even
+//!   formatted. Measured on the instrumented BOPS hot path, the disabled
 //!   overhead is within run-to-run noise (< 2%; see `BENCH_bops.json`'s
 //!   `obs_overhead` entry).
 //! * **No dependencies.** The build environment has no crates.io access, so
 //!   `tracing`/`metrics` are off the table; the std library's `Mutex`,
 //!   atomics and `Instant` cover everything this workspace needs.
 //! * **Callable from any thread.** Recording takes one short-lived global
-//!   mutex; instrumentation is stage-grained (one span per pipeline stage,
-//!   counters added in bulk per chunk), so the lock is never hot. Fine
-//!   per-item recording from tight parallel loops should accumulate locally
-//!   and publish once — exactly what the instrumented crates do.
+//!   mutex (aggregates) plus one for the timeline ring; instrumentation is
+//!   stage-grained (one span per pipeline stage, counters added in bulk per
+//!   chunk), so neither lock is hot. Fine per-item recording from tight
+//!   parallel loops should accumulate locally and publish once — exactly
+//!   what the instrumented crates do. Span parentage is tracked with a
+//!   thread-local stack; hand a [`SpanContext`] to spawned workers and open
+//!   their spans with [`span_under`] to keep the tree connected across
+//!   threads.
 //!
 //! # Usage
 //!
 //! ```
 //! sjpl_obs::set_enabled(true);
 //! {
-//!     let _span = sjpl_obs::span("demo.stage");
-//!     sjpl_obs::counter_add("demo.items", 128);
+//!     let stage = sjpl_obs::span("demo.stage");
+//!     let ctx = stage.context();
+//!     {
+//!         let _child = sjpl_obs::span_under("demo.child", ctx);
+//!         sjpl_obs::counter_add("demo.items", 128);
+//!     }
 //!     sjpl_obs::gauge_set("demo.ratio", 0.75);
-//! } // span records its elapsed time here
+//! } // spans record (aggregate + timeline) as they drop
 //! let snap = sjpl_obs::snapshot();
 //! assert_eq!(snap.counter("demo.items"), Some(128));
 //! assert_eq!(snap.span("demo.stage").unwrap().count, 1);
-//! let json = snap.to_json();
+//! let child = &snap.timeline.by_name("demo.child")[0];
+//! let stage = &snap.timeline.by_name("demo.stage")[0];
+//! assert_eq!(child.parent, stage.id);
+//! let json = snap.to_json(); // schema 2, embeds the timeline
 //! assert!(json.contains("\"demo.stage\""));
+//! let trace = snap.to_chrome_trace(); // open in Perfetto
+//! assert!(trace.contains("\"traceEvents\""));
 //! sjpl_obs::set_enabled(false);
 //! sjpl_obs::reset();
 //! ```
@@ -45,8 +62,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chrome;
 pub mod hist;
+pub mod json;
 pub mod snapshot;
+pub mod timeline;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -55,10 +75,15 @@ use std::time::Instant;
 
 use hist::Log2Histogram;
 pub use snapshot::{EventSnapshot, Snapshot, TimingSnapshot};
+pub use timeline::{set_timeline_capacity, TimelineEvent, TimelineSnapshot};
 
 /// Maximum events retained per snapshot window; later events are counted in
 /// `events_dropped` instead of growing without bound.
 const MAX_EVENTS: usize = 256;
+
+/// Maximum accuracy records retained per snapshot window (overflow is
+/// counted in `accuracy_dropped`).
+const MAX_ACCURACY: usize = 1024;
 
 /// The global enable flag. `Relaxed` is sufficient: the flag only gates
 /// *whether* to record, and snapshots go through the registry mutex, which
@@ -82,6 +107,8 @@ struct Registry {
     events: Vec<(u64, String, String)>,
     event_seq: u64,
     events_dropped: u64,
+    accuracy: Vec<Accuracy>,
+    accuracy_dropped: u64,
 }
 
 static REGISTRY: LazyLock<Mutex<Registry>> = LazyLock::new(|| Mutex::new(Registry::default()));
@@ -99,54 +126,159 @@ pub fn enabled() -> bool {
 }
 
 /// Turns the recorder on or off. Off (the default) makes every recording
-/// call a single atomic load + branch.
+/// call a single atomic load + branch. Turning it on also anchors the
+/// timeline epoch, so `start_ns` timestamps count from (roughly) the first
+/// enable rather than an arbitrary later instant.
 pub fn set_enabled(on: bool) {
+    if on {
+        timeline::anchor_epoch();
+    }
     ENABLED.store(on, Ordering::Relaxed);
 }
 
-/// Clears all recorded metrics (the enable flag is left unchanged).
+/// Clears all recorded metrics and the timeline ring (the enable flag and
+/// the configured timeline capacity are left unchanged).
 pub fn reset() {
     let mut r = registry();
     *r = Registry::default();
+    drop(r);
+    timeline::reset();
 }
 
 // ---------------------------------------------------------------------------
 // Spans
 // ---------------------------------------------------------------------------
 
-/// An RAII timing span: created by [`span`], records its wall-clock duration
-/// into the recorder when dropped. When the recorder is disabled at
-/// creation, the span is inert (no clock read, no recording on drop).
+/// A lightweight handle to a live span, used to parent spans opened on
+/// *other* threads (thread-local nesting cannot see across a `spawn`):
+/// capture `span.context()` before spawning and open worker spans with
+/// [`span_under`]. A context from a disabled (inert) span parents children
+/// at the root, which degrades gracefully.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanContext {
+    id: u64,
+}
+
+impl SpanContext {
+    /// A context that parents spans at the root of the tree.
+    pub fn root() -> Self {
+        SpanContext { id: 0 }
+    }
+}
+
+/// An RAII timing span: created by [`span`], records its wall-clock
+/// duration into the aggregate recorder *and* the timeline ring when
+/// dropped. When the recorder is disabled at creation, the span is inert
+/// (no clock read, no id allocation, no recording on drop).
 #[must_use = "a span records on drop; binding it to `_` drops it immediately"]
 pub struct Span {
     name: &'static str,
     start: Option<Instant>,
+    start_ns: u64,
+    id: u64,
+    parent: u64,
+    tid: u64,
+    args: Option<Box<str>>,
+}
+
+fn inert_span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: None,
+        start_ns: 0,
+        id: 0,
+        parent: 0,
+        tid: 0,
+        args: None,
+    }
+}
+
+fn open_span(name: &'static str, parent: Option<u64>, args: Option<String>) -> Span {
+    if !enabled() {
+        return inert_span(name);
+    }
+    let id = timeline::next_span_id();
+    let parent = parent.unwrap_or_else(timeline::current_parent);
+    timeline::push_open(id);
+    Span {
+        name,
+        start: Some(Instant::now()),
+        start_ns: timeline::epoch_ns(),
+        id,
+        parent,
+        tid: timeline::current_tid(),
+        args: args.map(String::into_boxed_str),
+    }
 }
 
 /// Opens a timing span. Usage: `let _span = sjpl_obs::span("bops.sort");`.
+/// Its parent is the innermost span currently open on this thread.
 #[inline]
 pub fn span(name: &'static str) -> Span {
-    Span {
-        name,
-        start: enabled().then(Instant::now),
+    open_span(name, None, None)
+}
+
+/// Opens a timing span with lazily formatted arguments (shown in the
+/// timeline and the Chrome trace detail pane). The closure only runs when
+/// the recorder is enabled, so argument formatting costs nothing when off.
+///
+/// `let _s = sjpl_obs::span_with("bops.scan", || format!("levels={n}"));`
+#[inline]
+pub fn span_with(name: &'static str, args: impl FnOnce() -> String) -> Span {
+    if !enabled() {
+        return inert_span(name);
     }
+    open_span(name, None, Some(args()))
+}
+
+/// Opens a timing span explicitly parented under `parent` — the
+/// cross-thread variant of [`span`]: capture [`Span::context`] on the
+/// spawning thread, move it into the worker, and the worker's spans stay
+/// attached to the tree while still carrying the worker's own thread id.
+#[inline]
+pub fn span_under(name: &'static str, parent: SpanContext) -> Span {
+    open_span(name, Some(parent.id), None)
 }
 
 impl Span {
     /// Ends the span now (sugar for an explicit early drop).
     pub fn close(self) {}
+
+    /// A copyable handle for parenting spans on other threads.
+    pub fn context(&self) -> SpanContext {
+        SpanContext { id: self.id }
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some(t0) = self.start.take() {
-            record_ns(self.name, t0.elapsed().as_nanos() as u64);
+        let Some(t0) = self.start.take() else {
+            return;
+        };
+        let dur_ns = t0.elapsed().as_nanos() as u64;
+        timeline::pop_open(self.id);
+        if !enabled() {
+            // Recorder switched off while the span was live: keep the
+            // stack balanced (above) but record nothing.
+            return;
         }
+        record_ns(self.name, dur_ns);
+        timeline::record(TimelineEvent {
+            id: self.id,
+            parent: self.parent,
+            tid: self.tid,
+            name: self.name,
+            start_ns: self.start_ns,
+            dur_ns,
+            args: self.args.take(),
+        });
     }
 }
 
-/// Records one duration sample (nanoseconds) under `name` — the same sink
-/// spans write to, for callers that measure intervals themselves.
+/// Records one duration sample (nanoseconds) under `name` — the same
+/// aggregate sink spans write to, for callers that measure intervals
+/// themselves. (Aggregate only: no timeline event, since there is no
+/// span identity to attach.)
 pub fn record_ns(name: &'static str, ns: u64) {
     if !enabled() {
         return;
@@ -200,12 +332,71 @@ pub fn event(name: &'static str, detail: impl Into<String>) {
 }
 
 // ---------------------------------------------------------------------------
+// Accuracy telemetry
+// ---------------------------------------------------------------------------
+
+/// One estimator accuracy observation: what was estimated, for which
+/// dataset/method/join, and (when the caller knows it) the ground truth.
+/// This is the record `sjpl regress` diffs across commits to catch
+/// estimator-quality regressions, not just performance ones.
+#[derive(Clone, Debug)]
+pub struct Accuracy {
+    /// Dataset label (file stem, generator name, …).
+    pub dataset: String,
+    /// Estimation method (`bops`, `pc`, `sampled-pc`, `stored-law`, …).
+    pub method: String,
+    /// `cross` or `self`.
+    pub join_kind: String,
+    /// Query radius the estimate was made at.
+    pub radius: f64,
+    /// The estimated pair count `PC(r)`.
+    pub estimated_pc: f64,
+    /// The true pair count, when the caller has computed one.
+    pub true_pc: Option<f64>,
+}
+
+impl Accuracy {
+    /// Relative error `|est − true| / true`, when the truth is known and
+    /// nonzero.
+    pub fn rel_error(&self) -> Option<f64> {
+        match self.true_pc {
+            Some(t) if t != 0.0 => Some((self.estimated_pc - t).abs() / t),
+            _ => None,
+        }
+    }
+
+    /// Stable identity for cross-file comparison:
+    /// `dataset/method/join_kind@radius`.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}@{}",
+            self.dataset, self.method, self.join_kind, self.radius
+        )
+    }
+}
+
+/// Records one accuracy observation (bounded; overflow is counted in the
+/// snapshot's `accuracy_dropped`).
+pub fn accuracy(rec: Accuracy) {
+    if !enabled() {
+        return;
+    }
+    let mut r = registry();
+    if r.accuracy.len() >= MAX_ACCURACY {
+        r.accuracy_dropped += 1;
+        return;
+    }
+    r.accuracy.push(rec);
+}
+
+// ---------------------------------------------------------------------------
 // Snapshots
 // ---------------------------------------------------------------------------
 
-/// Takes a point-in-time snapshot of everything recorded so far. Works
-/// whether or not the recorder is currently enabled (so a caller can disable
-/// first and then snapshot a quiesced registry).
+/// Takes a point-in-time snapshot of everything recorded so far — the
+/// aggregates *and* the timeline ring. Works whether or not the recorder
+/// is currently enabled (so a caller can disable first and then snapshot a
+/// quiesced registry).
 pub fn snapshot() -> Snapshot {
     let r = registry();
     let mut spans: Vec<TimingSnapshot> = r
@@ -235,12 +426,19 @@ pub fn snapshot() -> Snapshot {
             detail: detail.clone(),
         })
         .collect();
+    let accuracy = r.accuracy.clone();
+    let accuracy_dropped = r.accuracy_dropped;
+    let events_dropped = r.events_dropped;
+    drop(r);
     Snapshot {
         spans,
         counters,
         gauges,
         events,
-        events_dropped: r.events_dropped,
+        events_dropped,
+        accuracy,
+        accuracy_dropped,
+        timeline: timeline::snapshot(),
     }
 }
 
@@ -284,11 +482,21 @@ mod tests {
         gauge_set("t.noop", 1.0);
         event("t.noop", "x");
         record_ns("t.noop", 42);
+        accuracy(Accuracy {
+            dataset: "t".into(),
+            method: "bops".into(),
+            join_kind: "self".into(),
+            radius: 0.1,
+            estimated_pc: 1.0,
+            true_pc: None,
+        });
         let snap = snapshot();
         assert!(snap.spans.is_empty());
         assert!(snap.counters.is_empty());
         assert!(snap.gauges.is_empty());
         assert!(snap.events.is_empty());
+        assert!(snap.accuracy.is_empty());
+        assert!(snap.timeline.events.is_empty());
     }
 
     #[test]
@@ -317,6 +525,8 @@ mod tests {
         assert_eq!(snap.gauge("t.r2"), Some(0.9993));
         assert_eq!(snap.events.len(), 1);
         assert_eq!(snap.events[0].name, "t.fallback");
+        // The timeline saw both spans too.
+        assert_eq!(snap.timeline.by_name("t.stage").len(), 2);
     }
 
     #[test]
@@ -326,10 +536,18 @@ mod tests {
             let _s = span("t.json");
             counter_add("t.count", 1);
             gauge_set("t.gauge", 2.5);
+            accuracy(Accuracy {
+                dataset: "uniform".into(),
+                method: "bops".into(),
+                join_kind: "self".into(),
+                radius: 0.05,
+                estimated_pc: 123.0,
+                true_pc: Some(120.0),
+            });
         });
         let j = snap.to_json();
         for needle in [
-            "\"schema\": 1",
+            "\"schema\": 2",
             "\"spans\": [",
             "\"name\": \"t.json\"",
             "\"log2_hist\": [[",
@@ -337,6 +555,11 @@ mod tests {
             "\"gauges\": [",
             "\"events\": [",
             "\"events_dropped\": 0",
+            "\"accuracy\": [",
+            "\"dataset\": \"uniform\"",
+            "\"rel_error\": 0.025",
+            "\"timeline\": {",
+            "\"dropped_events\": 0",
         ] {
             assert!(j.contains(needle), "missing {needle:?} in:\n{j}");
         }
@@ -355,6 +578,25 @@ mod tests {
         assert_eq!(snap.events_dropped, 10);
         // Sequence numbers keep counting through the drops.
         assert_eq!(snap.events.last().unwrap().seq, MAX_EVENTS as u64);
+    }
+
+    #[test]
+    fn accuracy_cap_counts_drops() {
+        let _g = locked();
+        let ((), snap) = capture(|| {
+            for i in 0..(MAX_ACCURACY + 5) {
+                accuracy(Accuracy {
+                    dataset: "t".into(),
+                    method: "bops".into(),
+                    join_kind: "self".into(),
+                    radius: i as f64,
+                    estimated_pc: 1.0,
+                    true_pc: None,
+                });
+            }
+        });
+        assert_eq!(snap.accuracy.len(), MAX_ACCURACY);
+        assert_eq!(snap.accuracy_dropped, 5);
     }
 
     #[test]
@@ -381,9 +623,45 @@ mod tests {
         let _g = locked();
         set_enabled(true);
         counter_add("t.reset", 1);
+        {
+            let _s = span("t.reset.span");
+        }
         reset();
         let snap = snapshot();
         set_enabled(false);
         assert_eq!(snap.counter("t.reset"), None);
+        assert!(snap.timeline.events.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_carry_parent_ids() {
+        let _g = locked();
+        let ((), snap) = capture(|| {
+            let outer = span("t.outer");
+            {
+                let _inner = span("t.inner");
+            }
+            outer.close();
+        });
+        let outer = &snap.timeline.by_name("t.outer")[0];
+        let inner = &snap.timeline.by_name("t.inner")[0];
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(inner.tid, outer.tid);
+        // Inner closes first, so it is recorded first.
+        assert!(snap.timeline.events[0].id == inner.id);
+    }
+
+    #[test]
+    fn span_args_land_in_the_timeline() {
+        let _g = locked();
+        let ((), snap) = capture(|| {
+            let _s = span_with("t.args", || format!("points={}", 42));
+        });
+        let ev = &snap.timeline.by_name("t.args")[0];
+        assert_eq!(ev.args.as_deref(), Some("points=42"));
+        // Disabled: the args closure must not run.
+        set_enabled(false);
+        let _s = span_with("t.args.off", || unreachable!("formatted while disabled"));
     }
 }

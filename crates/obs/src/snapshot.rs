@@ -6,6 +6,8 @@
 //! serialization dependency would cost more than the ~60 lines it saves.
 
 use crate::hist::Log2Histogram;
+use crate::timeline::TimelineSnapshot;
+use crate::Accuracy;
 
 /// Aggregated statistics of one named span (or standalone timing series).
 #[derive(Clone, Debug)]
@@ -60,6 +62,13 @@ pub struct Snapshot {
     pub events: Vec<EventSnapshot>,
     /// Events discarded because the ring buffer was full.
     pub events_dropped: u64,
+    /// Estimator accuracy observations (bounded; see `accuracy_dropped`).
+    pub accuracy: Vec<Accuracy>,
+    /// Accuracy records discarded because the retention cap was reached.
+    pub accuracy_dropped: u64,
+    /// The flight-recorder timeline: every closed span with its id, parent
+    /// id and thread id (bounded ring; see its `dropped_events`).
+    pub timeline: TimelineSnapshot,
 }
 
 impl Default for TimingSnapshot {
@@ -76,7 +85,7 @@ impl Default for TimingSnapshot {
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -122,21 +131,30 @@ impl Snapshot {
 
     /// Renders the snapshot as structured JSON.
     ///
-    /// Schema (stable; validated by CI):
+    /// Schema (stable; validated by CI). Schema 2 extends schema 1 with the
+    /// `accuracy` and `timeline` sections:
     /// ```json
     /// {
-    ///   "schema": 1,
+    ///   "schema": 2,
     ///   "spans":    [{"name", "count", "total_ns", "mean_ns", "min_ns",
     ///                 "max_ns", "p50_ns", "p99_ns",
     ///                 "log2_hist": [[upper_bound_ns, count], ...]}],
     ///   "counters": [{"name", "value"}],
     ///   "gauges":   [{"name", "value"}],
     ///   "events":   [{"seq", "name", "detail"}],
-    ///   "events_dropped": 0
+    ///   "events_dropped": 0,
+    ///   "accuracy": [{"dataset", "method", "join_kind", "radius",
+    ///                 "estimated_pc", "true_pc", "rel_error"}],
+    ///   "accuracy_dropped": 0,
+    ///   "timeline": {
+    ///     "events": [{"id", "parent", "tid", "name", "start_ns", "dur_ns",
+    ///                 "args"?}],
+    ///     "dropped_events": 0
+    ///   }
     /// }
     /// ```
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": 1,\n  \"spans\": [\n");
+        let mut out = String::from("{\n  \"schema\": 2,\n  \"spans\": [\n");
         for (i, s) in self.spans.iter().enumerate() {
             let hist: Vec<String> = s
                 .hist
@@ -189,8 +207,49 @@ impl Snapshot {
             ));
         }
         out.push_str(&format!(
-            "  ],\n  \"events_dropped\": {}\n}}\n",
+            "  ],\n  \"events_dropped\": {},\n  \"accuracy\": [\n",
             self.events_dropped
+        ));
+        for (i, a) in self.accuracy.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"method\": \"{}\", \
+                 \"join_kind\": \"{}\", \"radius\": {}, \
+                 \"estimated_pc\": {}, \"true_pc\": {}, \"rel_error\": {}}}{}\n",
+                json_escape(&a.dataset),
+                json_escape(&a.method),
+                json_escape(&a.join_kind),
+                json_f64(a.radius),
+                json_f64(a.estimated_pc),
+                a.true_pc.map_or("null".to_owned(), json_f64),
+                a.rel_error().map_or("null".to_owned(), json_f64),
+                comma(i, self.accuracy.len()),
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"accuracy_dropped\": {},\n  \"timeline\": {{\n    \"events\": [\n",
+            self.accuracy_dropped
+        ));
+        for (i, e) in self.timeline.events.iter().enumerate() {
+            let args = match &e.args {
+                Some(a) => format!(", \"args\": \"{}\"", json_escape(a)),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "      {{\"id\": {}, \"parent\": {}, \"tid\": {}, \
+                 \"name\": \"{}\", \"start_ns\": {}, \"dur_ns\": {}{}}}{}\n",
+                e.id,
+                e.parent,
+                e.tid,
+                json_escape(e.name),
+                e.start_ns,
+                e.dur_ns,
+                args,
+                comma(i, self.timeline.events.len()),
+            ));
+        }
+        out.push_str(&format!(
+            "    ],\n    \"dropped_events\": {}\n  }}\n}}\n",
+            self.timeline.dropped_events
         ));
         out
     }
@@ -240,6 +299,36 @@ impl Snapshot {
                 out.push_str(&format!("  ({} events dropped)\n", self.events_dropped));
             }
         }
+        if !self.accuracy.is_empty() {
+            out.push_str("accuracy:\n");
+            for a in &self.accuracy {
+                let err = match a.rel_error() {
+                    Some(e) => format!("{e:.4}"),
+                    None => "-".to_owned(),
+                };
+                out.push_str(&format!(
+                    "  {}/{}/{} r={:<8} est {:>14.1}  rel_err {}\n",
+                    a.dataset, a.method, a.join_kind, a.radius, a.estimated_pc, err
+                ));
+            }
+            if self.accuracy_dropped > 0 {
+                out.push_str(&format!(
+                    "  ({} accuracy records dropped)\n",
+                    self.accuracy_dropped
+                ));
+            }
+        }
+        if !self.timeline.events.is_empty() {
+            out.push_str(&format!(
+                "timeline: {} events across {} thread(s)",
+                self.timeline.events.len(),
+                self.timeline.thread_count(),
+            ));
+            if self.timeline.dropped_events > 0 {
+                out.push_str(&format!(" ({} dropped)", self.timeline.dropped_events));
+            }
+            out.push('\n');
+        }
         if out.is_empty() {
             out.push_str("(no metrics recorded)\n");
         }
@@ -287,6 +376,103 @@ mod tests {
         let j = s.to_json();
         assert!(j.contains("\"spans\": ["));
         assert!(j.contains("\"events_dropped\": 0"));
+        assert!(j.contains("\"timeline\": {"));
         assert!(s.to_pretty().contains("no metrics"));
+        // Even the empty document must parse.
+        crate::json::Json::parse(&j).unwrap();
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let mut hist = Log2Histogram::new();
+        hist.record(1_000);
+        hist.record(2_000);
+        Snapshot {
+            spans: vec![TimingSnapshot {
+                name: "bops.scan \"weird\"".into(),
+                count: 2,
+                total_ns: 3_000,
+                min_ns: 1_000,
+                max_ns: 2_000,
+                hist,
+            }],
+            counters: vec![("bops.points".into(), 200_000)],
+            gauges: vec![("fit.r2".into(), 0.9993), ("bad".into(), f64::NAN)],
+            events: vec![EventSnapshot {
+                seq: 1,
+                name: "engine.fallback".into(),
+                detail: "line1\nline2".into(),
+            }],
+            events_dropped: 3,
+            accuracy: vec![Accuracy {
+                dataset: "uniform".into(),
+                method: "bops".into(),
+                join_kind: "self".into(),
+                radius: 0.05,
+                estimated_pc: 110.0,
+                true_pc: Some(100.0),
+            }],
+            accuracy_dropped: 1,
+            timeline: TimelineSnapshot {
+                events: vec![crate::TimelineEvent {
+                    id: 7,
+                    parent: 0,
+                    tid: 2,
+                    name: "bops.plot",
+                    start_ns: 123,
+                    dur_ns: 456,
+                    args: Some("levels=12".into()),
+                }],
+                dropped_events: 9,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        use crate::json::Json;
+        let snap = sample_snapshot();
+        let doc = Json::parse(&snap.to_json()).unwrap();
+
+        assert_eq!(doc.get("schema").unwrap().as_f64(), Some(2.0));
+        let spans = doc.get("spans").unwrap().as_array().unwrap();
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.get("name").unwrap().as_str(), Some("bops.scan \"weird\""));
+        assert_eq!(s.get("count").unwrap().as_f64(), Some(2.0));
+        assert_eq!(s.get("total_ns").unwrap().as_f64(), Some(3000.0));
+        assert_eq!(s.get("mean_ns").unwrap().as_f64(), Some(1500.0));
+        let hist = s.get("log2_hist").unwrap().as_array().unwrap();
+        let total: f64 = hist
+            .iter()
+            .map(|b| b.as_array().unwrap()[1].as_f64().unwrap())
+            .sum();
+        assert_eq!(total, 2.0);
+
+        let counters = doc.get("counters").unwrap().as_array().unwrap();
+        assert_eq!(counters[0].get("value").unwrap().as_f64(), Some(200000.0));
+        let gauges = doc.get("gauges").unwrap().as_array().unwrap();
+        assert_eq!(gauges[0].get("value").unwrap().as_f64(), Some(0.9993));
+        assert!(gauges[1].get("value").unwrap().is_null()); // NaN → null
+
+        let events = doc.get("events").unwrap().as_array().unwrap();
+        assert_eq!(
+            events[0].get("detail").unwrap().as_str(),
+            Some("line1\nline2")
+        );
+        assert_eq!(doc.get("events_dropped").unwrap().as_f64(), Some(3.0));
+
+        let acc = doc.get("accuracy").unwrap().as_array().unwrap();
+        assert_eq!(acc[0].get("true_pc").unwrap().as_f64(), Some(100.0));
+        let rel = acc[0].get("rel_error").unwrap().as_f64().unwrap();
+        assert!((rel - 0.1).abs() < 1e-12);
+        assert_eq!(doc.get("accuracy_dropped").unwrap().as_f64(), Some(1.0));
+
+        let tl = doc.get("timeline").unwrap();
+        assert_eq!(tl.get("dropped_events").unwrap().as_f64(), Some(9.0));
+        let tev = &tl.get("events").unwrap().as_array().unwrap()[0];
+        assert_eq!(tev.get("id").unwrap().as_f64(), Some(7.0));
+        assert_eq!(tev.get("parent").unwrap().as_f64(), Some(0.0));
+        assert_eq!(tev.get("tid").unwrap().as_f64(), Some(2.0));
+        assert_eq!(tev.get("args").unwrap().as_str(), Some("levels=12"));
     }
 }

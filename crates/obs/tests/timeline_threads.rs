@@ -1,0 +1,124 @@
+//! Integration tests for the flight-recorder timeline: span parent/thread
+//! ids across `std::thread::scope` workers, and exact ring-truncation
+//! accounting through the public API.
+//!
+//! The recorder is process-global, so these tests serialize on one lock.
+
+use std::sync::Mutex;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[test]
+fn scoped_workers_parent_under_the_coordinator_span() {
+    let _g = locked();
+    const WORKERS: usize = 4;
+    let ((), snap) = sjpl_obs::capture(|| {
+        let root = sjpl_obs::span("test.root");
+        let ctx = root.context();
+        std::thread::scope(|s| {
+            for _ in 0..WORKERS {
+                s.spawn(move || {
+                    let worker = sjpl_obs::span_under("test.worker", ctx);
+                    {
+                        // Plain nesting keeps working inside the worker.
+                        let _leaf = sjpl_obs::span("test.leaf");
+                    }
+                    worker.close();
+                });
+            }
+        });
+        root.close();
+    });
+
+    let root = &snap.timeline.by_name("test.root")[0];
+    let workers = snap.timeline.by_name("test.worker");
+    let leaves = snap.timeline.by_name("test.leaf");
+    assert_eq!(workers.len(), WORKERS);
+    assert_eq!(leaves.len(), WORKERS);
+
+    assert_eq!(root.parent, 0, "root span must have no parent");
+    for w in &workers {
+        assert_eq!(w.parent, root.id, "worker spans parent under the root");
+        assert_ne!(w.tid, root.tid, "workers run on their own threads");
+    }
+    for leaf in &leaves {
+        let w = snap
+            .timeline
+            .by_id(leaf.parent)
+            .expect("leaf parent exists");
+        assert_eq!(w.name, "test.worker");
+        assert_eq!(leaf.tid, w.tid, "thread-local nesting stays on-thread");
+    }
+    // Each worker ran on a distinct thread, plus the coordinator.
+    assert_eq!(snap.timeline.thread_count(), WORKERS + 1);
+    // Aggregates saw the same spans.
+    assert_eq!(snap.span("test.worker").unwrap().count, WORKERS as u64);
+    // The root closed last, so it is the final retained event.
+    assert_eq!(snap.timeline.events.last().unwrap().id, root.id);
+}
+
+#[test]
+fn ring_overflow_keeps_newest_and_counts_drops_exactly() {
+    let _g = locked();
+    sjpl_obs::set_timeline_capacity(8);
+    let ((), snap) = sjpl_obs::capture(|| {
+        for _ in 0..20 {
+            let _s = sjpl_obs::span("test.flood");
+        }
+        let _last = sjpl_obs::span("test.last");
+    });
+    sjpl_obs::set_timeline_capacity(sjpl_obs::timeline::DEFAULT_TIMELINE_CAPACITY);
+
+    assert_eq!(snap.timeline.events.len(), 8);
+    assert_eq!(snap.timeline.dropped_events, 21 - 8);
+    // Keep-newest: the final span always survives overflow.
+    assert_eq!(snap.timeline.events.last().unwrap().name, "test.last");
+    // The aggregate side is unbounded by the ring: all 20 counted.
+    assert_eq!(snap.span("test.flood").unwrap().count, 20);
+}
+
+#[test]
+fn chrome_export_matches_the_recorded_tree() {
+    let _g = locked();
+    let ((), snap) = sjpl_obs::capture(|| {
+        let outer = sjpl_obs::span_with("test.outer", || "points=1000".to_owned());
+        {
+            let _inner = sjpl_obs::span("test.inner");
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        outer.close();
+    });
+
+    let trace = snap.to_chrome_trace();
+    let doc = sjpl_obs::json::Json::parse(&trace).expect("trace is valid JSON");
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+    assert_eq!(events.len(), 2);
+    for ev in events {
+        assert_eq!(ev.get("ph").unwrap().as_str(), Some("X"));
+        assert!(ev.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+    }
+    // inner closes first; its parent arg points at outer's id.
+    let inner = &events[0];
+    let outer = &events[1];
+    assert_eq!(inner.get("name").unwrap().as_str(), Some("test.inner"));
+    assert_eq!(
+        inner.get("args").unwrap().get("parent").unwrap().as_f64(),
+        outer.get("args").unwrap().get("id").unwrap().as_f64(),
+    );
+    assert_eq!(
+        outer.get("args").unwrap().get("detail").unwrap().as_str(),
+        Some("points=1000")
+    );
+
+    // The offline path (saved snapshot JSON → chrome) agrees.
+    let offline = sjpl_obs::chrome::snapshot_json_to_chrome(&snap.to_json()).unwrap();
+    let doc2 = sjpl_obs::json::Json::parse(&offline).unwrap();
+    assert_eq!(
+        doc2.get("traceEvents").unwrap().as_array().unwrap().len(),
+        2
+    );
+}
