@@ -54,6 +54,17 @@ pub struct Options {
     pub max_perf_regress: Option<f64>,
     /// `--max-error-regress <x>` (regress gate; absolute rel-error growth).
     pub max_error_regress: Option<f64>,
+    /// `--port` (serve: bind port).
+    pub port: Option<u16>,
+    /// `--catalog <cat.tsv>` (serve: law catalog to load).
+    pub catalog: Option<String>,
+    /// `--drift-interval <secs>` (serve: time between drift checks).
+    pub drift_interval: Option<f64>,
+    /// `--error-budget <x>` (serve: mean rel error that counts as drifted).
+    pub error_budget: Option<f64>,
+    /// `--drift-sample <rate>` (serve: sampling rate of the ground-truth
+    /// oracle; the paper's §4.3 trick).
+    pub drift_sample: Option<f64>,
 }
 
 /// Parses `argv` into [`Options`].
@@ -76,6 +87,11 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
         true_pc: None,
         max_perf_regress: None,
         max_error_regress: None,
+        port: None,
+        catalog: None,
+        drift_interval: None,
+        error_budget: None,
+        drift_sample: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -157,6 +173,39 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
                     v.parse()
                         .map_err(|_| format!("bad error threshold {v:?}"))?,
                 );
+            }
+            "--port" => {
+                let v = take_value("--port")?;
+                o.port = Some(v.parse().map_err(|_| format!("bad port {v:?}"))?);
+            }
+            "--catalog" => {
+                o.catalog = Some(take_value("--catalog")?);
+            }
+            "--drift-interval" => {
+                let v = take_value("--drift-interval")?;
+                let secs: f64 = v.parse().map_err(|_| format!("bad drift interval {v:?}"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(format!("drift interval {v:?} must be finite and > 0"));
+                }
+                o.drift_interval = Some(secs);
+            }
+            "--error-budget" => {
+                let v = take_value("--error-budget")?;
+                let budget: f64 = v.parse().map_err(|_| format!("bad error budget {v:?}"))?;
+                if !(budget >= 0.0 && budget.is_finite()) {
+                    return Err(format!("error budget {v:?} must be finite and >= 0"));
+                }
+                o.error_budget = Some(budget);
+            }
+            "--drift-sample" => {
+                let v = take_value("--drift-sample")?;
+                let rate: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad drift sample rate {v:?}"))?;
+                if !(rate > 0.0 && rate <= 1.0) {
+                    return Err(format!("drift sample rate {v:?} must be in (0, 1]"));
+                }
+                o.drift_sample = Some(rate);
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}"));
@@ -282,6 +331,36 @@ mod tests {
         assert_eq!(o.true_pc, Some(123.0));
         assert!(parse(&sv(&["a.csv", "--max-perf-regress", "x"])).is_err());
         assert!(parse(&sv(&["a.csv", "--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let o = parse(&sv(&[
+            "--port",
+            "9099",
+            "--catalog",
+            "laws.tsv",
+            "data.csv",
+            "--drift-interval",
+            "2.5",
+            "--error-budget",
+            "0.4",
+            "--drift-sample",
+            "0.1",
+        ]))
+        .unwrap();
+        assert_eq!(o.port, Some(9099));
+        assert_eq!(o.catalog.as_deref(), Some("laws.tsv"));
+        assert_eq!(o.positional, vec!["data.csv"]);
+        assert_eq!(o.drift_interval, Some(2.5));
+        assert_eq!(o.error_budget, Some(0.4));
+        assert_eq!(o.drift_sample, Some(0.1));
+        assert!(parse(&sv(&["--port", "99999"])).is_err());
+        assert!(parse(&sv(&["--drift-interval", "0"])).is_err());
+        assert!(parse(&sv(&["--drift-interval", "inf"])).is_err());
+        assert!(parse(&sv(&["--error-budget", "-1"])).is_err());
+        assert!(parse(&sv(&["--drift-sample", "1.5"])).is_err());
+        assert!(parse(&sv(&["--catalog"])).is_err());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use sjpl_geom::{read_csv, write_csv, Metric, PointSet};
 use sjpl_index::{pair_count, self_pair_count, JoinAlgorithm};
 
 use crate::args::{parse, Options, TraceFormat};
+use crate::error::CliError;
 
 const USAGE: &str = "\
 usage: sjpl <command> [args]
@@ -35,6 +36,15 @@ commands:
   regress <old.json> <new.json>                  diff two snapshot/bench reports;
                                                  exit nonzero on perf or accuracy
                                                  regression beyond the thresholds
+  serve --catalog <cat.tsv> [data.csv…]          live estimation daemon: POST
+                                                 /estimate answers O(1) from the
+                                                 stored laws; GET /metrics
+                                                 (Prometheus), /snapshot,
+                                                 /timeline, /healthz, /readyz.
+                                                 Each data.csv whose file stem
+                                                 names a catalog law gets an
+                                                 online drift probe (sampled
+                                                 ground truth vs. the law)
 
 options:
   -r, --radius <r>     query radius (estimate, join)
@@ -58,12 +68,27 @@ options:
                        telemetry (estimate, catalog-estimate)
   --max-perf-regress <pct>  regress: allowed mean-time growth [default 10%]
   --max-error-regress <x>   regress: allowed absolute rel-error growth
-                            [default 0.05]";
+                            [default 0.05]
+  --port <p>           serve: bind port on 127.0.0.1 [default 9090]
+  --catalog <file>     serve: law catalog to serve (see catalog-add)
+  --drift-interval <s> serve: seconds between drift checks [default 30]
+  --error-budget <x>   serve: mean rel error that counts a law as drifted
+                       [default 0.5]
+  --drift-sample <r>   serve: sampling rate of the drift ground-truth oracle
+                       [default 0.2]
 
-/// Entry point used by `main` (and by the tests).
-pub fn run(argv: &[String]) -> Result<(), String> {
+exit codes:
+  0  success
+  1  failure (bad usage, I/O error, or a regress gate that found regressions)
+  2  regress: a report file is unusable (malformed JSON, or no
+     summary.series/results/spans perf section and no accuracy section)";
+
+/// Entry point used by `main` (and by the tests). Most failures exit 1;
+/// commands that need a distinguishable failure (see `CliError`'s
+/// constants) return their own code.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
-        return Err(format!("no command given\n{USAGE}"));
+        return Err(CliError::from(format!("no command given\n{USAGE}")));
     };
     let opts = parse(rest)?;
     let tracing = opts.trace.is_some() || opts.obs_out.is_some() || opts.trace_out.is_some();
@@ -71,25 +96,28 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         sjpl_obs::reset();
         sjpl_obs::set_enabled(true);
     }
-    let result = match cmd.as_str() {
-        "generate" => cmd_generate(&opts),
-        "pc-plot" => dispatch_dim(&opts, CmdKind::PcPlot),
-        "bops" => dispatch_dim(&opts, CmdKind::Bops),
-        "estimate" => dispatch_dim(&opts, CmdKind::Estimate),
-        "join" => dispatch_dim(&opts, CmdKind::Join),
-        "dim" => dispatch_dim(&opts, CmdKind::Dim),
-        "info" => dispatch_dim(&opts, CmdKind::Info),
-        "sample" => dispatch_dim(&opts, CmdKind::Sample),
-        "knn" => dispatch_dim(&opts, CmdKind::Knn),
-        "catalog-add" => cmd_catalog_add(&opts),
-        "catalog-estimate" => cmd_catalog_estimate(&opts),
-        "trace-export" => cmd_trace_export(&opts),
+    let result: Result<(), CliError> = match cmd.as_str() {
+        "generate" => cmd_generate(&opts).map_err(CliError::from),
+        "pc-plot" => dispatch_dim(&opts, CmdKind::PcPlot).map_err(CliError::from),
+        "bops" => dispatch_dim(&opts, CmdKind::Bops).map_err(CliError::from),
+        "estimate" => dispatch_dim(&opts, CmdKind::Estimate).map_err(CliError::from),
+        "join" => dispatch_dim(&opts, CmdKind::Join).map_err(CliError::from),
+        "dim" => dispatch_dim(&opts, CmdKind::Dim).map_err(CliError::from),
+        "info" => dispatch_dim(&opts, CmdKind::Info).map_err(CliError::from),
+        "sample" => dispatch_dim(&opts, CmdKind::Sample).map_err(CliError::from),
+        "knn" => dispatch_dim(&opts, CmdKind::Knn).map_err(CliError::from),
+        "catalog-add" => cmd_catalog_add(&opts).map_err(CliError::from),
+        "catalog-estimate" => cmd_catalog_estimate(&opts).map_err(CliError::from),
+        "trace-export" => cmd_trace_export(&opts).map_err(CliError::from),
         "regress" => cmd_regress(&opts),
+        "serve" => cmd_serve(&opts).map_err(CliError::from),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+        other => Err(CliError::from(format!(
+            "unknown command {other:?}\n{USAGE}"
+        ))),
     };
     if tracing {
         sjpl_obs::set_enabled(false);
@@ -146,10 +174,12 @@ fn cmd_trace_export(o: &Options) -> Result<(), String> {
 
 /// `regress <old.json> <new.json>` — the perf + accuracy gate. Exits
 /// nonzero (via `Err`) when any compared series regresses beyond the
-/// thresholds; identical inputs always pass.
-fn cmd_regress(o: &Options) -> Result<(), String> {
+/// thresholds; identical inputs always pass. An input file the gate can't
+/// read as a report at all exits with the distinct code
+/// [`CliError::BAD_REPORT`].
+fn cmd_regress(o: &Options) -> Result<(), CliError> {
     let [old_path, new_path] = o.positional.as_slice() else {
-        return Err("regress needs: <old.json> <new.json>".to_owned());
+        return Err(CliError::from("regress needs: <old.json> <new.json>"));
     };
     let defaults = crate::regress::Thresholds::default();
     let thresholds = crate::regress::Thresholds {
@@ -172,12 +202,134 @@ fn cmd_regress(o: &Options) -> Result<(), String> {
         println!("regress: OK");
         Ok(())
     } else {
-        Err(format!(
+        Err(CliError::from(format!(
             "{} regression(s):\n  {}",
             rep.regressions.len(),
             rep.regressions.join("\n  ")
-        ))
+        )))
     }
+}
+
+/// `serve --catalog <cat.tsv> [data.csv…]` — the live estimation daemon.
+/// Loads the catalog, builds a drift probe for every positional CSV whose
+/// file stem names a catalog law, and blocks serving HTTP until killed.
+fn cmd_serve(o: &Options) -> Result<(), String> {
+    use sjpl_serve::{DriftConfig, ServeConfig, Server};
+    use std::net::SocketAddr;
+    use std::sync::{Arc, Mutex};
+
+    let cat_path = o
+        .catalog
+        .as_deref()
+        .ok_or("serve needs --catalog <laws.tsv> (build one with catalog-add)")?;
+    let catalog = sjpl_core::LawCatalog::load(cat_path).map_err(|e| e.to_string())?;
+
+    let mut probes = Vec::with_capacity(o.positional.len());
+    for path in &o.positional {
+        probes.push(build_probe(path, &catalog, o)?);
+    }
+
+    let defaults = DriftConfig::default();
+    let drift = DriftConfig {
+        interval: o
+            .drift_interval
+            .map_or(defaults.interval, std::time::Duration::from_secs_f64),
+        error_budget: o.error_budget.unwrap_or(defaults.error_budget),
+        window: defaults.window,
+    };
+    let cfg = ServeConfig {
+        addr: SocketAddr::from(([127, 0, 0, 1], o.port.unwrap_or(9090))),
+        threads: o.threads.unwrap_or(4),
+        probes,
+        drift,
+    };
+    let n_laws = catalog.len();
+    let n_probes = cfg.probes.len();
+    let interval = cfg.drift.interval;
+    let budget = cfg.drift.error_budget;
+    let server = Server::start(Arc::new(Mutex::new(catalog)), cfg).map_err(|e| e.to_string())?;
+    println!(
+        "sjpl serve: listening on http://{} ({n_laws} law(s) loaded)",
+        server.addr()
+    );
+    println!("endpoints: POST /estimate | GET /metrics /snapshot /timeline /healthz /readyz");
+    if n_probes > 0 {
+        println!("drift monitor: {n_probes} probe(s), every {interval:?}, error budget {budget}");
+    }
+    server.wait();
+    Ok(())
+}
+
+/// Builds the drift probe for one dataset: the probed law is the catalog
+/// entry named like the file stem, and ground truth is the paper's §4.3
+/// sampling trick — an exact self join over a fixed sample, scaled back by
+/// the pair-count ratio (Observation 3: sampling preserves the slope).
+fn build_probe(
+    path: &str,
+    cat: &sjpl_core::LawCatalog,
+    o: &Options,
+) -> Result<sjpl_serve::DriftProbe, String> {
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .ok_or_else(|| format!("{path}: cannot derive a law name from the file name"))?
+        .to_owned();
+    let Some(law) = cat.get(&stem).copied() else {
+        return Err(format!(
+            "{path}: no law named {stem:?} in the catalog (drift probes are matched by \
+             file stem; add one with catalog-add)"
+        ));
+    };
+    let dim = detect_dim(path)?;
+    macro_rules! go {
+        ($($d:literal),*) => {
+            match dim {
+                $($d => probe_typed::<$d>(path, stem, &law, o),)*
+                other => Err(format!("unsupported dimensionality {other} (1–16 supported)")),
+            }
+        };
+    }
+    go!(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)
+}
+
+fn probe_typed<const D: usize>(
+    path: &str,
+    law_name: String,
+    law: &PairCountLaw,
+    o: &Options,
+) -> Result<sjpl_serve::DriftProbe, String> {
+    use rand::SeedableRng;
+    let set: PointSet<D> = read_csv(path).map_err(|e| format!("{path}: {e}"))?;
+    let rate = o.drift_sample.unwrap_or(0.2);
+    // Fixed seed: the probe must measure data drift, not sampling noise.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5E1F);
+    let sample = sjpl_stats::sampling::sample_rate(set.points(), rate, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let s = sample.len() as f64;
+    if s < 2.0 {
+        return Err(format!(
+            "{path}: drift sample of {} point(s) is too small (raise --drift-sample)",
+            sample.len()
+        ));
+    }
+    let n = set.len() as f64;
+    let scale = (n * (n - 1.0)) / (s * (s - 1.0));
+    let metric = o.metric.unwrap_or(Metric::Linf);
+    let truth = std::sync::Arc::new(move |r: f64| {
+        self_pair_count(JoinAlgorithm::Grid, &sample, r, metric) as f64 * scale
+    });
+    // Probe strictly inside the fitted window — outside it the law is an
+    // extrapolation and "drift" would be meaningless.
+    let (lo, hi) = (law.fit.x_lo.max(f64::MIN_POSITIVE), law.fit.x_hi);
+    let radii = [0.25, 0.5, 0.75]
+        .iter()
+        .map(|t| lo * (hi / lo).powf(*t))
+        .collect();
+    Ok(sjpl_serve::DriftProbe {
+        law_name,
+        radii,
+        truth,
+    })
 }
 
 /// One-line stderr note when the BOPS Auto resolution silently would have
@@ -943,14 +1095,125 @@ mod tests {
             "0.5",
         ]))
         .unwrap();
-        // Unparseable input is an error.
+        // Unparseable input is an error — and a *distinguishable* one:
+        // exit code 2 (unusable report), not 1 (regression found).
         std::fs::write(&new, "not json").unwrap();
-        assert!(run(&sv(&[
+        let e = run(&sv(&[
             "regress",
             old.to_str().unwrap(),
-            new.to_str().unwrap()
+            new.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(e.code, CliError::BAD_REPORT);
+        // Same for valid JSON with nothing the gate can compare.
+        std::fs::write(&new, "{\"unrelated\": true}").unwrap();
+        let e = run(&sv(&[
+            "regress",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(e.code, CliError::BAD_REPORT);
+        assert!(!e.message.contains('\n'), "one-line diagnostic: {e}");
+        // A genuine regression stays exit code 1.
+        let slower = base.replace("\"mean_ns\": 1000000", "\"mean_ns\": 1500000");
+        std::fs::write(&new, &slower).unwrap();
+        let e = run(&sv(&[
+            "regress",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(e.code, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_validates_its_inputs_before_binding() {
+        let dir = tmpdir();
+        // No catalog flag at all.
+        let e = run(&sv(&["serve"])).unwrap_err();
+        assert!(e.message.contains("--catalog"), "{e}");
+        // Catalog file missing.
+        assert!(run(&sv(&[
+            "serve",
+            "--catalog",
+            dir.join("nope.tsv").to_str().unwrap(),
         ]))
         .is_err());
+        // A drift dataset whose stem names no law is rejected up front.
+        let data = dir.join("ser_pts.csv");
+        let cat = dir.join("ser_laws.tsv");
+        run(&sv(&[
+            "generate",
+            "uniform",
+            "1500",
+            "5",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "catalog-add",
+            cat.to_str().unwrap(),
+            "some_other_name",
+            data.to_str().unwrap(),
+            "--levels",
+            "8",
+        ]))
+        .unwrap();
+        let e = run(&sv(&[
+            "serve",
+            "--catalog",
+            cat.to_str().unwrap(),
+            data.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(e.message.contains("ser_pts"), "{e}");
+        assert!(e.message.contains("file stem"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drift_probe_builds_from_a_catalog_law() {
+        let dir = tmpdir();
+        let data = dir.join("probe_law.csv");
+        let cat = dir.join("probe_laws.tsv");
+        run(&sv(&[
+            "generate",
+            "uniform",
+            "2000",
+            "9",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "catalog-add",
+            cat.to_str().unwrap(),
+            "probe_law",
+            data.to_str().unwrap(),
+            "--levels",
+            "8",
+        ]))
+        .unwrap();
+        let catalog = sjpl_core::LawCatalog::load(&cat).unwrap();
+        let law = *catalog.get("probe_law").unwrap();
+        let o = parse(&sv(&[data.to_str().unwrap()])).unwrap();
+        let probe = build_probe(data.to_str().unwrap(), &catalog, &o).unwrap();
+        assert_eq!(probe.law_name, "probe_law");
+        assert_eq!(probe.radii.len(), 3);
+        for &r in &probe.radii {
+            assert!(
+                law.in_fitted_range(r),
+                "probe radius {r} outside fit window"
+            );
+        }
+        // The sampled oracle should land within a factor of a few of the
+        // law on data it was fitted on (the budget default is 0.5).
+        let mid = probe.radii[1];
+        let truth = (probe.truth)(mid);
+        assert!(truth > 0.0);
+        let rel = (law.pair_count(mid) - truth).abs() / truth;
+        assert!(rel < 1.0, "rel error {rel} vs sampled truth at r={mid}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

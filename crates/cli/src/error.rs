@@ -1,0 +1,67 @@
+//! Process-level error type: a message plus the exit code `main` should
+//! return, so scripted callers (CI gates) can branch on *why* a command
+//! failed without parsing stderr.
+
+/// A failed command: what to print and which code to exit with.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable reason (printed as `error: {message}`).
+    pub message: String,
+    /// Process exit code (1 = generic failure, see the constants).
+    pub code: u8,
+}
+
+impl CliError {
+    /// Exit code for `regress` fed a report that carries neither a perf
+    /// section (`summary.series` / `results` / `spans`) nor an `accuracy`
+    /// section — the gate cannot run at all, which CI must distinguish
+    /// from a genuine regression (exit 1).
+    pub const BAD_REPORT: u8 = 2;
+
+    /// An unusable-report failure (exit code [`CliError::BAD_REPORT`]).
+    pub fn bad_report(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: Self::BAD_REPORT,
+        }
+    }
+}
+
+/// Plain `String` errors keep their historical meaning: generic failure,
+/// exit code 1.
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { message, code: 1 }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::from(message.to_owned())
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_errors_exit_one() {
+        let e = CliError::from("boom".to_owned());
+        assert_eq!(e.code, 1);
+        assert_eq!(format!("{e}"), "boom");
+    }
+
+    #[test]
+    fn bad_report_has_its_own_code() {
+        let e = CliError::bad_report("no sections");
+        assert_eq!(e.code, CliError::BAD_REPORT);
+        assert_ne!(CliError::BAD_REPORT, 1);
+    }
+}

@@ -8,6 +8,7 @@
 //! sjpl estimate <a.csv> [b.csv] -r <radius>     O(1) selectivity estimate
 //! sjpl join <a.csv> [b.csv] -r <radius>         exact distance-join count
 //! sjpl dim <a.csv>                              correlation fractal dimension
+//! sjpl serve --catalog <cat.tsv> [data.csv…]    live estimation daemon (HTTP)
 //! ```
 //!
 //! One CSV file ⇒ self join; two ⇒ cross join. The point dimensionality is
@@ -15,6 +16,7 @@
 
 mod args;
 mod commands;
+mod error;
 mod regress;
 
 use std::process::ExitCode;
@@ -25,7 +27,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.code)
         }
     }
 }

@@ -16,7 +16,13 @@
 //! (percent), or when a matching accuracy record's relative error grows by
 //! more than `--max-error-regress` (absolute). Identical inputs therefore
 //! always pass — that is the CI self-check.
+//!
+//! A file that parses but carries *none* of those sections cannot be
+//! gated at all; that case exits with the distinct code
+//! [`CliError::BAD_REPORT`] (2) and a one-line diagnostic naming the
+//! offending file, so CI can tell broken input from a real regression.
 
+use crate::error::CliError;
 use sjpl_obs::json::Json;
 
 /// Gate thresholds (defaults match the documented CI gate).
@@ -182,12 +188,41 @@ pub fn compare(old: &Json, new: &Json, t: &Thresholds) -> Report {
     rep
 }
 
-/// Loads, parses and compares two report files; `Err` carries parse
-/// failures (the caller turns a failed gate into a nonzero exit).
-pub fn compare_files(old_path: &str, new_path: &str, t: &Thresholds) -> Result<Report, String> {
-    let read = |p: &str| -> Result<Json, String> {
-        let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
-        Json::parse(&text).map_err(|e| format!("{p}: {e}"))
+/// A file the gate can do nothing with — valid JSON, but carrying none of
+/// the sections `compare` reads. Flagged *before* comparison: silently
+/// comparing two empty section sets would report "0 regressions" and pass
+/// CI on garbage input.
+fn check_usable(path: &str, doc: &Json) -> Result<(), CliError> {
+    let has_perf = doc
+        .get("summary")
+        .and_then(|s| s.get("series"))
+        .and_then(Json::as_array)
+        .is_some()
+        || doc.get("results").and_then(Json::as_array).is_some()
+        || doc.get("spans").and_then(Json::as_array).is_some();
+    let has_accuracy = doc.get("accuracy").and_then(Json::as_array).is_some();
+    if has_perf || has_accuracy {
+        Ok(())
+    } else {
+        Err(CliError::bad_report(format!(
+            "{path}: unusable report: no perf section (`summary.series`, `results`, or \
+             `spans`) and no `accuracy` section"
+        )))
+    }
+}
+
+/// Loads, parses and compares two report files. Unreadable files are
+/// generic failures (exit 1); files that parse but aren't reports —
+/// malformed JSON or no comparable section — exit with
+/// [`CliError::BAD_REPORT`] so CI can tell "broken input" from "real
+/// regression".
+pub fn compare_files(old_path: &str, new_path: &str, t: &Thresholds) -> Result<Report, CliError> {
+    let read = |p: &str| -> Result<Json, CliError> {
+        let text = std::fs::read_to_string(p).map_err(|e| CliError::from(format!("{p}: {e}")))?;
+        let doc = Json::parse(&text)
+            .map_err(|e| CliError::bad_report(format!("{p}: unusable report: {e}")))?;
+        check_usable(p, &doc)?;
+        Ok(doc)
     };
     let old = read(old_path)?;
     let new = read(new_path)?;
@@ -267,6 +302,52 @@ mod tests {
         let rep = compare(&doc(snap), &doc(&slower), &Thresholds::default());
         assert_eq!(rep.perf_compared, 1);
         assert!(!rep.passed());
+    }
+
+    #[test]
+    fn unusable_reports_get_the_distinct_exit_code() {
+        let dir = std::env::temp_dir().join(format!("sjpl_regress_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        std::fs::write(&good, OLD).unwrap();
+        let good = good.to_str().unwrap();
+        let t = Thresholds::default();
+
+        // Valid JSON with no comparable section: exit code 2, one line,
+        // naming the file.
+        let empty = dir.join("empty.json");
+        std::fs::write(&empty, "{\"schema\": 99}").unwrap();
+        let e = compare_files(empty.to_str().unwrap(), good, &t).unwrap_err();
+        assert_eq!(e.code, CliError::BAD_REPORT);
+        assert!(
+            !e.message.contains('\n'),
+            "diagnostic must be one line: {e}"
+        );
+        assert!(e.message.contains("empty.json"), "names the file: {e}");
+        assert!(e.message.contains("unusable report"), "says why: {e}");
+        // ... in either argument position.
+        let e = compare_files(good, empty.to_str().unwrap(), &t).unwrap_err();
+        assert_eq!(e.code, CliError::BAD_REPORT);
+
+        // Malformed JSON is equally un-gateable: also code 2.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "not json").unwrap();
+        let e = compare_files(good, bad.to_str().unwrap(), &t).unwrap_err();
+        assert_eq!(e.code, CliError::BAD_REPORT);
+
+        // A missing file is an ordinary failure: code 1.
+        let e = compare_files(good, dir.join("nope.json").to_str().unwrap(), &t).unwrap_err();
+        assert_eq!(e.code, 1);
+
+        // Any single recognized section suffices.
+        let acc_only = dir.join("acc.json");
+        std::fs::write(&acc_only, "{\"accuracy\": []}").unwrap();
+        compare_files(good, acc_only.to_str().unwrap(), &t).unwrap();
+        let spans_only = dir.join("spans.json");
+        std::fs::write(&spans_only, "{\"schema\": 2, \"spans\": []}").unwrap();
+        compare_files(good, spans_only.to_str().unwrap(), &t).unwrap();
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -51,7 +51,62 @@ pub struct PairCountLaw {
     pub m: usize,
 }
 
+/// Everything a consumer needs to audit where an estimate came from: the
+/// law's parameters, fit quality, and the radius window the fit is valid
+/// on. This is what `sjpl serve`'s `/estimate` endpoint returns alongside
+/// each answer, so a client can judge whether to trust it (low `r_squared`
+/// or a radius outside `[x_lo, x_hi]` both mean "extrapolation").
+#[derive(Clone, Copy, Debug)]
+pub struct LawProvenance {
+    /// The proportionality constant `K`.
+    pub k: f64,
+    /// The pair-count exponent α.
+    pub alpha: f64,
+    /// Goodness of fit of the underlying log-log regression.
+    pub r_squared: f64,
+    /// RMS error of the regression, in log10 units.
+    pub rmse_log10: f64,
+    /// Number of plot points the fit used.
+    pub points_used: usize,
+    /// Smallest radius inside the fitted (usable) range.
+    pub x_lo: f64,
+    /// Largest radius inside the fitted (usable) range.
+    pub x_hi: f64,
+    /// Cross or self join.
+    pub kind: JoinKind,
+    /// Cardinality of the first set.
+    pub n: usize,
+    /// Cardinality of the second set.
+    pub m: usize,
+}
+
+impl LawProvenance {
+    /// `"cross"` / `"self"` — the label used in accuracy records and JSON.
+    pub fn kind_label(&self) -> &'static str {
+        match self.kind {
+            JoinKind::Cross => "cross",
+            JoinKind::SelfJoin => "self",
+        }
+    }
+}
+
 impl PairCountLaw {
+    /// The audit trail of this law: parameters, fit quality and window.
+    pub fn provenance(&self) -> LawProvenance {
+        LawProvenance {
+            k: self.k,
+            alpha: self.exponent,
+            r_squared: self.fit.line.r_squared,
+            rmse_log10: self.fit.line.rmse,
+            points_used: self.fit.line.n,
+            x_lo: self.fit.x_lo,
+            x_hi: self.fit.x_hi,
+            kind: self.kind,
+            n: self.n,
+            m: self.m,
+        }
+    }
+
     /// The size of the Cartesian product the selectivity is defined over:
     /// `N·M` for cross joins, `N(N−1)/2` for self joins.
     pub fn max_pairs(&self) -> f64 {
@@ -237,6 +292,22 @@ mod tests {
             .converted_to_metric(Metric::Linf, Metric::L2, 2)
             .converted_to_metric(Metric::L2, Metric::Linf, 2);
         assert!((back.k - l.k).abs() / l.k < 1e-12);
+    }
+
+    #[test]
+    fn provenance_mirrors_the_law() {
+        let l = law(100.0, 1.5, JoinKind::SelfJoin, 1000, 1000);
+        let p = l.provenance();
+        assert_eq!(p.k, l.k);
+        assert_eq!(p.alpha, l.exponent);
+        assert_eq!(p.r_squared, l.fit.line.r_squared);
+        assert_eq!(p.points_used, l.fit.line.n);
+        assert_eq!((p.x_lo, p.x_hi), (l.fit.x_lo, l.fit.x_hi));
+        assert_eq!(p.kind_label(), "self");
+        assert!(l.in_fitted_range(p.x_lo) && l.in_fitted_range(p.x_hi));
+        let cross = law(10.0, 1.0, JoinKind::Cross, 100, 200).provenance();
+        assert_eq!(cross.kind_label(), "cross");
+        assert_eq!((cross.n, cross.m), (100, 200));
     }
 
     #[test]

@@ -88,6 +88,13 @@ impl Json {
     }
 }
 
+/// Escapes a string for inclusion in a JSON string literal (the writer-side
+/// counterpart of the parser; shared by the snapshot renderers and the
+/// serve endpoints).
+pub fn escape(s: &str) -> String {
+    crate::snapshot::json_escape(s)
+}
+
 /// Nesting bound: deeper documents are rejected rather than risking a
 /// stack overflow on adversarial input.
 const MAX_DEPTH: usize = 128;
@@ -286,6 +293,11 @@ impl Parser<'_> {
             .bytes
             .get(self.pos..end)
             .ok_or("truncated \\u escape")?;
+        // `from_str_radix` tolerates a leading '+', which JSON does not:
+        // insist on exactly four hex digits.
+        if !slice.iter().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!("bad hex {:?}", String::from_utf8_lossy(slice)));
+        }
         let s = std::str::from_utf8(slice).map_err(|e| e.to_string())?;
         let v = u32::from_str_radix(s, 16).map_err(|_| format!("bad hex {s:?}"))?;
         self.pos = end;
@@ -376,5 +388,52 @@ mod tests {
         assert!(Json::parse(&deep).is_err());
         let ok = "[".repeat(100) + &"]".repeat(100);
         assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn nesting_depth_boundary_is_exact() {
+        // Depth 128 (= MAX_DEPTH) parses; 129 is an error, not a crash.
+        let at = "[".repeat(128) + &"]".repeat(128);
+        assert!(Json::parse(&at).is_ok());
+        let over = "[".repeat(129) + &"]".repeat(129);
+        let err = Json::parse(&over).unwrap_err();
+        assert!(err.contains("nesting"), "unexpected error: {err}");
+        // Mixed object/array nesting counts both container kinds.
+        let mixed = "{\"k\":".repeat(80) + &"[".repeat(80) + &"]".repeat(80) + &"}".repeat(80);
+        assert!(Json::parse(&mixed).is_err());
+    }
+
+    #[test]
+    fn malformed_unicode_escapes_are_rejected() {
+        // Lone high surrogate (end of string, and followed by non-escape).
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse(r#""\ud83dx""#).is_err());
+        // High surrogate followed by an escape that isn't \u, or by a \u
+        // that isn't a low surrogate.
+        assert!(Json::parse(r#""\ud83d\n""#).is_err());
+        assert!(Json::parse(r#""\ud83dA""#).is_err());
+        // Low surrogate first is not a valid scalar.
+        assert!(Json::parse(r#""\udc00""#).is_err());
+        // Truncated \u escapes.
+        assert!(Json::parse(r#""\u""#).is_err());
+        assert!(Json::parse(r#""\u00""#).is_err());
+        assert!(Json::parse("\"\\u123").is_err());
+        // Non-hex digits — including the '+' that from_str_radix would
+        // otherwise accept — must not sneak through.
+        assert!(Json::parse(r#""\u+123""#).is_err());
+        assert!(Json::parse(r#""\u00g1""#).is_err());
+        assert!(Json::parse(r#""\u 123""#).is_err());
+        // Escape at end of input.
+        assert!(Json::parse("\"\\").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_round_trip_through_escape() {
+        // escape() never emits \u for printable chars, but its output must
+        // always re-parse, astral plane included.
+        for s in ["\u{1F600}", "a\"b\\c\nd", "\u{1}\u{1F} mixed \u{10FFFF}"] {
+            let doc = format!("\"{}\"", escape(s));
+            assert_eq!(Json::parse(&doc).unwrap(), Json::Str(s.to_owned()));
+        }
     }
 }

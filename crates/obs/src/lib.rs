@@ -65,6 +65,8 @@
 pub mod chrome;
 pub mod hist;
 pub mod json;
+pub mod names;
+pub mod prometheus;
 pub mod snapshot;
 pub mod timeline;
 
@@ -307,12 +309,32 @@ pub fn counter_add(name: &'static str, n: u64) {
     *registry().counters.entry(name.to_owned()).or_insert(0) += n;
 }
 
+/// [`counter_add`] for names built at runtime (e.g. a per-law drift
+/// series). The name should extend one of the stable dynamic prefixes in
+/// [`names::DYNAMIC_PREFIXES`] so scrapes stay predictable.
+pub fn counter_add_named(name: impl Into<String>, n: u64) {
+    if !enabled() {
+        return;
+    }
+    *registry().counters.entry(name.into()).or_insert(0) += n;
+}
+
 /// Sets the named gauge to `v` (last write wins).
 pub fn gauge_set(name: &'static str, v: f64) {
     if !enabled() {
         return;
     }
     registry().gauges.insert(name.to_owned(), v);
+}
+
+/// [`gauge_set`] for names built at runtime (e.g. a per-law drift series).
+/// The name should extend one of the stable dynamic prefixes in
+/// [`names::DYNAMIC_PREFIXES`] so scrapes stay predictable.
+pub fn gauge_set_named(name: impl Into<String>, v: f64) {
+    if !enabled() {
+        return;
+    }
+    registry().gauges.insert(name.into(), v);
 }
 
 /// Records a discrete event with a free-form detail string. Events beyond

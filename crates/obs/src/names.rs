@@ -1,0 +1,110 @@
+//! The stable metric-name registry.
+//!
+//! Every span, counter, gauge and event name the workspace emits is
+//! enumerated here (and documented in DESIGN.md §"Metric names"). Prometheus
+//! scrapes, dashboards and the `sjpl regress` gate key on these strings, so
+//! renaming one is a breaking change: it must be made here *and* in
+//! DESIGN.md, and the pinned-name tests (`tests/metric_names.rs`, the serve
+//! integration tests) will fail until both sides agree.
+//!
+//! Names built at runtime (one series per catalog law) are covered by
+//! [`DYNAMIC_PREFIXES`] instead: the prefix is stable, the suffix is the
+//! law name.
+
+/// Every stable span / timing-series name, sorted.
+pub const SPANS: &[&str] = &[
+    "bops.normalize",
+    "bops.plot",
+    "bops.quantize",
+    "bops.scan",
+    "bops.scan.worker",
+    "bops.sort",
+    "serve.estimate",
+    "serve.healthz",
+    "serve.metrics",
+    "serve.readyz",
+    "serve.request",
+    "serve.snapshot",
+    "serve.timeline",
+];
+
+/// Every stable counter name, sorted.
+pub const COUNTERS: &[&str] = &[
+    "bops.fallbacks",
+    "bops.plots",
+    "bops.points",
+    "datagen.points",
+    "datagen.sets",
+    "fit.count",
+    "index.candidate_pairs",
+    "index.contained_pairs",
+    "index.grid.occupied_cells",
+    "index.grid.probes",
+    "index.node_visits",
+    "index.pruned_pairs",
+    "serve.drift.breaches",
+    "serve.drift.checks",
+    "serve.errors",
+    "serve.requests",
+    "streaming.rejected_points",
+    "streaming.updates",
+];
+
+/// Every stable gauge name, sorted.
+pub const GAUGES: &[&str] = &[
+    "bops.levels",
+    "fit.exponent",
+    "fit.points_used",
+    "fit.r_squared",
+    "fit.rmse_log10",
+    "serve.inflight",
+];
+
+/// Every stable event name, sorted.
+pub const EVENTS: &[&str] = &["bops.engine", "datagen.generated", "serve.drift.breach"];
+
+/// Stable prefixes of runtime-built names: the full name is the prefix
+/// followed by a catalog law name (e.g. `serve.drift.rel_error.uniform`).
+pub const DYNAMIC_PREFIXES: &[&str] = &["serve.drift.breached.", "serve.drift.rel_error."];
+
+/// Is `name` a stable name (or an instance of a stable dynamic family)?
+pub fn is_stable(name: &str) -> bool {
+    SPANS.binary_search(&name).is_ok()
+        || COUNTERS.binary_search(&name).is_ok()
+        || GAUGES.binary_search(&name).is_ok()
+        || EVENTS.binary_search(&name).is_ok()
+        || DYNAMIC_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sorted_unique(list: &[&str]) {
+        for w in list.windows(2) {
+            assert!(w[0] < w[1], "{:?} must come before {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn lists_are_sorted_and_duplicate_free() {
+        // `is_stable` binary-searches, so order is load-bearing.
+        assert_sorted_unique(SPANS);
+        assert_sorted_unique(COUNTERS);
+        assert_sorted_unique(GAUGES);
+        assert_sorted_unique(EVENTS);
+        assert_sorted_unique(DYNAMIC_PREFIXES);
+    }
+
+    #[test]
+    fn stable_and_unstable_names_are_told_apart() {
+        assert!(is_stable("bops.sort"));
+        assert!(is_stable("serve.requests"));
+        assert!(is_stable("fit.r_squared"));
+        assert!(is_stable("bops.engine"));
+        assert!(is_stable("serve.drift.rel_error.my_law"));
+        assert!(!is_stable("bops.sort2"));
+        assert!(!is_stable("serve.drift.rel_error"));
+        assert!(!is_stable("totally.made.up"));
+    }
+}

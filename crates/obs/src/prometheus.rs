@@ -1,0 +1,370 @@
+//! Prometheus text exposition (format version 0.0.4) of a recorder
+//! [`Snapshot`] — what `sjpl serve`'s `GET /metrics` returns.
+//!
+//! Mapping:
+//!
+//! * counters → `sjpl_<name> counter`
+//! * gauges → `sjpl_<name> gauge`
+//! * span timings → `sjpl_<name>_ns histogram` with cumulative
+//!   `_bucket{le=...}` series derived from the log2 histogram (inclusive
+//!   integer bounds `2^i − 1`, always ending in `le="+Inf"` equal to
+//!   `_count`), plus `_sum` / `_count`; p50/p95/p99 additionally surface as
+//!   one labelled gauge family `sjpl_span_quantile_ns{span=...,quantile=...}`
+//! * accuracy records → `sjpl_accuracy_rel_error{dataset,method,join_kind,
+//!   radius}` gauges (one per distinct record key, last observation wins)
+//! * drop accounting → `sjpl_obs_events_dropped` etc.
+//!
+//! Dotted metric names are sanitized (`.` and any other character outside
+//! `[a-zA-Z0-9_]` become `_`) and prefixed with `sjpl_`; the original
+//! dotted name is kept in the `# HELP` line so the DESIGN.md registry stays
+//! greppable from a scrape.
+
+use std::fmt::Write as _;
+
+use crate::hist::{Log2Histogram, BUCKETS};
+use crate::Snapshot;
+
+/// Sanitizes one dotted recorder name into a Prometheus metric name
+/// (without the `sjpl_` prefix).
+pub fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn label_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` sample value (Prometheus understands `NaN`/`+Inf`).
+fn sample_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Cumulative `(le_inclusive, cumulative_count)` pairs for the occupied
+/// buckets of a log2 histogram. Bucket `i` holds integer samples in
+/// `[2^(i-1), 2^i)`, so its inclusive upper bound is `2^i − 1` (`0` for the
+/// zero bucket). The final `+Inf` bucket is the caller's job.
+fn cumulative_buckets(h: &Log2Histogram) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut cum = 0u64;
+    for (ub, count) in h.nonzero_buckets() {
+        cum += count;
+        // `nonzero_buckets` reports the *exclusive* bound; make it
+        // inclusive for `le`. The top bucket's bound is already u64::MAX.
+        let le = if ub == u64::MAX { u64::MAX } else { ub - 1 };
+        out.push((le, cum));
+    }
+    const { assert!(BUCKETS == 65) };
+    out
+}
+
+impl Snapshot {
+    /// Renders the snapshot in Prometheus text exposition format 0.0.4.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        for (name, value) in &self.counters {
+            let m = format!("sjpl_{}", sanitize(name));
+            let _ = writeln!(out, "# HELP {m} sjpl-obs counter {name}");
+            let _ = writeln!(out, "# TYPE {m} counter");
+            let _ = writeln!(out, "{m} {value}");
+        }
+
+        for (name, value) in &self.gauges {
+            let m = format!("sjpl_{}", sanitize(name));
+            let _ = writeln!(out, "# HELP {m} sjpl-obs gauge {name}");
+            let _ = writeln!(out, "# TYPE {m} gauge");
+            let _ = writeln!(out, "{m} {}", sample_f64(*value));
+        }
+
+        for s in &self.spans {
+            let m = format!("sjpl_{}_ns", sanitize(&s.name));
+            let _ = writeln!(
+                out,
+                "# HELP {m} sjpl-obs span timing {} (nanoseconds)",
+                s.name
+            );
+            let _ = writeln!(out, "# TYPE {m} histogram");
+            for (le, cum) in cumulative_buckets(&s.hist) {
+                let _ = writeln!(out, "{m}_bucket{{le=\"{le}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", s.count);
+            let _ = writeln!(out, "{m}_sum {}", s.total_ns);
+            let _ = writeln!(out, "{m}_count {}", s.count);
+        }
+
+        if !self.spans.is_empty() {
+            let m = "sjpl_span_quantile_ns";
+            let _ = writeln!(
+                out,
+                "# HELP {m} log2-histogram quantile estimate per span (nanoseconds)"
+            );
+            let _ = writeln!(out, "# TYPE {m} gauge");
+            for s in &self.spans {
+                let span = label_escape(&s.name);
+                for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                    let _ = writeln!(
+                        out,
+                        "{m}{{span=\"{span}\",quantile=\"{label}\"}} {}",
+                        s.hist.quantile(q)
+                    );
+                }
+            }
+        }
+
+        // Accuracy records as labelled gauges — one series per distinct
+        // record key, newest observation wins (the drift monitor and
+        // estimator re-emit the same key as laws age).
+        let mut acc: Vec<&crate::Accuracy> = Vec::new();
+        for rec in &self.accuracy {
+            if rec.rel_error().is_none() {
+                continue;
+            }
+            match acc.iter().position(|r| r.key() == rec.key()) {
+                Some(i) => acc[i] = rec,
+                None => acc.push(rec),
+            }
+        }
+        if !acc.is_empty() {
+            let m = "sjpl_accuracy_rel_error";
+            let _ = writeln!(
+                out,
+                "# HELP {m} estimator relative error vs known ground truth"
+            );
+            let _ = writeln!(out, "# TYPE {m} gauge");
+            for rec in acc {
+                let _ = writeln!(
+                    out,
+                    "{m}{{dataset=\"{}\",method=\"{}\",join_kind=\"{}\",radius=\"{}\"}} {}",
+                    label_escape(&rec.dataset),
+                    label_escape(&rec.method),
+                    label_escape(&rec.join_kind),
+                    rec.radius,
+                    sample_f64(rec.rel_error().expect("filtered above")),
+                );
+            }
+        }
+
+        for (m, v, what) in [
+            ("sjpl_obs_events_dropped", self.events_dropped, "events"),
+            (
+                "sjpl_obs_accuracy_dropped",
+                self.accuracy_dropped,
+                "accuracy records",
+            ),
+            (
+                "sjpl_obs_timeline_dropped",
+                self.timeline.dropped_events,
+                "timeline events",
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {m} {what} discarded at the retention cap");
+            let _ = writeln!(out, "# TYPE {m} counter");
+            let _ = writeln!(out, "{m} {v}");
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::TimingSnapshot;
+    use crate::Accuracy;
+
+    /// Structural validator used by the tests (CI's `serve-smoke` job does
+    /// the same checks with grep/awk on a live scrape): every non-comment
+    /// line is `name[{labels}] value`, every histogram's buckets are
+    /// monotone and end in `+Inf` matching `_count`.
+    fn validate(text: &str) {
+        let mut hist_cum: Option<(String, u64)> = None;
+        let mut inf_seen = std::collections::HashMap::new();
+        let mut counts = std::collections::HashMap::new();
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment line {line:?}"
+                );
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(!series.is_empty() && !value.is_empty(), "bad line {line:?}");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in {line:?}"
+            );
+            if let Some(base) = name.strip_suffix("_bucket") {
+                let v: u64 = value.parse().unwrap();
+                if series.contains("le=\"+Inf\"") {
+                    inf_seen.insert(base.to_owned(), v);
+                    hist_cum = None;
+                } else {
+                    if let Some((prev_base, prev)) = &hist_cum {
+                        if prev_base == base {
+                            assert!(v >= *prev, "non-monotone buckets in {line:?}");
+                        }
+                    }
+                    hist_cum = Some((base.to_owned(), v));
+                }
+            } else if let Some(base) = name.strip_suffix("_count") {
+                counts.insert(base.to_owned(), value.parse::<u64>().unwrap());
+            }
+        }
+        for (base, count) in counts {
+            assert_eq!(
+                inf_seen.get(&base),
+                Some(&count),
+                "{base}: +Inf bucket != _count"
+            );
+        }
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let mut hist = crate::hist::Log2Histogram::new();
+        for v in [0u64, 3, 3, 900, 70_000] {
+            hist.record(v);
+        }
+        Snapshot {
+            spans: vec![TimingSnapshot {
+                name: "serve.estimate".into(),
+                count: 5,
+                total_ns: 70_906,
+                min_ns: 0,
+                max_ns: 70_000,
+                hist,
+            }],
+            counters: vec![("serve.requests".into(), 17)],
+            gauges: vec![
+                ("fit.r_squared".into(), 0.9991),
+                ("serve.drift.rel_error.u\"x".into(), f64::NAN),
+            ],
+            accuracy: vec![
+                Accuracy {
+                    dataset: "uniform".into(),
+                    method: "stored-law".into(),
+                    join_kind: "self".into(),
+                    radius: 0.05,
+                    estimated_pc: 120.0,
+                    true_pc: Some(100.0),
+                },
+                // Same key, newer observation: must win.
+                Accuracy {
+                    dataset: "uniform".into(),
+                    method: "stored-law".into(),
+                    join_kind: "self".into(),
+                    radius: 0.05,
+                    estimated_pc: 110.0,
+                    true_pc: Some(100.0),
+                },
+                // No truth: skipped.
+                Accuracy {
+                    dataset: "g".into(),
+                    method: "bops".into(),
+                    join_kind: "cross".into(),
+                    radius: 0.1,
+                    estimated_pc: 1.0,
+                    true_pc: None,
+                },
+            ],
+            ..Snapshot::default()
+        }
+    }
+
+    #[test]
+    fn exposition_is_structurally_valid() {
+        let text = sample_snapshot().to_prometheus();
+        validate(&text);
+        for needle in [
+            "# TYPE sjpl_serve_requests counter",
+            "sjpl_serve_requests 17",
+            "# TYPE sjpl_fit_r_squared gauge",
+            "sjpl_fit_r_squared 0.9991",
+            "# TYPE sjpl_serve_estimate_ns histogram",
+            "sjpl_serve_estimate_ns_bucket{le=\"+Inf\"} 5",
+            "sjpl_serve_estimate_ns_sum 70906",
+            "sjpl_serve_estimate_ns_count 5",
+            "sjpl_span_quantile_ns{span=\"serve.estimate\",quantile=\"0.5\"}",
+            "sjpl_obs_events_dropped 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // NaN gauges and quoted label values survive.
+        assert!(text.contains("sjpl_serve_drift_rel_error_u_x NaN"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inclusive_bounds() {
+        let text = sample_snapshot().to_prometheus();
+        // Samples 0, 3, 3, 900, 70000: bucket bounds (inclusive) 0, 3,
+        // 1023, 131071 with cumulative counts 1, 3, 4, 5.
+        for needle in [
+            "sjpl_serve_estimate_ns_bucket{le=\"0\"} 1",
+            "sjpl_serve_estimate_ns_bucket{le=\"3\"} 3",
+            "sjpl_serve_estimate_ns_bucket{le=\"1023\"} 4",
+            "sjpl_serve_estimate_ns_bucket{le=\"131071\"} 5",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn accuracy_series_dedupe_keeps_the_newest() {
+        let text = sample_snapshot().to_prometheus();
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("sjpl_accuracy_rel_error{"))
+            .collect();
+        assert_eq!(lines.len(), 1, "dedupe failed: {lines:?}");
+        // Newest record: est 110 vs truth 100 → 0.1.
+        assert!(lines[0].ends_with(" 0.1"), "{}", lines[0]);
+        assert!(lines[0].contains("dataset=\"uniform\""));
+    }
+
+    #[test]
+    fn empty_snapshot_still_exposes_drop_counters() {
+        let text = Snapshot::default().to_prometheus();
+        validate(&text);
+        assert!(text.contains("sjpl_obs_timeline_dropped 0"));
+    }
+
+    #[test]
+    fn sanitize_and_escape() {
+        assert_eq!(sanitize("bops.scan.worker"), "bops_scan_worker");
+        assert_eq!(sanitize("weird name-1"), "weird_name_1");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(label_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -137,7 +137,7 @@ impl Snapshot {
     /// {
     ///   "schema": 2,
     ///   "spans":    [{"name", "count", "total_ns", "mean_ns", "min_ns",
-    ///                 "max_ns", "p50_ns", "p99_ns",
+    ///                 "max_ns", "p50_ns", "p95_ns", "p99_ns",
     ///                 "log2_hist": [[upper_bound_ns, count], ...]}],
     ///   "counters": [{"name", "value"}],
     ///   "gauges":   [{"name", "value"}],
@@ -165,7 +165,8 @@ impl Snapshot {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \
                  \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
-                 \"p50_ns\": {}, \"p99_ns\": {}, \"log2_hist\": [{}]}}{}\n",
+                 \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+                 \"log2_hist\": [{}]}}{}\n",
                 json_escape(&s.name),
                 s.count,
                 s.total_ns,
@@ -173,6 +174,7 @@ impl Snapshot {
                 if s.count == 0 { 0 } else { s.min_ns },
                 s.max_ns,
                 s.hist.quantile(0.5),
+                s.hist.quantile(0.95),
                 s.hist.quantile(0.99),
                 hist.join(", "),
                 comma(i, self.spans.len()),
@@ -262,11 +264,14 @@ impl Snapshot {
             let w = self.spans.iter().map(|s| s.name.len()).max().unwrap_or(0);
             for s in &self.spans {
                 out.push_str(&format!(
-                    "  {:<w$}  count {:>8}  total {:>12}  mean {:>12}  p99 {:>10}\n",
+                    "  {:<w$}  count {:>8}  total {:>12}  mean {:>12}  \
+                     p50 {:>10}  p95 {:>10}  p99 {:>10}\n",
                     s.name,
                     s.count,
                     fmt_ns(s.total_ns),
                     fmt_ns(s.mean_ns() as u64),
+                    fmt_ns(s.hist.quantile(0.5)),
+                    fmt_ns(s.hist.quantile(0.95)),
                     fmt_ns(s.hist.quantile(0.99)),
                 ));
             }
@@ -441,6 +446,10 @@ mod tests {
         assert_eq!(s.get("count").unwrap().as_f64(), Some(2.0));
         assert_eq!(s.get("total_ns").unwrap().as_f64(), Some(3000.0));
         assert_eq!(s.get("mean_ns").unwrap().as_f64(), Some(1500.0));
+        // Quantile fields report the log2 bucket upper bound.
+        for q in ["p50_ns", "p95_ns", "p99_ns"] {
+            assert!(s.get(q).unwrap().as_f64().is_some(), "missing {q}");
+        }
         let hist = s.get("log2_hist").unwrap().as_array().unwrap();
         let total: f64 = hist
             .iter()

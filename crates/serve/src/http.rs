@@ -1,0 +1,332 @@
+//! A deliberately small HTTP/1.1 subset — exactly what a scrape endpoint
+//! and a JSON estimation API need, and nothing more.
+//!
+//! Same trade as `sjpl_obs::json`: the build environment has no crates.io
+//! access, and the protocol surface we serve (short one-shot requests,
+//! `Connection: close`, no chunked encoding, no keep-alive) is ~200 lines —
+//! far below the cost of carrying a framework. Every parse path is bounded:
+//! request line ≤ 8 KiB, ≤ 64 headers of ≤ 8 KiB each, body ≤ 1 MiB, so a
+//! hostile peer cannot balloon memory.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on the request line and on any single header line, bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Upper bound on the number of headers.
+pub const MAX_HEADERS: usize = 64;
+/// Upper bound on the declared request body size, bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A parse failure, carrying the HTTP status the server should answer with.
+#[derive(Debug)]
+pub struct HttpError {
+    /// Status code to send back (400 for malformed, 413 for oversized, …).
+    pub status: u16,
+    /// Human-readable reason (also the response body).
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad(message: impl Into<String>) -> Self {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn too_large(message: impl Into<String>) -> Self {
+        HttpError {
+            status: 413,
+            message: message.into(),
+        }
+    }
+}
+
+/// One parsed request: method, path (query string split off), lower-cased
+/// header names, and the raw body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, … (as sent; methods are case-sensitive in HTTP).
+    pub method: String,
+    /// Request path with any `?query` suffix removed.
+    pub path: String,
+    /// Headers as `(lowercased-name, value)` in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the named header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one line terminated by `\n`, rejecting lines longer than
+/// [`MAX_LINE`]; the trailing `\r\n` / `\n` is stripped.
+fn read_line(r: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match std::io::Read::read(r, &mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Err(HttpError::bad("connection closed before request"));
+                }
+                break;
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE {
+                    return Err(HttpError::too_large("header line too long"));
+                }
+            }
+            Err(e) => return Err(HttpError::bad(format!("read error: {e}"))),
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| HttpError::bad("non-UTF-8 header line"))
+}
+
+/// Parses one request off the stream (blocking until the body is complete).
+pub fn read_request(r: &mut impl BufRead) -> Result<Request, HttpError> {
+    let line = read_line(r)?;
+    let mut parts = line.split(' ');
+    let method = parts.next().unwrap_or("").to_owned();
+    let target = parts.next().ok_or_else(|| HttpError::bad("missing path"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::bad("missing HTTP version"))?;
+    if method.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad(format!("bad request line {line:?}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::too_large("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::bad(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::bad(format!("bad content-length {v:?}")))
+        })
+        .transpose()?;
+
+    let body = match content_length {
+        Some(len) if len > MAX_BODY => {
+            return Err(HttpError::too_large(format!(
+                "body of {len} bytes exceeds the {MAX_BODY}-byte limit"
+            )))
+        }
+        Some(len) => {
+            let mut body = vec![0u8; len];
+            std::io::Read::read_exact(r, &mut body)
+                .map_err(|e| HttpError::bad(format!("short body: {e}")))?;
+            body
+        }
+        None if method == "POST" || method == "PUT" => {
+            // No chunked-encoding support; require an explicit length.
+            return Err(HttpError {
+                status: 411,
+                message: "Content-Length required".to_owned(),
+            });
+        }
+        None => Vec::new(),
+    };
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// A response under construction.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers as preformatted `Name: value` lines.
+    pub extra_headers: Vec<String>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 response with the given content type.
+    pub fn ok(content_type: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status: 200,
+            content_type,
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response with an arbitrary status.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        let mut body = body.into();
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A 200 response carrying JSON.
+    pub fn json(body: impl Into<Vec<u8>>) -> Self {
+        Response::ok("application/json", body)
+    }
+
+    /// Adds a header line.
+    pub fn with_header(mut self, name: &str, value: impl std::fmt::Display) -> Self {
+        self.extra_headers.push(format!("{name}: {value}"));
+        self
+    }
+
+    /// Serializes the response (always `Connection: close` — one request
+    /// per connection keeps the server loop trivial and drain = join).
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            411 => "Length Required",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Response",
+        };
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        )?;
+        for h in &self.extra_headers {
+            write!(w, "{h}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+impl From<HttpError> for Response {
+    fn from(e: HttpError) -> Self {
+        Response::text(e.status, e.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn get_request_parses() {
+        let r =
+            parse("GET /metrics?x=1 HTTP/1.1\r\nHost: localhost\r\nX-Thing: a b\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/metrics");
+        assert_eq!(r.header("host"), Some("localhost"));
+        assert_eq!(r.header("X-THING"), Some("a b"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn post_body_honors_content_length() {
+        let r = parse("POST /estimate HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"r\"").unwrap();
+        assert_eq!(r.body, b"{\"r\"");
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        let e = parse("POST /estimate HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(e.status, 411);
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let e = parse("POST /e HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n").unwrap_err();
+        assert_eq!(e.status, 413);
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        assert_eq!(parse("").unwrap_err().status, 400);
+        assert_eq!(parse("GET\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET / SPDY/9\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn header_flood_is_bounded() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..100 {
+            raw.push_str(&format!("h{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert_eq!(parse(&raw).unwrap_err().status, 413);
+        let long = format!("GET / HTTP/1.1\r\nh: {}\r\n\r\n", "x".repeat(MAX_LINE + 1));
+        assert_eq!(parse(&long).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn responses_serialize_with_close_and_length() {
+        let mut out = Vec::new();
+        Response::json("{}")
+            .with_header("x-request-id", 7)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("x-request-id: 7\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

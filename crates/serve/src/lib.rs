@@ -1,0 +1,53 @@
+//! # sjpl-serve — the live selectivity-estimation daemon
+//!
+//! The paper's pitch for BOPS is that the fitted power law is a *kept
+//! statistic*: once `PC(r) = K·r^α` is stored, every selectivity question
+//! is O(1) arithmetic (§4.3) — which only pays off inside a long-running
+//! process that answers such questions continuously. This crate is that
+//! process: a dependency-free HTTP/1.1 daemon (hand-rolled over
+//! `std::net::TcpListener`, same no-registry trade as `sjpl_obs::json`)
+//! serving a [`sjpl_core::LawCatalog`] with full observability.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Answer |
+//! |---|---|
+//! | `POST /estimate` | `{"law", "radius"}` → pair count, selectivity, and the law's provenance (K, α, R², fit window, set sizes) |
+//! | `GET /metrics` | the live `sjpl-obs` recorder in Prometheus text exposition format 0.0.4 |
+//! | `GET /snapshot` | the recorder as schema-2 JSON |
+//! | `GET /timeline` | the flight-recorder timeline as a Chrome trace |
+//! | `GET /healthz` | liveness (always `200 ok`) |
+//! | `GET /readyz` | readiness (`503` until the catalog has laws) |
+//!
+//! Every request gets a sequential id (echoed as the `x-request-id`
+//! header and in the `/estimate` body) and a `serve.request` span, so the
+//! `/timeline` trace shows each request's lifecycle; per-endpoint spans,
+//! the `serve.requests` / `serve.errors` counters and the
+//! `serve.inflight` gauge feed `/metrics`.
+//!
+//! ## Drift monitoring
+//!
+//! A stored law can silently go stale as data changes. The [`drift`]
+//! monitor re-checks each probed law against a ground-truth oracle
+//! (typically the paper's §4.3 sampling trick — an exact join over a
+//! fixed sample scaled back up) on a rolling window, publishing
+//! `serve.drift.rel_error.<law>` / `serve.drift.breached.<law>` gauges
+//! and a `serve.drift.breach` event when the mean error exceeds the
+//! configured budget. `/metrics` therefore surfaces estimator
+//! *trustworthiness*, not just traffic.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] raises a stop flag, wakes every worker blocked in
+//! `accept`, and joins them; workers complete their in-flight request
+//! first, so the join doubles as the connection drain.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod drift;
+pub mod http;
+mod server;
+
+pub use drift::{DriftConfig, DriftMonitor, DriftProbe};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,310 @@
+//! The accept loop, routing, and endpoint handlers.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sjpl_core::LawCatalog;
+use sjpl_obs::json::{escape, Json};
+
+use crate::drift::{DriftConfig, DriftMonitor, DriftProbe};
+use crate::http::{read_request, Request, Response};
+
+/// Per-connection socket timeouts: a stalled peer must not pin a worker.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server configuration.
+pub struct ServeConfig {
+    /// Bind address (port 0 picks a free port — the tests rely on this).
+    pub addr: SocketAddr,
+    /// Number of accept/worker threads.
+    pub threads: usize,
+    /// Drift-monitor probes (empty disables the monitor thread).
+    pub probes: Vec<DriftProbe>,
+    /// Drift-monitor tuning.
+    pub drift: DriftConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".parse().expect("literal addr"),
+            threads: 4,
+            probes: Vec::new(),
+            drift: DriftConfig::default(),
+        }
+    }
+}
+
+/// A running server: N worker threads sharing one listener, plus an
+/// optional drift-monitor thread. Stop it with [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+    drift: Option<DriftMonitor>,
+}
+
+/// State shared by every worker (the stop flag is also held by the
+/// `Server` handle).
+struct Shared {
+    catalog: Arc<Mutex<LawCatalog>>,
+    stop: Arc<AtomicBool>,
+    request_seq: AtomicU64,
+    inflight: AtomicU64,
+}
+
+impl Server {
+    /// Binds, enables the observability recorder (the daemon *is* the
+    /// live metrics source), and spawns the worker threads.
+    pub fn start(catalog: Arc<Mutex<LawCatalog>>, cfg: ServeConfig) -> std::io::Result<Server> {
+        sjpl_obs::set_enabled(true);
+        let listener = TcpListener::bind(cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            catalog: Arc::clone(&catalog),
+            stop: Arc::clone(&stop),
+            request_seq: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+        });
+
+        let mut workers = Vec::with_capacity(cfg.threads.max(1));
+        for i in 0..cfg.threads.max(1) {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("sjpl-serve-{i}"))
+                    .spawn(move || worker_loop(listener, shared))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let drift = if cfg.probes.is_empty() {
+            None
+        } else {
+            Some(DriftMonitor::spawn(catalog, cfg.probes, cfg.drift))
+        };
+
+        Ok(Server {
+            addr,
+            stop,
+            workers,
+            drift,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: raises the stop flag, wakes every worker blocked
+    /// in `accept`, and joins them. Workers finish their in-flight request
+    /// before exiting, so joining *is* the connection drain.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for w in self.workers.drain(..) {
+            // `accept` has no timeout; poke the listener until the worker
+            // notices the flag. A wake consumed by another worker is
+            // harmless (it re-checks the flag and exits too).
+            while !w.is_finished() {
+                let _ = TcpStream::connect(self.addr);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let _ = w.join();
+        }
+        if let Some(d) = self.drift.take() {
+            d.shutdown();
+        }
+    }
+
+    /// Blocks until the server is shut down from another thread (used by
+    /// the CLI, which parks the main thread after printing the address).
+    pub fn wait(&self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(200));
+        }
+    }
+}
+
+fn worker_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return; // the accepted connection was the shutdown wake-up
+        }
+        let n = shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        sjpl_obs::gauge_set("serve.inflight", n as f64);
+        handle_connection(stream, &shared);
+        let n = shared.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        sjpl_obs::gauge_set("serve.inflight", n as f64);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+
+    let request_id = shared.request_seq.fetch_add(1, Ordering::SeqCst) + 1;
+    let response = match read_request(&mut reader) {
+        Ok(req) => {
+            let _span = sjpl_obs::span_with("serve.request", || {
+                format!("{} {} #{request_id}", req.method, req.path)
+            });
+            route(&req, shared, request_id)
+        }
+        Err(e) => Response::from(e),
+    };
+    sjpl_obs::counter_add("serve.requests", 1);
+    if response.status >= 400 {
+        sjpl_obs::counter_add("serve.errors", 1);
+    }
+    let response = response.with_header("x-request-id", request_id);
+    let _ = response.write_to(&mut writer);
+    let _ = writer.flush();
+}
+
+fn route(req: &Request, shared: &Shared, request_id: u64) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/estimate") => {
+            let _s = sjpl_obs::span("serve.estimate");
+            estimate(req, shared, request_id)
+        }
+        ("GET", "/metrics") => {
+            let _s = sjpl_obs::span("serve.metrics");
+            Response::ok(
+                "text/plain; version=0.0.4; charset=utf-8",
+                sjpl_obs::snapshot().to_prometheus(),
+            )
+        }
+        ("GET", "/snapshot") => {
+            let _s = sjpl_obs::span("serve.snapshot");
+            Response::json(sjpl_obs::snapshot().to_json())
+        }
+        ("GET", "/timeline") => {
+            let _s = sjpl_obs::span("serve.timeline");
+            Response::json(sjpl_obs::snapshot().to_chrome_trace())
+        }
+        ("GET", "/healthz") => {
+            let _s = sjpl_obs::span("serve.healthz");
+            Response::text(200, "ok")
+        }
+        ("GET", "/readyz") => {
+            let _s = sjpl_obs::span("serve.readyz");
+            let n = shared
+                .catalog
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .len();
+            if n > 0 {
+                Response::text(200, format!("ready ({n} laws)"))
+            } else {
+                Response::text(503, "no laws loaded")
+            }
+        }
+        (
+            "POST" | "GET",
+            "/estimate" | "/metrics" | "/snapshot" | "/timeline" | "/healthz" | "/readyz",
+        ) => Response::text(405, format!("method {} not allowed", req.method)),
+        _ => Response::text(404, format!("no such endpoint {}", req.path)),
+    }
+}
+
+/// `POST /estimate` — body `{"law": "<catalog name>", "radius": <r>}`;
+/// answers with the O(1) estimate plus the law's full provenance so the
+/// client can audit what produced the number.
+fn estimate(req: &Request, shared: &Shared, request_id: u64) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return Response::text(400, "body is not UTF-8"),
+    };
+    let doc = match Json::parse(body) {
+        Ok(d) => d,
+        Err(e) => return Response::text(400, format!("bad JSON body: {e}")),
+    };
+    let Some(law_name) = doc.get("law").and_then(Json::as_str) else {
+        return Response::text(400, "missing string field \"law\"");
+    };
+    let Some(radius) = doc.get("radius").and_then(Json::as_f64) else {
+        return Response::text(400, "missing numeric field \"radius\"");
+    };
+    if !radius.is_finite() || radius < 0.0 {
+        return Response::text(400, format!("radius {radius} must be finite and >= 0"));
+    }
+    let law = {
+        let cat = shared.catalog.lock().unwrap_or_else(|p| p.into_inner());
+        cat.get(law_name).copied()
+    };
+    let Some(law) = law else {
+        return Response::text(404, format!("no law named {law_name:?} in the catalog"));
+    };
+
+    let p = law.provenance();
+    let body = format!(
+        concat!(
+            "{{\n",
+            "  \"request_id\": {rid},\n",
+            "  \"law\": \"{law}\",\n",
+            "  \"radius\": {radius},\n",
+            "  \"pair_count\": {pc},\n",
+            "  \"selectivity\": {sel},\n",
+            "  \"in_fitted_range\": {in_range},\n",
+            "  \"provenance\": {{\n",
+            "    \"k\": {k},\n",
+            "    \"alpha\": {alpha},\n",
+            "    \"r_squared\": {r2},\n",
+            "    \"rmse_log10\": {rmse},\n",
+            "    \"points_used\": {pts},\n",
+            "    \"fit_window\": [{xlo}, {xhi}],\n",
+            "    \"join_kind\": \"{kind}\",\n",
+            "    \"n\": {n},\n",
+            "    \"m\": {m}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        rid = request_id,
+        law = escape(law_name),
+        radius = jf(radius),
+        pc = jf(law.pair_count(radius)),
+        sel = jf(law.selectivity(radius)),
+        in_range = law.in_fitted_range(radius),
+        k = jf(p.k),
+        alpha = jf(p.alpha),
+        r2 = jf(p.r_squared),
+        rmse = jf(p.rmse_log10),
+        pts = p.points_used,
+        xlo = jf(p.x_lo),
+        xhi = jf(p.x_hi),
+        kind = p.kind_label(),
+        n = p.n,
+        m = p.m,
+    );
+    Response::json(body)
+}
+
+/// JSON-safe float formatting (no NaN/Inf in JSON).
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}

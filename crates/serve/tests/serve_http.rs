@@ -1,0 +1,389 @@
+//! End-to-end tests of the serve daemon over real TCP: endpoint contract,
+//! provenance under concurrency, Prometheus exposition validity, drift
+//! detection when the served law is perturbed, and graceful shutdown.
+//!
+//! All tests share one process (and therefore one global `sjpl-obs`
+//! recorder), so each uses its own law names and asserts only on
+//! monotone / per-law signals, never on global totals.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sjpl_core::{EstimationMethod, LawCatalog, PairCountLaw, SelectivityEstimator};
+use sjpl_datagen::uniform;
+use sjpl_geom::Metric;
+use sjpl_index::{self_pair_count, JoinAlgorithm};
+use sjpl_obs::json::Json;
+use sjpl_serve::{DriftConfig, DriftProbe, ServeConfig, Server};
+
+/// Sends one raw HTTP request and returns `(status, headers, body)`.
+fn http(addr: SocketAddr, raw: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {response:?}"));
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {response:?}"));
+    (status, head.to_owned(), body.to_owned())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    http(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post_estimate(addr: SocketAddr, body: &str) -> (u16, String, String) {
+    http(
+        addr,
+        &format!(
+            "POST /estimate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Fits a BOPS law on uniform 2-d data.
+fn fitted_law(n: usize, seed: u64) -> PairCountLaw {
+    let pts = uniform::unit_cube::<2>(n, seed);
+    *SelectivityEstimator::from_self(&pts, EstimationMethod::Bops(Default::default()))
+        .expect("fit law")
+        .law()
+}
+
+fn catalog_with(name: &str, law: PairCountLaw) -> Arc<Mutex<LawCatalog>> {
+    let mut c = LawCatalog::new();
+    c.insert(name, law);
+    Arc::new(Mutex::new(c))
+}
+
+/// The structural Prometheus checks from the acceptance criteria: every
+/// histogram's buckets are monotone non-decreasing and end in a `+Inf`
+/// bucket equal to `_count`.
+fn assert_valid_exposition(text: &str) {
+    use std::collections::HashMap;
+    let mut last: HashMap<String, u64> = HashMap::new();
+    let mut inf: HashMap<String, u64> = HashMap::new();
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    let mut hist_bases: std::collections::HashSet<String> = Default::default();
+    let mut help = 0;
+    let mut typ = 0;
+    for line in text.lines() {
+        if line.starts_with("# HELP ") {
+            help += 1;
+            continue;
+        }
+        if line.starts_with("# TYPE ") {
+            typ += 1;
+            continue;
+        }
+        assert!(!line.starts_with('#'), "stray comment: {line:?}");
+        let (series, value) = line.rsplit_once(' ').expect("sample line");
+        let name = series.split('{').next().unwrap().to_owned();
+        if let Some(base) = name.strip_suffix("_bucket") {
+            hist_bases.insert(base.to_owned());
+            let v: u64 = value.parse().unwrap();
+            if series.contains("le=\"+Inf\"") {
+                inf.insert(base.to_owned(), v);
+                last.remove(base);
+            } else {
+                if let Some(prev) = last.get(base) {
+                    assert!(v >= *prev, "non-monotone bucket: {line}");
+                }
+                last.insert(base.to_owned(), v);
+            }
+        } else if let Some(base) = name.strip_suffix("_count") {
+            counts.insert(base.to_owned(), value.parse().unwrap());
+        }
+    }
+    assert!(help > 0 && typ > 0, "no HELP/TYPE lines");
+    assert!(!hist_bases.is_empty(), "no histograms in exposition");
+    for base in hist_bases {
+        // A plain counter can also end in `_count` (e.g. `sjpl_fit_count`);
+        // only series that emitted buckets are histograms.
+        assert_eq!(
+            inf.get(&base),
+            counts.get(&base),
+            "{base}: +Inf bucket != _count"
+        );
+        assert!(inf.contains_key(&base), "{base}: missing +Inf bucket");
+    }
+}
+
+#[test]
+fn endpoint_contract_and_concurrent_estimates() {
+    let law = fitted_law(3_000, 1);
+    let catalog = catalog_with("contract", law);
+    let server = Server::start(
+        catalog,
+        ServeConfig {
+            threads: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Liveness and readiness.
+    let (status, head, body) = get(addr, "/healthz");
+    assert_eq!((status, body.trim()), (200, "ok"));
+    assert!(head.to_lowercase().contains("x-request-id:"), "{head}");
+    assert_eq!(get(addr, "/readyz").0, 200);
+
+    // One estimate, audited end to end.
+    let (status, _, body) = post_estimate(addr, r#"{"law": "contract", "radius": 0.05}"#);
+    assert_eq!(status, 200, "body: {body}");
+    let doc = Json::parse(&body).unwrap();
+    let pc = doc.get("pair_count").unwrap().as_f64().unwrap();
+    assert!(
+        (pc - law.pair_count(0.05)).abs() < 1e-6,
+        "served {pc} vs local {}",
+        law.pair_count(0.05)
+    );
+    let prov = doc.get("provenance").unwrap();
+    assert_eq!(prov.get("alpha").unwrap().as_f64(), Some(law.exponent));
+    assert_eq!(prov.get("k").unwrap().as_f64(), Some(law.k));
+    assert_eq!(
+        prov.get("r_squared").unwrap().as_f64(),
+        Some(law.fit.line.r_squared)
+    );
+    assert_eq!(prov.get("join_kind").unwrap().as_str(), Some("self"));
+    let window = prov.get("fit_window").unwrap().as_array().unwrap();
+    assert_eq!(window.len(), 2);
+    assert!(window[0].as_f64().unwrap() < window[1].as_f64().unwrap());
+
+    // Concurrent clients: every answer correct, every request id distinct.
+    let ids: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut ids = Vec::new();
+                    for _ in 0..10 {
+                        let (status, _, body) =
+                            post_estimate(addr, r#"{"law": "contract", "radius": 0.05}"#);
+                        assert_eq!(status, 200, "body: {body}");
+                        let doc = Json::parse(&body).unwrap();
+                        assert_eq!(
+                            doc.get("pair_count").unwrap().as_f64(),
+                            Some(law.pair_count(0.05))
+                        );
+                        ids.push(doc.get("request_id").unwrap().as_f64().unwrap() as u64);
+                    }
+                    ids
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let unique: std::collections::HashSet<u64> = ids.iter().copied().collect();
+    assert_eq!(unique.len(), 80, "request ids must be distinct: {ids:?}");
+
+    // Error paths.
+    assert_eq!(post_estimate(addr, "not json").0, 400);
+    assert_eq!(post_estimate(addr, r#"{"law": "contract"}"#).0, 400);
+    assert_eq!(
+        post_estimate(addr, r#"{"law": "ghost", "radius": 0.1}"#).0,
+        404
+    );
+    assert_eq!(
+        post_estimate(addr, r#"{"law": "contract", "radius": -2}"#).0,
+        400
+    );
+    assert_eq!(get(addr, "/no-such-endpoint").0, 404);
+    assert_eq!(get(addr, "/estimate").0, 405);
+    assert_eq!(
+        http(addr, "POST /estimate HTTP/1.1\r\nHost: t\r\n\r\n").0,
+        411
+    );
+
+    // Scrape endpoints.
+    let (status, head, text) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    assert_valid_exposition(&text);
+    for needle in [
+        "# TYPE sjpl_serve_requests counter",
+        "# TYPE sjpl_serve_estimate_ns histogram",
+        "sjpl_serve_estimate_ns_bucket{le=\"+Inf\"}",
+        "sjpl_span_quantile_ns{span=\"serve.estimate\",quantile=\"0.99\"}",
+        "# TYPE sjpl_serve_errors counter",
+        "# TYPE sjpl_serve_inflight gauge",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?}");
+    }
+
+    let (status, _, snap) = get(addr, "/snapshot");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&snap).unwrap();
+    assert_eq!(doc.get("schema").unwrap().as_f64(), Some(2.0));
+    let spans = doc.get("spans").unwrap().as_array().unwrap();
+    assert!(spans
+        .iter()
+        .any(|s| s.get("name").unwrap().as_str() == Some("serve.estimate")));
+    assert!(spans
+        .iter()
+        .all(|s| s.get("p95_ns").unwrap().as_f64().is_some()));
+
+    let (status, _, trace) = get(addr, "/timeline");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&trace).unwrap();
+    assert!(!doc
+        .get("traceEvents")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .is_empty());
+
+    server.shutdown();
+}
+
+#[test]
+fn readyz_reports_unready_on_an_empty_catalog() {
+    let server = Server::start(
+        Arc::new(Mutex::new(LawCatalog::new())),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(get(server.addr(), "/readyz").0, 503);
+    assert_eq!(get(server.addr(), "/healthz").0, 200);
+    server.shutdown();
+}
+
+/// The acceptance test for the drift monitor: with the served law matching
+/// ground truth the rel-error gauge sits near zero; perturbing the law in
+/// the live catalog must move the gauge past the budget and fire the
+/// breach counter + event.
+#[test]
+fn drift_monitor_flags_a_perturbed_law() {
+    let n = 3_000;
+    let pts = uniform::unit_cube::<2>(n, 7);
+    let law = fitted_law(n, 7);
+
+    // Ground truth via the paper's §4.3 sampling trick: an exact self-join
+    // over a fixed 1-in-5 sample, scaled back up by the pair-count ratio.
+    let sample: Vec<_> = pts.points().iter().copied().step_by(5).collect();
+    let s = sample.len();
+    let scale = (n * (n - 1)) as f64 / (s * (s - 1)) as f64;
+    let truth = Arc::new(move |r: f64| {
+        self_pair_count(JoinAlgorithm::Grid, &sample, r, Metric::Linf) as f64 * scale
+    });
+
+    // Probe radii inside the fitted window.
+    let (lo, hi) = (law.fit.x_lo, law.fit.x_hi);
+    let radii: Vec<f64> = [0.25, 0.5, 0.75]
+        .iter()
+        .map(|t| lo * (hi / lo).powf(*t))
+        .collect();
+
+    let catalog = catalog_with("driftlaw", law);
+    let server = Server::start(
+        Arc::clone(&catalog),
+        ServeConfig {
+            probes: vec![DriftProbe {
+                law_name: "driftlaw".into(),
+                radii,
+                truth,
+            }],
+            drift: DriftConfig {
+                interval: Duration::from_millis(25),
+                error_budget: 1.0,
+                window: 3,
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let gauge = |text: &str, name: &str| -> Option<f64> {
+        text.lines()
+            .find(|l| l.starts_with(&format!("{name} ")))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+    };
+
+    // Phase 1: the healthy law converges under the budget.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let healthy = loop {
+        let (_, _, text) = get(addr, "/metrics");
+        if let Some(v) = gauge(&text, "sjpl_serve_drift_rel_error_driftlaw") {
+            break v;
+        }
+        assert!(Instant::now() < deadline, "drift gauge never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        healthy < 1.0,
+        "healthy law should sit under the budget, got {healthy}"
+    );
+
+    // Phase 2: perturb the served law (K × 50 ⇒ rel error ≈ 49).
+    let mut bad = law;
+    bad.k *= 50.0;
+    bad.fit.k *= 50.0;
+    catalog.lock().unwrap().insert("driftlaw", bad);
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, _, text) = get(addr, "/metrics");
+        let err = gauge(&text, "sjpl_serve_drift_rel_error_driftlaw").unwrap_or(0.0);
+        let breached = gauge(&text, "sjpl_serve_drift_breached_driftlaw").unwrap_or(0.0);
+        let breaches = gauge(&text, "sjpl_serve_drift_breaches").unwrap_or(0.0);
+        if err > 1.0 && breached == 1.0 && breaches >= 1.0 {
+            assert_valid_exposition(&text);
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "drift never flagged: err={err} breached={breached} breaches={breaches}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The breach event is on the snapshot too.
+    let (_, _, snap) = get(addr, "/snapshot");
+    let doc = Json::parse(&snap).unwrap();
+    assert!(doc
+        .get("events")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|e| e.get("name").unwrap().as_str() == Some("serve.drift.breach")));
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_prompt_and_final() {
+    let server = Server::start(
+        catalog_with("bye", fitted_law(1_000, 3)),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let addr = server.addr();
+    assert_eq!(get(addr, "/healthz").0, 200);
+    let t0 = Instant::now();
+    server.shutdown();
+    assert!(t0.elapsed() < Duration::from_secs(5), "shutdown hung");
+    // The listener is gone: new connections must not be served.
+    match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+        Err(_) => {}
+        Ok(mut s) => {
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            let mut out = String::new();
+            let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+            let _ = s.read_to_string(&mut out);
+            assert!(out.is_empty(), "served after shutdown: {out:?}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Metric-name stability gate.
+//!
+//! Prometheus scrapes, dashboards and the `sjpl regress` gate key on
+//! metric names, so the set a release emits is a public contract:
+//! `sjpl_obs::names` enumerates it (mirrored in DESIGN.md §"Metric
+//! names"). This test drives a representative workload through the
+//! recorder and fails if any emitted name is missing from the registry —
+//! i.e. someone added or renamed a metric without registering it — and if
+//! any of the pinned names stops being emitted.
+
+use std::sync::Mutex;
+
+use sjpl_core::streaming::Side;
+use sjpl_core::{
+    bops_plot_self, pc_plot_self, BopsConfig, BopsEngine, FitOptions, PcPlotConfig, StreamingBops,
+};
+use sjpl_geom::Metric;
+use sjpl_index::{self_pair_count, JoinAlgorithm};
+use sjpl_obs::names;
+
+/// `capture` resets the process-global recorder, so the two capturing
+/// tests must not overlap.
+static RECORDER: Mutex<()> = Mutex::new(());
+
+#[test]
+fn every_emitted_metric_name_is_registered() {
+    let _guard = RECORDER.lock().unwrap_or_else(|p| p.into_inner());
+    let pts = sjpl_datagen::uniform::unit_cube::<2>(2_000, 42);
+    let fit = FitOptions::default();
+
+    let ((), snap) = sjpl_obs::capture(|| {
+        // Datagen counters.
+        let _ = sjpl_datagen::sierpinski::triangle(500, 7);
+
+        // Both BOPS engines, plot spans, engine event, fit gauges.
+        for engine in [BopsEngine::SortedMorton, BopsEngine::HashMap] {
+            let cfg = BopsConfig {
+                levels: 8,
+                engine,
+                ..BopsConfig::default()
+            };
+            let plot = bops_plot_self(&pts, &cfg).unwrap();
+            let _ = plot.fit(&fit).unwrap();
+        }
+
+        // The exact estimator's fit path.
+        let plot = pc_plot_self(
+            &pts,
+            &PcPlotConfig {
+                bins: 12,
+                threads: 1,
+                ..PcPlotConfig::default()
+            },
+        )
+        .unwrap();
+        let _ = plot.fit(&fit).unwrap();
+
+        // Index-side counters (grid probes, tree visits/prunes).
+        for algo in [
+            JoinAlgorithm::Grid,
+            JoinAlgorithm::KdTree,
+            JoinAlgorithm::RTree,
+        ] {
+            let _ = self_pair_count(algo, pts.points(), 0.05, Metric::Linf);
+        }
+
+        // Streaming counters (updates + a rejected point).
+        let mut sb = StreamingBops::<2>::new(pts.bbox(), 8).unwrap();
+        for p in pts.points().iter().take(200) {
+            sb.insert(Side::A, p).unwrap();
+            sb.insert(Side::B, p).unwrap();
+        }
+        let _ = sb.insert(Side::A, &sjpl_geom::Point::new([5.0, 5.0]));
+    });
+
+    let mut emitted: Vec<(&str, String)> = Vec::new();
+    for s in &snap.spans {
+        emitted.push(("span", s.name.clone()));
+    }
+    for (n, _) in &snap.counters {
+        emitted.push(("counter", n.clone()));
+    }
+    for (n, _) in &snap.gauges {
+        emitted.push(("gauge", n.clone()));
+    }
+    for e in &snap.events {
+        emitted.push(("event", e.name.clone()));
+    }
+    for e in &snap.timeline.events {
+        emitted.push(("timeline span", e.name.to_owned()));
+    }
+    assert!(!emitted.is_empty(), "the workload recorded nothing");
+
+    let rogue: Vec<String> = emitted
+        .iter()
+        .filter(|(_, n)| !names::is_stable(n))
+        .map(|(kind, n)| format!("{kind} {n:?}"))
+        .collect();
+    assert!(
+        rogue.is_empty(),
+        "unregistered metric names emitted (add them to sjpl_obs::names \
+         and DESIGN.md §\"Metric names\"): {rogue:?}"
+    );
+}
+
+#[test]
+fn pinned_names_are_still_emitted() {
+    let _guard = RECORDER.lock().unwrap_or_else(|p| p.into_inner());
+    let pts = sjpl_datagen::uniform::unit_cube::<2>(1_500, 9);
+    let ((), snap) = sjpl_obs::capture(|| {
+        let cfg = BopsConfig {
+            levels: 8,
+            ..BopsConfig::default()
+        };
+        let plot = bops_plot_self(&pts, &cfg).unwrap();
+        let _ = plot.fit(&FitOptions::default()).unwrap();
+        let _ = self_pair_count(JoinAlgorithm::Grid, pts.points(), 0.05, Metric::Linf);
+    });
+
+    // The contract half the gate: names a consumer is documented to rely
+    // on must keep appearing for this canonical workload.
+    for span in ["bops.plot", "bops.quantize", "bops.sort", "bops.scan"] {
+        assert!(
+            snap.spans.iter().any(|s| s.name == span),
+            "span {span:?} vanished from the BOPS workload"
+        );
+    }
+    for counter in [
+        "bops.plots",
+        "bops.points",
+        "fit.count",
+        "index.grid.probes",
+        "index.grid.occupied_cells",
+    ] {
+        assert!(
+            snap.counters.iter().any(|(n, _)| n == counter),
+            "counter {counter:?} vanished"
+        );
+    }
+    for gauge in ["bops.levels", "fit.exponent", "fit.r_squared"] {
+        assert!(
+            snap.gauges.iter().any(|(n, _)| n == gauge),
+            "gauge {gauge:?} vanished"
+        );
+    }
+}
+
+#[test]
+fn registry_covers_the_serve_names_too() {
+    // The serve crate sits above core in the dependency graph, so its
+    // emissions can't be exercised here; pin its registry entries instead
+    // (the serve integration tests assert the emission side).
+    for name in [
+        "serve.request",
+        "serve.estimate",
+        "serve.metrics",
+        "serve.requests",
+        "serve.errors",
+        "serve.inflight",
+        "serve.drift.checks",
+        "serve.drift.breaches",
+        "serve.drift.breach",
+    ] {
+        assert!(names::is_stable(name), "{name:?} missing from the registry");
+    }
+    assert!(names::is_stable("serve.drift.rel_error.any_law"));
+    assert!(names::is_stable("serve.drift.breached.any_law"));
+}
