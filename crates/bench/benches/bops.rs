@@ -136,11 +136,46 @@ fn streaming_updates(c: &mut Criterion) {
     g.finish();
 }
 
+/// The exact-join kernel series `join/<algo>/<n>`: nested-loop vs the
+/// serial plane sweep vs the partitioned parallel sweep (auto threads, so
+/// CI machines show the multicore speedup — the regress target is ≥4× over
+/// `join/plane-sweep/1000000` at 8 threads). L2 self-join at a radius small
+/// enough that the sweeps are window-bound, the regime the accuracy
+/// pipeline runs them in. Nested-loop is *capped at 10⁵ points* — the cap
+/// is visible here and in `meta.join_workload`, not silent — because the
+/// quadratic kernel needs hours for 10⁶.
+fn join_kernels(c: &mut Criterion) {
+    use sjpl_geom::Metric;
+    use sjpl_index::{self_pair_count, JoinAlgorithm};
+
+    let mut g = c.benchmark_group("join");
+    g.sample_size(2); // the kernels are seconds-per-iter at 10⁶ points
+    const R: f64 = 0.0005;
+    for n in [100_000usize, 1_000_000] {
+        let set = uniform::unit_cube::<2>(n, 41);
+        g.throughput(Throughput::Elements(n as u64));
+        if n <= 100_000 {
+            g.bench_function(BenchmarkId::new("nested-loop", n), |bench| {
+                bench.iter(|| {
+                    self_pair_count(JoinAlgorithm::NestedLoop, set.points(), R, Metric::L2)
+                });
+            });
+        }
+        g.bench_function(BenchmarkId::new("plane-sweep", n), |bench| {
+            bench.iter(|| self_pair_count(JoinAlgorithm::PlaneSweep, set.points(), R, Metric::L2));
+        });
+        g.bench_function(BenchmarkId::new("par-sweep", n), |bench| {
+            bench.iter(|| self_pair_count(JoinAlgorithm::ParSweep, set.points(), R, Metric::L2));
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bops_vs_size, bops_vs_dimension, bops_vs_levels, bops_engine_matrix,
-              streaming_updates
+              streaming_updates, join_kernels
 }
 
 /// The fixed workload used for the stage breakdown and the recorder-cost
@@ -194,12 +229,14 @@ fn previous_means(path: &str) -> std::collections::HashMap<String, f64> {
 }
 
 /// Estimator accuracy on fixed datasets and radii: BOPS-backed estimates
-/// against exact kd-tree join counts, recorded through the estimator's own
-/// telemetry path so `BENCH_bops.json` and the snapshot schema agree.
+/// against exact join counts from the partitioned parallel plane sweep
+/// (each dataset sorted once via `SortedByAxis`, reused across all radii),
+/// recorded through the estimator's own telemetry path so
+/// `BENCH_bops.json` and the snapshot schema agree.
 fn accuracy_records() -> Vec<sjpl_obs::Accuracy> {
     use sjpl_core::{EstimationMethod, SelectivityEstimator};
     use sjpl_geom::Metric;
-    use sjpl_index::{pair_count, self_pair_count, JoinAlgorithm};
+    use sjpl_index::{par_sweep_join_count_sorted, par_sweep_self_join_count_sorted, SortedByAxis};
 
     const RADII: [f64; 3] = [0.02, 0.05, 0.1];
     sjpl_obs::reset();
@@ -211,9 +248,9 @@ fn accuracy_records() -> Vec<sjpl_obs::Accuracy> {
         let est =
             SelectivityEstimator::from_self(set, EstimationMethod::Bops(BopsConfig::default()))
                 .expect("fit self-join law");
+        let sorted = SortedByAxis::new(set.points());
         for r in RADII {
-            let truth =
-                self_pair_count(JoinAlgorithm::KdTree, set.points(), r, Metric::Linf) as f64;
+            let truth = par_sweep_self_join_count_sorted(&sorted, r, Metric::Linf, 0) as f64;
             est.estimate_pair_count_observed(name, r, Some(truth));
         }
     }
@@ -221,14 +258,12 @@ fn accuracy_records() -> Vec<sjpl_obs::Accuracy> {
     let est =
         SelectivityEstimator::from_cross(&ga, &gb, EstimationMethod::Bops(BopsConfig::default()))
             .expect("fit cross-join law");
+    let (sa, sb) = (
+        SortedByAxis::new(ga.points()),
+        SortedByAxis::new(gb.points()),
+    );
     for r in RADII {
-        let truth = pair_count(
-            JoinAlgorithm::KdTree,
-            ga.points(),
-            gb.points(),
-            r,
-            Metric::Linf,
-        ) as f64;
+        let truth = par_sweep_join_count_sorted(&sa, &sb, r, Metric::Linf, 0) as f64;
         est.estimate_pair_count_observed("galaxy-20k", r, Some(truth));
     }
 
@@ -272,7 +307,9 @@ fn main() {
     json.push_str(&format!(
         "  \"meta\": {{\"host_cores\": {cores}, \"engines\": [\"sorted\", \"hashmap\"], \
          \"threads_matrix\": [1, 4], \"levels_matrix\": [8, 12], \
-         \"observed_workload\": \"cross 100k x 100k, 2-d, sorted engine, t4, L12\"}},\n"
+         \"observed_workload\": \"cross 100k x 100k, 2-d, sorted engine, t4, L12\", \
+         \"join_workload\": \"L2 self-join, uniform 2-d, r=0.0005; par-sweep at auto \
+         threads; nested-loop capped at 1e5 points (quadratic)\"}},\n"
     ));
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {

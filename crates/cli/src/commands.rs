@@ -8,7 +8,9 @@ use sjpl_core::{
     PairCountLaw, PcPlotConfig,
 };
 use sjpl_geom::{read_csv, write_csv, Metric, PointSet};
-use sjpl_index::{pair_count, self_pair_count, JoinAlgorithm};
+use sjpl_index::{
+    pair_count, par_sweep_join_count, par_sweep_self_join_count, self_pair_count, JoinAlgorithm,
+};
 
 use crate::args::{parse, Options, TraceFormat};
 use crate::error::CliError;
@@ -52,10 +54,12 @@ options:
   --levels <n>         BOPS grid levels               [default 12]
   --ratio <x>          BOPS grid-side shrink factor   [default 0.5; 0.8 if dim > 6]
   --metric <m>         l1 | l2 | linf | <p>           [default linf]
-  --threads <n>        worker threads for PC plots and BOPS [default: all CPUs]
+  --threads <n>        worker threads for PC plots, BOPS and the par-sweep
+                       join (SJPL_JOIN_THREADS also honored) [default: all CPUs]
   --method <m>         pc | bops (estimate, catalog-add)  [default bops]
   --engine <e>         BOPS engine: auto | sorted | hashmap  [default auto]
-  --algo <a>           nested-loop | grid | kd-tree | r-tree | plane-sweep | z-order
+  --algo <a>           nested-loop | grid | kd-tree | r-tree | plane-sweep |
+                       par-sweep | z-order          [default par-sweep]
   -k <n>               neighbor count for knn         [default 1]
   --trace[=json|pretty]  record spans/counters/gauges while the command runs
                        and print the snapshot to stderr (stdout stays clean
@@ -315,9 +319,6 @@ fn probe_typed<const D: usize>(
     let n = set.len() as f64;
     let scale = (n * (n - 1.0)) / (s * (s - 1.0));
     let metric = o.metric.unwrap_or(Metric::Linf);
-    let truth = std::sync::Arc::new(move |r: f64| {
-        self_pair_count(JoinAlgorithm::Grid, &sample, r, metric) as f64 * scale
-    });
     // Probe strictly inside the fitted window — outside it the law is an
     // extrapolation and "drift" would be meaningless.
     let (lo, hi) = (law.fit.x_lo.max(f64::MIN_POSITIVE), law.fit.x_hi);
@@ -325,11 +326,11 @@ fn probe_typed<const D: usize>(
         .iter()
         .map(|t| lo * (hi / lo).powf(*t))
         .collect();
-    Ok(sjpl_serve::DriftProbe {
-        law_name,
-        radii,
-        truth,
-    })
+    // exact_sample sorts the sample once; each tick's three radii then run
+    // the partitioned parallel plane sweep over the shared sorted array.
+    Ok(sjpl_serve::DriftProbe::exact_sample(
+        law_name, radii, &sample, metric, scale,
+    ))
 }
 
 /// One-line stderr note when the BOPS Auto resolution silently would have
@@ -641,23 +642,36 @@ fn run_typed<const D: usize>(o: &Options, kind: CmdKind) -> Result<(), String> {
         }
         CmdKind::Join => {
             let r = o.radius.ok_or("join needs --radius")?;
-            let algo = match o.algo.as_deref().unwrap_or("kd-tree") {
+            let algo = match o.algo.as_deref().unwrap_or("par-sweep") {
                 "nested-loop" => JoinAlgorithm::NestedLoop,
                 "grid" => JoinAlgorithm::Grid,
                 "kd-tree" => JoinAlgorithm::KdTree,
                 "r-tree" => JoinAlgorithm::RTree,
                 "plane-sweep" => JoinAlgorithm::PlaneSweep,
+                "par-sweep" => JoinAlgorithm::ParSweep,
                 "z-order" => JoinAlgorithm::ZOrder,
                 other => return Err(format!("unknown algorithm {other:?}")),
             };
             let t0 = std::time::Instant::now();
+            // Par-sweep is the one algorithm with a thread knob: route
+            // `--threads` to it directly so the dispatch enum (which uses
+            // auto threads) doesn't swallow the flag.
+            let threads = o.threads.unwrap_or(0);
             let (count, denom) = match &b {
                 Some(b) => (
-                    pair_count(algo, a.points(), b.points(), r, metric),
+                    if algo == JoinAlgorithm::ParSweep {
+                        par_sweep_join_count(a.points(), b.points(), r, metric, threads)
+                    } else {
+                        pair_count(algo, a.points(), b.points(), r, metric)
+                    },
                     a.len() as f64 * b.len() as f64,
                 ),
                 None => (
-                    self_pair_count(algo, a.points(), r, metric),
+                    if algo == JoinAlgorithm::ParSweep {
+                        par_sweep_self_join_count(a.points(), r, metric, threads)
+                    } else {
+                        self_pair_count(algo, a.points(), r, metric)
+                    },
                     a.len() as f64 * (a.len() as f64 - 1.0) / 2.0,
                 ),
             };

@@ -9,6 +9,7 @@ use sjpl_geom::{Metric, Point};
 
 use crate::grid::{grid_join_count, grid_self_join_count};
 use crate::kdtree::KdTree;
+use crate::partition::{par_sweep_join_count, par_sweep_self_join_count};
 use crate::rtree::RTree;
 use crate::sweep::{sweep_join_count, sweep_self_join_count};
 use crate::zorder::{zorder_join_count, zorder_self_join_count};
@@ -26,6 +27,11 @@ pub enum JoinAlgorithm {
     RTree,
     /// Sort-by-first-axis sliding-window sweep.
     PlaneSweep,
+    /// Partitioned parallel plane sweep: rank-striped slabs along axis 0,
+    /// boundary-band replication with dedup-by-ownership, per-slab forward
+    /// sweeps on scoped threads (thread count auto-resolved; see
+    /// [`crate::partition::resolve_threads`]).
+    ParSweep,
     /// Z-order (Morton) sorted-array index with implicit-quadtree search
     /// (the [ORE 86] approach of the paper's related work).
     ZOrder,
@@ -33,12 +39,13 @@ pub enum JoinAlgorithm {
 
 impl JoinAlgorithm {
     /// All algorithms, for exhaustive tests/benches.
-    pub const ALL: [JoinAlgorithm; 6] = [
+    pub const ALL: [JoinAlgorithm; 7] = [
         JoinAlgorithm::NestedLoop,
         JoinAlgorithm::Grid,
         JoinAlgorithm::KdTree,
         JoinAlgorithm::RTree,
         JoinAlgorithm::PlaneSweep,
+        JoinAlgorithm::ParSweep,
         JoinAlgorithm::ZOrder,
     ];
 
@@ -50,6 +57,7 @@ impl JoinAlgorithm {
             JoinAlgorithm::KdTree => "kd-tree",
             JoinAlgorithm::RTree => "r-tree",
             JoinAlgorithm::PlaneSweep => "plane-sweep",
+            JoinAlgorithm::ParSweep => "par-sweep",
             JoinAlgorithm::ZOrder => "z-order",
         }
     }
@@ -102,6 +110,7 @@ pub fn pair_count<const D: usize>(
         JoinAlgorithm::KdTree => KdTree::build(a).join_count(&KdTree::build(b), r, metric),
         JoinAlgorithm::RTree => RTree::build(a).join_count(&RTree::build(b), r, metric),
         JoinAlgorithm::PlaneSweep => sweep_join_count(a, b, r, metric),
+        JoinAlgorithm::ParSweep => par_sweep_join_count(a, b, r, metric, 0),
         JoinAlgorithm::ZOrder => zorder_join_count(a, b, r, metric),
     }
 }
@@ -120,6 +129,7 @@ pub fn self_pair_count<const D: usize>(
         JoinAlgorithm::KdTree => KdTree::build(a).self_join_count(r, metric),
         JoinAlgorithm::RTree => RTree::build(a).self_join_count(r, metric),
         JoinAlgorithm::PlaneSweep => sweep_self_join_count(a, r, metric),
+        JoinAlgorithm::ParSweep => par_sweep_self_join_count(a, r, metric, 0),
         JoinAlgorithm::ZOrder => zorder_self_join_count(a, r, metric),
     }
 }

@@ -16,7 +16,13 @@
 //!   dual-tree distance join (the [BKS 93] style join of the related work).
 //! * [`rtree_dyn`] — an updatable Guttman R-tree (ChooseLeaf + quadratic
 //!   split) for workloads that insert while querying.
-//! * [`sweep`] — a plane-sweep distance join for low dimensions.
+//! * [`sweep`] — a plane-sweep distance join for low dimensions, exposing
+//!   the per-partition forward-sweep kernels and the [`SortedByAxis`]
+//!   sort-once wrapper.
+//! * [`partition`] — the partitioned *parallel* plane sweep (rank-striped
+//!   slabs, boundary-band replication with dedup-by-ownership, mini-
+//!   partition refinement for skew): the default exact-truth engine for
+//!   the accuracy pipeline.
 //! * [`zorder`] — a Morton-curve sorted-array index with implicit-quadtree
 //!   search (the [ORE 86] lineage the related work opens with), plus the
 //!   [`MortonKey`] interleaving trait reused by sjpl-core's BOPS engine.
@@ -45,6 +51,7 @@ pub mod grid;
 pub mod histogram;
 pub mod join;
 pub mod kdtree;
+pub mod partition;
 pub mod psort;
 pub mod rtree;
 pub mod rtree_dyn;
@@ -55,7 +62,12 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use grid::UniformGrid;
 pub use join::{pair_count, self_pair_count, JoinAlgorithm};
 pub use kdtree::KdTree;
+pub use partition::{
+    par_sweep_join_count, par_sweep_join_count_sorted, par_sweep_self_join_count,
+    par_sweep_self_join_count_sorted, resolve_threads,
+};
 pub use psort::par_sort_unstable;
 pub use rtree::RTree;
 pub use rtree_dyn::DynRTree;
+pub use sweep::SortedByAxis;
 pub use zorder::{MortonKey, ZOrderIndex};

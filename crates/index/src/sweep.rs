@@ -1,46 +1,118 @@
 //! Plane-sweep distance join.
 //!
-//! The one-dimensional "band join" generalized: sort both sets by their
-//! first coordinate; for each point of `A`, only points of `B` whose first
+//! The one-dimensional "band join" generalized: sort both sets by one
+//! coordinate axis; for each point of `A`, only points of `B` whose sort-axis
 //! coordinate lies within `±r` can join (for *every* Lp metric a single
 //! axis difference lower-bounds the distance). A sliding window over the
 //! sorted `B` enumerates exactly those candidates. Excellent in low
-//! dimensions where the first axis is selective; degrades gracefully to the
+//! dimensions where the sort axis is selective; degrades gracefully to the
 //! quadratic scan when it is not.
+//!
+//! The module is split into two layers:
+//!
+//! * [`forward_sweep_cross`] / [`forward_sweep_self`] — the per-partition
+//!   forward-sweep **kernels**: they assume already-sorted input and are
+//!   parameterized by the sweep axis, so the partitioned parallel join
+//!   ([`crate::partition`]) can run them per slab (axis 0) or per
+//!   mini-partition (axis 1) without re-sorting logic of their own.
+//! * [`sweep_join_count`] / [`sweep_self_join_count`] — the serial
+//!   public entry points: validate, sort, run the kernel over one
+//!   partition covering everything.
+//!
+//! Sorting uses [`f64::total_cmp`], so a NaN coordinate can never panic the
+//! sort. Points with a non-finite coordinate are filtered out up front: for
+//! any finite radius a NaN coordinate makes every distance comparison false,
+//! and an infinite coordinate puts the point outside every finite-radius
+//! ball, so dropping them matches the nested-loop reference on finite data
+//! while keeping the sliding-window arithmetic (`x ± r`) well defined.
 
 use sjpl_geom::{Metric, Point};
 
-fn sorted_by_first<const D: usize>(pts: &[Point<D>]) -> Vec<Point<D>> {
-    let mut v = pts.to_vec();
-    v.sort_unstable_by(|a, b| {
-        a[0].partial_cmp(&b[0])
-            .expect("NaN coordinate in plane sweep")
-    });
-    v
+/// A point set sorted once along one coordinate axis, with non-finite
+/// points filtered out — the precondition of every sweep kernel, made
+/// reusable: build it once, then run [`sweep_join_count`]-equivalent
+/// queries at many radii (the drift monitor's three probe radii, the bench
+/// accuracy matrix's radius sweep) without paying the `O(N log N)` sort or
+/// the finite check again.
+#[derive(Clone, Debug)]
+pub struct SortedByAxis<const D: usize> {
+    axis: usize,
+    pts: Vec<Point<D>>,
+    dropped: usize,
 }
 
-/// Counts ordered pairs `(a, b)` with `dist(a, b) ≤ r` by plane sweep.
-pub fn sweep_join_count<const D: usize>(
+impl<const D: usize> SortedByAxis<D> {
+    /// Filters non-finite points and sorts the remainder by axis 0 (the
+    /// sweep axis of the serial and partitioned joins).
+    pub fn new(pts: &[Point<D>]) -> Self {
+        Self::along(pts, 0)
+    }
+
+    /// [`SortedByAxis::new`] along an arbitrary axis (`axis < D`).
+    pub fn along(pts: &[Point<D>], axis: usize) -> Self {
+        assert!(axis < D, "sort axis {axis} out of range for {D}-d points");
+        let mut v: Vec<Point<D>> = pts
+            .iter()
+            .filter(|p| (0..D).all(|i| p[i].is_finite()))
+            .copied()
+            .collect();
+        let dropped = pts.len() - v.len();
+        v.sort_unstable_by(|a, b| a[axis].total_cmp(&b[axis]));
+        SortedByAxis {
+            axis,
+            pts: v,
+            dropped,
+        }
+    }
+
+    /// The retained points, ascending along the sort axis.
+    pub fn points(&self) -> &[Point<D>] {
+        &self.pts
+    }
+
+    /// The axis the points are sorted by.
+    pub fn axis(&self) -> usize {
+        self.axis
+    }
+
+    /// How many input points were dropped for carrying a non-finite
+    /// coordinate.
+    pub fn dropped_non_finite(&self) -> usize {
+        self.dropped
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// Whether no points were retained.
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+}
+
+/// The cross-join forward-sweep kernel: counts ordered pairs `(a, b)` with
+/// `dist(a, b) ≤ r`. Both slices must be sorted ascending by `axis` (the
+/// partitioned join hands in per-slab subslices; the serial join hands in
+/// everything). `r` must be non-negative and non-NaN.
+pub fn forward_sweep_cross<const D: usize>(
     a: &[Point<D>],
     b: &[Point<D>],
+    axis: usize,
     r: f64,
     metric: Metric,
 ) -> u64 {
-    if a.is_empty() || b.is_empty() || r < 0.0 {
-        return 0;
-    }
-    let a = sorted_by_first(a);
-    let b = sorted_by_first(b);
     let thresh = metric.rdist_threshold(r);
     let mut count = 0u64;
     let mut lo = 0usize;
-    for pa in &a {
-        let x = pa[0];
-        while lo < b.len() && b[lo][0] < x - r {
+    for pa in a {
+        let x = pa[axis];
+        while lo < b.len() && b[lo][axis] < x - r {
             lo += 1;
         }
         for pb in &b[lo..] {
-            if pb[0] > x + r {
+            if pb[axis] > x + r {
                 break;
             }
             if metric.rdist(pa, pb) <= thresh {
@@ -51,27 +123,58 @@ pub fn sweep_join_count<const D: usize>(
     count
 }
 
-/// Counts unordered pairs within `r` in one set (self-pairs omitted) by
-/// plane sweep.
-pub fn sweep_self_join_count<const D: usize>(a: &[Point<D>], r: f64, metric: Metric) -> u64 {
-    if a.len() < 2 || r < 0.0 {
-        return 0;
-    }
-    let a = sorted_by_first(a);
+/// The self-join forward-sweep kernel: counts unordered pairs `{i, j}` with
+/// `i < j`, `i < owned`, and `dist ≤ r` over a slice sorted ascending by
+/// `axis`. With `owned == pts.len()` this is the whole self join; the
+/// partitioned join passes the slab's owned prefix so each worker counts
+/// exactly the pairs whose lower-ranked endpoint it owns, while the forward
+/// scan is free to read into the replicated boundary band that follows.
+pub fn forward_sweep_self<const D: usize>(
+    pts: &[Point<D>],
+    owned: usize,
+    axis: usize,
+    r: f64,
+    metric: Metric,
+) -> u64 {
     let thresh = metric.rdist_threshold(r);
     let mut count = 0u64;
-    for i in 0..a.len() {
-        let x = a[i][0];
-        for pj in &a[i + 1..] {
-            if pj[0] > x + r {
+    for i in 0..owned.min(pts.len()) {
+        let x = pts[i][axis];
+        for pj in &pts[i + 1..] {
+            if pj[axis] > x + r {
                 break;
             }
-            if metric.rdist(&a[i], pj) <= thresh {
+            if metric.rdist(&pts[i], pj) <= thresh {
                 count += 1;
             }
         }
     }
     count
+}
+
+/// Counts ordered pairs `(a, b)` with `dist(a, b) ≤ r` by plane sweep.
+pub fn sweep_join_count<const D: usize>(
+    a: &[Point<D>],
+    b: &[Point<D>],
+    r: f64,
+    metric: Metric,
+) -> u64 {
+    if a.is_empty() || b.is_empty() || r.is_nan() || r < 0.0 {
+        return 0;
+    }
+    let a = SortedByAxis::new(a);
+    let b = SortedByAxis::new(b);
+    forward_sweep_cross(a.points(), b.points(), 0, r, metric)
+}
+
+/// Counts unordered pairs within `r` in one set (self-pairs omitted) by
+/// plane sweep.
+pub fn sweep_self_join_count<const D: usize>(a: &[Point<D>], r: f64, metric: Metric) -> u64 {
+    if a.len() < 2 || r.is_nan() || r < 0.0 {
+        return 0;
+    }
+    let a = SortedByAxis::new(a);
+    forward_sweep_self(a.points(), a.len(), 0, r, metric)
 }
 
 #[cfg(test)]
@@ -152,5 +255,80 @@ mod tests {
         let before = sweep_join_count(&a, &b, 0.2, Metric::L2);
         a.reverse();
         assert_eq!(sweep_join_count(&a, &b, 0.2, Metric::L2), before);
+    }
+
+    #[test]
+    fn non_finite_points_are_filtered_not_panicked() {
+        // Used to hit `partial_cmp(...).expect("NaN...")` mid-sort; now the
+        // sort is total and the offending points are dropped up front.
+        let mut a = random_points(60, 7);
+        a.push(Point([f64::NAN, 0.5]));
+        a.push(Point([0.5, f64::NAN]));
+        a.push(Point([f64::INFINITY, 0.5]));
+        a.push(Point([0.5, f64::NEG_INFINITY]));
+        let clean = random_points(60, 7);
+        assert_eq!(
+            sweep_self_join_count(&a, 0.1, Metric::L2),
+            sweep_self_join_count(&clean, 0.1, Metric::L2)
+        );
+        assert_eq!(
+            sweep_join_count(&a, &a, 0.1, Metric::Linf),
+            sweep_join_count(&clean, &clean, 0.1, Metric::Linf)
+        );
+        // NaN radius counts nothing rather than corrupting the window.
+        assert_eq!(sweep_self_join_count(&a, f64::NAN, Metric::L2), 0);
+    }
+
+    #[test]
+    fn sorted_by_axis_sorts_filters_and_reports() {
+        let pts = vec![
+            Point([3.0, 0.0]),
+            Point([f64::NAN, 1.0]),
+            Point([1.0, 2.0]),
+            Point([2.0, f64::INFINITY]),
+            Point([2.0, 5.0]),
+        ];
+        let s = SortedByAxis::new(&pts);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped_non_finite(), 2);
+        assert_eq!(s.axis(), 0);
+        let xs: Vec<f64> = s.points().iter().map(|p| p[0]).collect();
+        assert_eq!(xs, vec![1.0, 2.0, 3.0]);
+        let by_y = SortedByAxis::along(&pts, 1);
+        let ys: Vec<f64> = by_y.points().iter().map(|p| p[1]).collect();
+        assert_eq!(ys, vec![0.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn kernels_accept_an_arbitrary_axis() {
+        let a = random_points(200, 8);
+        let expect = sweep_self_join_count(&a, 0.15, Metric::L2);
+        let by_y = SortedByAxis::along(&a, 1);
+        assert_eq!(
+            forward_sweep_self(by_y.points(), by_y.len(), 1, 0.15, Metric::L2),
+            expect
+        );
+        let b = random_points(150, 9);
+        let expect = sweep_join_count(&a, &b, 0.2, Metric::L1);
+        let ay = SortedByAxis::along(&a, 1);
+        let by = SortedByAxis::along(&b, 1);
+        assert_eq!(
+            forward_sweep_cross(ay.points(), by.points(), 1, 0.2, Metric::L1),
+            expect
+        );
+    }
+
+    #[test]
+    fn owned_prefix_limits_the_self_kernel() {
+        // owned = k counts exactly the pairs whose lower-ranked end is in
+        // the first k sorted points — the partitioned join's dedup rule.
+        let a = random_points(120, 10);
+        let s = SortedByAxis::new(&a);
+        let r = 0.2;
+        let total = forward_sweep_self(s.points(), s.len(), 0, r, Metric::L2);
+        let k = 50;
+        let owned_part = forward_sweep_self(s.points(), k, 0, r, Metric::L2);
+        let rest_part = forward_sweep_self(&s.points()[k..], s.len() - k, 0, r, Metric::L2);
+        assert_eq!(owned_part + rest_part, total);
     }
 }

@@ -19,6 +19,10 @@ pub const SPANS: &[&str] = &[
     "bops.scan",
     "bops.scan.worker",
     "bops.sort",
+    "join.merge",
+    "join.partition",
+    "join.sweep",
+    "join.sweep.worker",
     "serve.estimate",
     "serve.healthz",
     "serve.metrics",
@@ -42,6 +46,9 @@ pub const COUNTERS: &[&str] = &[
     "index.grid.probes",
     "index.node_visits",
     "index.pruned_pairs",
+    "join.par_sweep.band_points",
+    "join.par_sweep.mini_refinements",
+    "join.par_sweep.slabs",
     "serve.drift.breaches",
     "serve.drift.checks",
     "serve.errors",

@@ -24,11 +24,14 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use sjpl_core::LawCatalog;
+use sjpl_geom::{Metric, Point};
+use sjpl_index::{par_sweep_self_join_count_sorted, SortedByAxis};
 
 /// Ground truth for one catalog law: a set of probe radii and an oracle
 /// returning the true pair count at each. The oracle is typically a
-/// closure over a fixed sample of the dataset (cheap, O(sample²) once per
-/// tick) — see `truth_from_sample` in the CLI for the canonical one.
+/// closure over a fixed sample of the dataset — build it with
+/// [`DriftProbe::exact_sample`], which sorts the sample once and answers
+/// every tick's radii with the partitioned parallel plane sweep.
 pub struct DriftProbe {
     /// Catalog key of the law under watch.
     pub law_name: String,
@@ -36,6 +39,32 @@ pub struct DriftProbe {
     pub radii: Vec<f64>,
     /// `truth(r)` = true pair count at radius `r`.
     pub truth: Arc<dyn Fn(f64) -> f64 + Send + Sync>,
+}
+
+impl DriftProbe {
+    /// The canonical sampling oracle (the paper's Observation 3: the
+    /// power-law slope survives sampling). Takes an exact self-join over
+    /// `sample` as truth, scaled by `scale` — for a sample of `s` points
+    /// drawn from `n`, pass `(n·(n−1)) / (s·(s−1))` to recover full-set
+    /// pair counts. The sample is sorted **once** here; each tick's radii
+    /// then reuse the sorted array through the partitioned parallel
+    /// plane sweep, so a probe tick costs sweeps, not sorts.
+    pub fn exact_sample<const D: usize>(
+        law_name: impl Into<String>,
+        radii: Vec<f64>,
+        sample: &[Point<D>],
+        metric: Metric,
+        scale: f64,
+    ) -> DriftProbe {
+        let sorted = SortedByAxis::new(sample);
+        DriftProbe {
+            law_name: law_name.into(),
+            radii,
+            truth: Arc::new(move |r| {
+                par_sweep_self_join_count_sorted(&sorted, r, metric, 0) as f64 * scale
+            }),
+        }
+    }
 }
 
 /// Drift-monitor tuning.
@@ -249,6 +278,28 @@ mod tests {
         }
         assert_eq!(st.recent.len(), cfg.window);
         assert!(st.breached);
+    }
+
+    #[test]
+    fn exact_sample_probe_counts_and_scales() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xD21F7);
+        let pts: Vec<Point<2>> = (0..400).map(|_| Point([rng.gen(), rng.gen()])).collect();
+        let probe = DriftProbe::exact_sample("law", vec![0.05, 0.2], &pts, Metric::L2, 3.5);
+        assert_eq!(probe.law_name, "law");
+        for r in [0.05, 0.2] {
+            let mut brute = 0u64;
+            for i in 0..pts.len() {
+                for j in i + 1..pts.len() {
+                    let d2: f64 = (0..2).map(|k| (pts[i][k] - pts[j][k]).powi(2)).sum();
+                    if d2.sqrt() <= r {
+                        brute += 1;
+                    }
+                }
+            }
+            assert_eq!((probe.truth)(r), brute as f64 * 3.5, "r={r}");
+        }
     }
 
     #[test]

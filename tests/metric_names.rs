@@ -64,6 +64,12 @@ fn every_emitted_metric_name_is_registered() {
             let _ = self_pair_count(algo, pts.points(), 0.05, Metric::Linf);
         }
 
+        // The partitioned parallel sweep: enough points for two slabs at
+        // two explicit threads, so the cross-thread worker spans and the
+        // per-slab counters are all emitted.
+        let big = sjpl_datagen::uniform::unit_cube::<2>(10_000, 43);
+        let _ = sjpl_index::par_sweep_self_join_count(big.points(), 0.01, Metric::L2, 2);
+
         // Streaming counters (updates + a rejected point).
         let mut sb = StreamingBops::<2>::new(pts.bbox(), 8).unwrap();
         for p in pts.points().iter().take(200) {
@@ -115,11 +121,20 @@ fn pinned_names_are_still_emitted() {
         let plot = bops_plot_self(&pts, &cfg).unwrap();
         let _ = plot.fit(&FitOptions::default()).unwrap();
         let _ = self_pair_count(JoinAlgorithm::Grid, pts.points(), 0.05, Metric::Linf);
+        let _ = self_pair_count(JoinAlgorithm::ParSweep, pts.points(), 0.05, Metric::Linf);
     });
 
     // The contract half the gate: names a consumer is documented to rely
     // on must keep appearing for this canonical workload.
-    for span in ["bops.plot", "bops.quantize", "bops.sort", "bops.scan"] {
+    for span in [
+        "bops.plot",
+        "bops.quantize",
+        "bops.sort",
+        "bops.scan",
+        "join.partition",
+        "join.sweep",
+        "join.merge",
+    ] {
         assert!(
             snap.spans.iter().any(|s| s.name == span),
             "span {span:?} vanished from the BOPS workload"
@@ -131,6 +146,7 @@ fn pinned_names_are_still_emitted() {
         "fit.count",
         "index.grid.probes",
         "index.grid.occupied_cells",
+        "join.par_sweep.slabs",
     ] {
         assert!(
             snap.counters.iter().any(|(n, _)| n == counter),
