@@ -65,6 +65,27 @@ pub struct Options {
     /// `--drift-sample <rate>` (serve: sampling rate of the ground-truth
     /// oracle; the paper's §4.3 trick).
     pub drift_sample: Option<f64>,
+    /// `--slo <spec>` (serve: per-endpoint SLO, repeatable; e.g.
+    /// `/estimate=2ms@p99,err<0.1%`).
+    pub slos: Vec<String>,
+    /// `--access-log <file>` (serve: JSONL access log path).
+    pub access_log: Option<String>,
+    /// `--slow-ms <ms>` (serve: slow-request capture threshold).
+    pub slow_ms: Option<f64>,
+    /// `--connections <n>` (loadtest: worker connections).
+    pub connections: Option<usize>,
+    /// `--rate <r>` (loadtest: open-loop target requests/second).
+    pub rate: Option<f64>,
+    /// `--duration <s>` (loadtest: run length in seconds).
+    pub duration: Option<f64>,
+    /// `--seed <n>` (loadtest: workload RNG seed).
+    pub seed: Option<u64>,
+    /// `--mix <spec>` (loadtest: weighted endpoint mix).
+    pub mix: Option<String>,
+    /// `--law <name>` (loadtest: law name for `/estimate` traffic).
+    pub law: Option<String>,
+    /// `--out <file>` (loadtest: report path).
+    pub out: Option<String>,
 }
 
 /// Parses `argv` into [`Options`].
@@ -92,6 +113,16 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
         drift_interval: None,
         error_budget: None,
         drift_sample: None,
+        slos: Vec::new(),
+        access_log: None,
+        slow_ms: None,
+        connections: None,
+        rate: None,
+        duration: None,
+        seed: None,
+        mix: None,
+        law: None,
+        out: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -206,6 +237,57 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
                     return Err(format!("drift sample rate {v:?} must be in (0, 1]"));
                 }
                 o.drift_sample = Some(rate);
+            }
+            "--slo" => {
+                o.slos.push(take_value("--slo")?);
+            }
+            "--access-log" => {
+                o.access_log = Some(take_value("--access-log")?);
+            }
+            "--slow-ms" => {
+                let v = take_value("--slow-ms")?;
+                let ms: f64 = v.parse().map_err(|_| format!("bad slow-ms {v:?}"))?;
+                if !(ms >= 0.0 && ms.is_finite()) {
+                    return Err(format!("slow-ms {v:?} must be finite and >= 0"));
+                }
+                o.slow_ms = Some(ms);
+            }
+            "--connections" => {
+                let v = take_value("--connections")?;
+                let n: usize = v.parse().map_err(|_| format!("bad connections {v:?}"))?;
+                if n == 0 {
+                    return Err("connections must be >= 1".to_owned());
+                }
+                o.connections = Some(n);
+            }
+            "--rate" => {
+                let v = take_value("--rate")?;
+                let r: f64 = v.parse().map_err(|_| format!("bad rate {v:?}"))?;
+                if !(r > 0.0 && r.is_finite()) {
+                    return Err(format!("rate {v:?} must be finite and > 0"));
+                }
+                o.rate = Some(r);
+            }
+            "--duration" => {
+                let v = take_value("--duration")?;
+                let secs: f64 = v.parse().map_err(|_| format!("bad duration {v:?}"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(format!("duration {v:?} must be finite and > 0"));
+                }
+                o.duration = Some(secs);
+            }
+            "--seed" => {
+                let v = take_value("--seed")?;
+                o.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
+            }
+            "--mix" => {
+                o.mix = Some(take_value("--mix")?);
+            }
+            "--law" => {
+                o.law = Some(take_value("--law")?);
+            }
+            "--out" => {
+                o.out = Some(take_value("--out")?);
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}"));
@@ -361,6 +443,60 @@ mod tests {
         assert!(parse(&sv(&["--error-budget", "-1"])).is_err());
         assert!(parse(&sv(&["--drift-sample", "1.5"])).is_err());
         assert!(parse(&sv(&["--catalog"])).is_err());
+    }
+
+    #[test]
+    fn slo_and_access_log_flags_parse() {
+        let o = parse(&sv(&[
+            "--slo",
+            "/estimate=2ms@p99,err<0.1%",
+            "--slo",
+            "/healthz=1ms@p50",
+            "--access-log",
+            "access.jsonl",
+            "--slow-ms",
+            "250",
+        ]))
+        .unwrap();
+        assert_eq!(
+            o.slos,
+            vec!["/estimate=2ms@p99,err<0.1%", "/healthz=1ms@p50"]
+        );
+        assert_eq!(o.access_log.as_deref(), Some("access.jsonl"));
+        assert_eq!(o.slow_ms, Some(250.0));
+        assert!(parse(&sv(&["--slow-ms", "-1"])).is_err());
+        assert!(parse(&sv(&["--slo"])).is_err());
+    }
+
+    #[test]
+    fn loadtest_flags_parse() {
+        let o = parse(&sv(&[
+            "--connections",
+            "4",
+            "--duration",
+            "2.5",
+            "--seed",
+            "99",
+            "--mix",
+            "estimate=4,healthz=1",
+            "--law",
+            "uniform",
+            "--out",
+            "BENCH_serve.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.connections, Some(4));
+        assert_eq!(o.duration, Some(2.5));
+        assert_eq!(o.seed, Some(99));
+        assert_eq!(o.mix.as_deref(), Some("estimate=4,healthz=1"));
+        assert_eq!(o.law.as_deref(), Some("uniform"));
+        assert_eq!(o.out.as_deref(), Some("BENCH_serve.json"));
+        assert_eq!(parse(&sv(&["--rate", "500"])).unwrap().rate, Some(500.0));
+        assert!(parse(&sv(&["--connections", "0"])).is_err());
+        assert!(parse(&sv(&["--rate", "0"])).is_err());
+        assert!(parse(&sv(&["--rate", "inf"])).is_err());
+        assert!(parse(&sv(&["--duration", "0"])).is_err());
+        assert!(parse(&sv(&["--seed", "x"])).is_err());
     }
 
     #[test]

@@ -36,8 +36,15 @@ commands:
                                                  timeline to Chrome Trace Format
                                                  (open at https://ui.perfetto.dev)
   regress <old.json> <new.json>                  diff two snapshot/bench reports;
-                                                 exit nonzero on perf or accuracy
-                                                 regression beyond the thresholds
+                                                 exit nonzero on perf, throughput
+                                                 or accuracy regression beyond
+                                                 the thresholds
+  loadtest [host:port]                           drive a running serve daemon
+                                                 with a seeded keep-alive
+                                                 workload and write
+                                                 BENCH_serve.json (req/s,
+                                                 p50/p95/p99/p999 per endpoint)
+                                                 for the regress gate
   serve --catalog <cat.tsv> [data.csv…]          live estimation daemon: POST
                                                  /estimate answers O(1) from the
                                                  stored laws; GET /metrics
@@ -80,6 +87,25 @@ options:
                        [default 0.5]
   --drift-sample <r>   serve: sampling rate of the drift ground-truth oracle
                        [default 0.2]
+  --slo <spec>         serve: per-endpoint SLO, repeatable; latency clause
+                       <dur>@<pNN> and/or error clause err<rate>, e.g.
+                       /estimate=2ms@p99,err<0.1%  — compliance, burn rate
+                       and breach counters appear on /metrics
+  --access-log <file>  serve: append one JSON line per request (request id,
+                       endpoint, status, duration, law)
+  --slow-ms <ms>       serve: requests at least this slow are counted and
+                       pinned into the /timeline ring [default 100]
+  --connections <n>    loadtest: concurrent keep-alive connections; keep at
+                       or below the server's --threads [default 2]
+  --rate <r>           loadtest: open-loop target req/s (latency measured
+                       from the scheduled send time); omit for closed loop
+  --duration <s>       loadtest: run length in seconds [default 10]
+  --seed <n>           loadtest: workload RNG seed [default 42]
+  --mix <spec>         loadtest: weighted endpoint mix
+                       [default estimate=8,healthz=1,metrics=1]
+  --law <name>         loadtest: law name for /estimate traffic
+                       [default uniform]
+  --out <file>         loadtest: report path [default BENCH_serve.json]
 
 exit codes:
   0  success
@@ -114,6 +140,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "catalog-estimate" => cmd_catalog_estimate(&opts).map_err(CliError::from),
         "trace-export" => cmd_trace_export(&opts).map_err(CliError::from),
         "regress" => cmd_regress(&opts),
+        "loadtest" => cmd_loadtest(&opts).map_err(CliError::from),
         "serve" => cmd_serve(&opts).map_err(CliError::from),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -195,10 +222,12 @@ fn cmd_regress(o: &Options) -> Result<(), CliError> {
         eprintln!("note: {note}");
     }
     println!(
-        "compared {} perf series and {} accuracy records \
-         (thresholds: perf +{:.1}%, rel_error +{:.3})",
+        "compared {} perf series, {} throughput series and {} accuracy records \
+         (thresholds: perf +{:.1}%, throughput -{:.1}%, rel_error +{:.3})",
         rep.perf_compared,
+        rep.throughput_compared,
         rep.accuracy_compared,
+        thresholds.max_perf * 100.0,
         thresholds.max_perf * 100.0,
         thresholds.max_error
     );
@@ -212,6 +241,46 @@ fn cmd_regress(o: &Options) -> Result<(), CliError> {
             rep.regressions.join("\n  ")
         )))
     }
+}
+
+/// `loadtest [host:port]` — drive a running daemon with a deterministic
+/// mixed workload and write the `BENCH_serve.json` report the regress
+/// gate consumes.
+fn cmd_loadtest(o: &Options) -> Result<(), String> {
+    use crate::loadtest::{default_mix, parse_mix, LoadtestConfig};
+    let addr = match o.positional.as_slice() {
+        [] => format!("127.0.0.1:{}", o.port.unwrap_or(9090)),
+        [a] => {
+            if a.contains(':') {
+                a.clone()
+            } else {
+                format!("127.0.0.1:{a}")
+            }
+        }
+        more => return Err(format!("loadtest takes one target, got {more:?}")),
+    };
+    let addr = addr
+        .parse()
+        .map_err(|_| format!("bad target address {addr:?} (use host:port)"))?;
+    let cfg = LoadtestConfig {
+        addr,
+        duration: std::time::Duration::from_secs_f64(o.duration.unwrap_or(10.0)),
+        connections: o.connections.unwrap_or(2),
+        rate: o.rate,
+        seed: o.seed.unwrap_or(42),
+        mix: match &o.mix {
+            Some(s) => parse_mix(s)?,
+            None => default_mix(),
+        },
+        law: o.law.clone().unwrap_or_else(|| "uniform".to_owned()),
+        out: o
+            .out
+            .clone()
+            .unwrap_or_else(|| "BENCH_serve.json".to_owned()),
+    };
+    let summary = crate::loadtest::run(&cfg)?;
+    println!("{summary}");
+    Ok(())
 }
 
 /// `serve --catalog <cat.tsv> [data.csv…]` — the live estimation daemon.
@@ -241,14 +310,26 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         error_budget: o.error_budget.unwrap_or(defaults.error_budget),
         window: defaults.window,
     };
+    let mut slos = Vec::with_capacity(o.slos.len());
+    for spec in &o.slos {
+        slos.push(sjpl_serve::SloSpec::parse(spec)?);
+    }
+    let defaults_cfg = ServeConfig::default();
     let cfg = ServeConfig {
         addr: SocketAddr::from(([127, 0, 0, 1], o.port.unwrap_or(9090))),
         threads: o.threads.unwrap_or(4),
         probes,
         drift,
+        slos,
+        access_log: o.access_log.as_ref().map(std::path::PathBuf::from),
+        slow_ns: o
+            .slow_ms
+            .map_or(defaults_cfg.slow_ns, |ms| (ms * 1e6) as u64),
     };
     let n_laws = catalog.len();
     let n_probes = cfg.probes.len();
+    let n_slos = cfg.slos.len();
+    let access_log = cfg.access_log.clone();
     let interval = cfg.drift.interval;
     let budget = cfg.drift.error_budget;
     let server = Server::start(Arc::new(Mutex::new(catalog)), cfg).map_err(|e| e.to_string())?;
@@ -259,6 +340,12 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     println!("endpoints: POST /estimate | GET /metrics /snapshot /timeline /healthz /readyz");
     if n_probes > 0 {
         println!("drift monitor: {n_probes} probe(s), every {interval:?}, error budget {budget}");
+    }
+    if n_slos > 0 {
+        println!("slo: {n_slos} objective(s), evaluated on every /metrics scrape");
+    }
+    if let Some(path) = access_log {
+        println!("access log: appending JSONL to {}", path.display());
     }
     server.wait();
     Ok(())
@@ -922,7 +1009,7 @@ mod tests {
         // The recorder is process-global and other tests run concurrently,
         // so assert presence of this run's keys, not exact values.
         for needle in [
-            "\"schema\": 2",
+            "\"schema\": 3",
             "bops.quantize",
             "bops.sort",
             "bops.scan",
@@ -1229,6 +1316,140 @@ mod tests {
         let rel = (law.pair_count(mid) - truth).abs() / truth;
         assert!(rel < 1.0, "rel error {rel} vs sampled truth at r={mid}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The full acceptance loop: boot the daemon in-process, drive it with
+    /// `sjpl loadtest`, validate the report, then feed it to the regress
+    /// gate (identity passes; a perturbed throughput fails).
+    #[test]
+    fn loadtest_report_feeds_the_regress_gate() {
+        use std::sync::{Arc, Mutex};
+        let dir = tmpdir();
+        let data = dir.join("lt_uniform.csv");
+        let cat = dir.join("lt_laws.tsv");
+        run(&sv(&[
+            "generate",
+            "uniform",
+            "1500",
+            "21",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "catalog-add",
+            cat.to_str().unwrap(),
+            "uniform",
+            data.to_str().unwrap(),
+            "--levels",
+            "8",
+        ]))
+        .unwrap();
+        let catalog = sjpl_core::LawCatalog::load(&cat).unwrap();
+        let server = sjpl_serve::Server::start(
+            Arc::new(Mutex::new(catalog)),
+            sjpl_serve::ServeConfig {
+                slos: vec![sjpl_serve::SloSpec::parse("/estimate=10s@p99").unwrap()],
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+
+        let out = dir.join("BENCH_serve.json");
+        run(&sv(&[
+            "loadtest",
+            &addr,
+            "--duration",
+            "0.4",
+            "--connections",
+            "2",
+            "--seed",
+            "7",
+            "--law",
+            "uniform",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        server.shutdown();
+
+        let text = std::fs::read_to_string(&out).unwrap();
+        let doc = sjpl_obs::json::Json::parse(&text).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("serve-loadtest"));
+        let series = doc
+            .get("summary")
+            .unwrap()
+            .get("series")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert!(
+            series
+                .iter()
+                .any(|s| s.get("name").unwrap().as_str() == Some("serve/estimate/p99")),
+            "{text}"
+        );
+        let thr = doc.get("throughput").unwrap().as_array().unwrap();
+        let total_rps = thr
+            .iter()
+            .find(|t| t.get("name").unwrap().as_str() == Some("serve/total"))
+            .and_then(|t| t.get("rps").unwrap().as_f64())
+            .unwrap();
+        assert!(total_rps > 0.0);
+        // The default mix exercised all three endpoints with no HTTP errors.
+        let eps = doc.get("endpoints").unwrap().as_array().unwrap();
+        for want in ["estimate", "healthz", "metrics"] {
+            let ep = eps
+                .iter()
+                .find(|e| e.get("endpoint").unwrap().as_str() == Some(want))
+                .unwrap_or_else(|| panic!("no {want} tally in {text}"));
+            assert_eq!(ep.get("errors").unwrap().as_f64(), Some(0.0), "{text}");
+            assert!(ep.get("p50_ns").unwrap().as_f64().unwrap() > 0.0);
+        }
+
+        // Identity comparison passes the gate.
+        run(&sv(&[
+            "regress",
+            out.to_str().unwrap(),
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Halving every throughput number must fail it.
+        let perturbed = dir.join("BENCH_serve_slow.json");
+        let halved = text
+            .lines()
+            .map(|l| match l.split_once("\"rps\": ") {
+                Some((pre, v)) => {
+                    let digits: String = v
+                        .chars()
+                        .take_while(|c| c.is_ascii_digit() || *c == '.')
+                        .collect();
+                    let rps: f64 = digits.parse().unwrap();
+                    format!("{pre}\"rps\": {:.2}{}", rps / 2.0, &v[digits.len()..])
+                }
+                None => l.to_owned(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(&perturbed, halved).unwrap();
+        let e = run(&sv(&[
+            "regress",
+            out.to_str().unwrap(),
+            perturbed.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("throughput"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loadtest_rejects_a_dead_target_and_bad_args() {
+        // Nothing listens on this port (reserved, never assigned).
+        assert!(run(&sv(&["loadtest", "127.0.0.1:9", "--duration", "0.1",])).is_err());
+        assert!(run(&sv(&["loadtest", "a", "b"])).is_err());
+        assert!(run(&sv(&["loadtest", "not-an-addr:xyz"])).is_err());
+        assert!(run(&sv(&["loadtest", "127.0.0.1:1", "--mix", "bogus=1"])).is_err());
     }
 
     #[test]

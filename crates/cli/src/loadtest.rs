@@ -1,0 +1,592 @@
+//! `sjpl loadtest` — a deterministic HTTP load harness for the serve
+//! daemon, feeding the `sjpl regress` gate.
+//!
+//! Two driving modes over keep-alive connections:
+//!
+//! * **closed-loop** (default): `--connections` workers each issue the
+//!   next request as soon as the previous response lands — measures the
+//!   server's saturated throughput and in-service latency;
+//! * **open-loop** (`--rate R`): requests fire on a fixed global schedule
+//!   of `R` per second shared by the workers, and latency is measured
+//!   from the request's *scheduled* send time, so queueing delay shows up
+//!   in the tail instead of being silently absorbed (the coordinated-
+//!   omission trap).
+//!
+//! The endpoint mix (`--mix estimate=8,healthz=1,metrics=1`) is sampled
+//! by a seeded RNG (`--seed`), so two runs against the same binary issue
+//! the same workload — that is what makes the output comparable across
+//! commits. Results go to `BENCH_serve.json`: per-endpoint request
+//! counts, error rates, exact p50/p95/p99/p999 latencies (under
+//! `summary.series`, where the regress gate reads them as perf series),
+//! and per-endpoint throughput (under `throughput`, where the gate fails
+//! on *decreases*).
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::{Rng, SeedableRng};
+
+/// Parsed loadtest parameters.
+pub struct LoadtestConfig {
+    /// Target server.
+    pub addr: SocketAddr,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Worker/connection count (closed-loop concurrency; open-loop senders).
+    pub connections: usize,
+    /// Open-loop target request rate (requests/second); `None` = closed loop.
+    pub rate: Option<f64>,
+    /// RNG seed for the workload mix.
+    pub seed: u64,
+    /// Weighted endpoint mix.
+    pub mix: Vec<(Endpoint, u32)>,
+    /// Law name `/estimate` requests ask for.
+    pub law: String,
+    /// Output report path.
+    pub out: String,
+}
+
+/// The endpoints the harness knows how to exercise.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Endpoint {
+    /// `POST /estimate`
+    Estimate,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /readyz`
+    Readyz,
+    /// `GET /metrics`
+    Metrics,
+    /// `GET /snapshot`
+    Snapshot,
+    /// `GET /timeline`
+    Timeline,
+}
+
+impl Endpoint {
+    fn label(self) -> &'static str {
+        match self {
+            Endpoint::Estimate => "estimate",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Readyz => "readyz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Snapshot => "snapshot",
+            Endpoint::Timeline => "timeline",
+        }
+    }
+
+    const ALL: &'static [Endpoint] = &[
+        Endpoint::Estimate,
+        Endpoint::Healthz,
+        Endpoint::Readyz,
+        Endpoint::Metrics,
+        Endpoint::Snapshot,
+        Endpoint::Timeline,
+    ];
+}
+
+/// Parses `--mix estimate=8,healthz=1`: comma-separated `endpoint=weight`.
+pub fn parse_mix(s: &str) -> Result<Vec<(Endpoint, u32)>, String> {
+    let mut mix = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, weight) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad mix entry {part:?} (use endpoint=weight)"))?;
+        let ep = Endpoint::ALL
+            .iter()
+            .copied()
+            .find(|e| e.label() == name.trim())
+            .ok_or_else(|| {
+                format!(
+                    "unknown endpoint {name:?} in --mix (use {})",
+                    Endpoint::ALL
+                        .iter()
+                        .map(|e| e.label())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?;
+        let w: u32 = weight
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad weight {weight:?} in --mix"))?;
+        if w > 0 {
+            mix.push((ep, w));
+        }
+    }
+    if mix.is_empty() {
+        return Err(format!("mix {s:?} selects no endpoints"));
+    }
+    Ok(mix)
+}
+
+/// The default workload: estimate-heavy with scrape background noise,
+/// mirroring what a live deployment sees.
+pub fn default_mix() -> Vec<(Endpoint, u32)> {
+    vec![
+        (Endpoint::Estimate, 8),
+        (Endpoint::Healthz, 1),
+        (Endpoint::Metrics, 1),
+    ]
+}
+
+/// One worker's tally for one endpoint.
+#[derive(Default, Clone)]
+struct EndpointTally {
+    /// Latencies of requests that got *any* HTTP response, ns.
+    latencies_ns: Vec<u64>,
+    /// Responses with status >= 400.
+    errors: u64,
+}
+
+/// One worker's full result set.
+#[derive(Default)]
+struct WorkerTally {
+    per_endpoint: Vec<(&'static str, EndpointTally)>,
+    /// Requests that died below HTTP (connect/read/write failure, timeout).
+    transport_errors: u64,
+}
+
+impl WorkerTally {
+    fn endpoint(&mut self, label: &'static str) -> &mut EndpointTally {
+        if let Some(i) = self.per_endpoint.iter().position(|(l, _)| *l == label) {
+            return &mut self.per_endpoint[i].1;
+        }
+        self.per_endpoint.push((label, EndpointTally::default()));
+        &mut self.per_endpoint.last_mut().unwrap().1
+    }
+}
+
+/// A keep-alive client connection that frames responses by Content-Length.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends raw request bytes and reads one framed response; returns the
+    /// status code.
+    fn roundtrip(&mut self, raw: &[u8]) -> std::io::Result<u16> {
+        self.writer.write_all(raw)?;
+        let mut status = 0u16;
+        let mut content_length: Option<usize> = None;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ErrorKind::UnexpectedEof.into());
+            }
+            let t = line.trim_end();
+            if status == 0 {
+                status = t
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ErrorKind::InvalidData)?;
+                continue;
+            }
+            if t.is_empty() {
+                break;
+            }
+            if let Some(v) = t
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .map(str::to_owned)
+            {
+                content_length = v.parse().ok();
+            }
+        }
+        let len = content_length.ok_or(ErrorKind::InvalidData)?;
+        // Drain the body without allocating for it.
+        std::io::copy(
+            &mut (&mut self.reader).take(len as u64),
+            &mut std::io::sink(),
+        )?;
+        Ok(status)
+    }
+}
+
+/// Builds the raw request bytes for one sampled endpoint.
+fn build_request(ep: Endpoint, law: &str, rng: &mut rand::rngs::StdRng) -> Vec<u8> {
+    match ep {
+        Endpoint::Estimate => {
+            let radius = rng.gen_range(0.01..0.2f64);
+            let body = format!("{{\"law\": \"{law}\", \"radius\": {radius}}}");
+            format!(
+                "POST /estimate HTTP/1.1\r\nHost: l\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .into_bytes()
+        }
+        _ => format!("GET /{} HTTP/1.1\r\nHost: l\r\n\r\n", ep.label()).into_bytes(),
+    }
+}
+
+/// Picks one endpoint from the weighted mix.
+fn pick(mix: &[(Endpoint, u32)], rng: &mut rand::rngs::StdRng) -> Endpoint {
+    let total: u32 = mix.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for &(ep, w) in mix {
+        if roll < w {
+            return ep;
+        }
+        roll -= w;
+    }
+    mix[0].0
+}
+
+/// Runs the load and writes the report. Returns a one-line human summary.
+pub fn run(cfg: &LoadtestConfig) -> Result<String, String> {
+    // Probe once up front so a dead target is a clean error, not a report
+    // full of transport errors.
+    Conn::open(cfg.addr).map_err(|e| format!("cannot connect to {}: {e}", cfg.addr))?;
+
+    let start = Instant::now();
+    let deadline = start + cfg.duration;
+    // Open-loop: workers pull send slots off one shared schedule.
+    let schedule = AtomicU64::new(0);
+
+    let tallies: Vec<WorkerTally> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.connections.max(1))
+            .map(|worker| {
+                let schedule = &schedule;
+                s.spawn(move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(
+                        cfg.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut tally = WorkerTally::default();
+                    let mut conn: Option<Conn> = None;
+                    loop {
+                        // When did this request become due?
+                        let due = match cfg.rate {
+                            None => Instant::now(),
+                            Some(rate) => {
+                                let k = schedule.fetch_add(1, Ordering::Relaxed);
+                                let due = start + Duration::from_secs_f64(k as f64 / rate);
+                                if due >= deadline {
+                                    break;
+                                }
+                                if let Some(sleep) = due.checked_duration_since(Instant::now()) {
+                                    std::thread::sleep(sleep);
+                                }
+                                due
+                            }
+                        };
+                        if Instant::now() >= deadline {
+                            break;
+                        }
+                        let ep = pick(&cfg.mix, &mut rng);
+                        let raw = build_request(ep, &cfg.law, &mut rng);
+                        let c = match conn {
+                            Some(ref mut c) => c,
+                            None => match Conn::open(cfg.addr) {
+                                Ok(c) => conn.insert(c),
+                                Err(_) => {
+                                    tally.transport_errors += 1;
+                                    continue;
+                                }
+                            },
+                        };
+                        match c.roundtrip(&raw) {
+                            Ok(status) => {
+                                // Open loop: latency from the scheduled send,
+                                // so server-side queueing is charged to the
+                                // request that suffered it.
+                                let lat = due.elapsed().as_nanos() as u64;
+                                let t = tally.endpoint(ep.label());
+                                t.latencies_ns.push(lat);
+                                if status >= 400 {
+                                    t.errors += 1;
+                                }
+                            }
+                            Err(_) => {
+                                tally.transport_errors += 1;
+                                conn = None; // reconnect on the next request
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed();
+
+    // Merge workers.
+    let mut merged: Vec<(&'static str, EndpointTally)> = Vec::new();
+    let mut transport_errors = 0u64;
+    for w in tallies {
+        transport_errors += w.transport_errors;
+        for (label, t) in w.per_endpoint {
+            match merged.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, m)) => {
+                    m.latencies_ns.extend_from_slice(&t.latencies_ns);
+                    m.errors += t.errors;
+                }
+                None => merged.push((label, t)),
+            }
+        }
+    }
+    merged.sort_by_key(|(l, _)| *l);
+    let total_requests: u64 = merged
+        .iter()
+        .map(|(_, t)| t.latencies_ns.len() as u64)
+        .sum();
+    if total_requests == 0 {
+        return Err("loadtest issued no successful requests (all transport errors?)".to_owned());
+    }
+
+    let report = render_report(cfg, wall, &mut merged, transport_errors, total_requests);
+    std::fs::write(&cfg.out, report.as_bytes()).map_err(|e| format!("{}: {e}", cfg.out))?;
+
+    let total_errors: u64 = merged.iter().map(|(_, t)| t.errors).sum();
+    Ok(format!(
+        "loadtest: {total_requests} requests in {wall:.2?} \
+         ({:.0} req/s, {total_errors} HTTP errors, {transport_errors} transport errors) -> {}",
+        total_requests as f64 / wall.as_secs_f64(),
+        cfg.out
+    ))
+}
+
+/// Exact quantile of a sorted latency array (nearest-rank).
+fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn render_report(
+    cfg: &LoadtestConfig,
+    wall: Duration,
+    merged: &mut [(&'static str, EndpointTally)],
+    transport_errors: u64,
+    total_requests: u64,
+) -> String {
+    use std::fmt::Write as _;
+    let secs = wall.as_secs_f64();
+    let mut series = String::new();
+    let mut throughput = String::new();
+    let mut endpoints = String::new();
+    for (i, (label, t)) in merged.iter_mut().enumerate() {
+        t.latencies_ns.sort_unstable();
+        let n = t.latencies_ns.len() as u64;
+        let rps = n as f64 / secs;
+        let mean = t.latencies_ns.iter().sum::<u64>() as f64 / n.max(1) as f64;
+        let (p50, p95, p99, p999) = (
+            quantile_ns(&t.latencies_ns, 0.50),
+            quantile_ns(&t.latencies_ns, 0.95),
+            quantile_ns(&t.latencies_ns, 0.99),
+            quantile_ns(&t.latencies_ns, 0.999),
+        );
+        // Quantiles as perf series: `mean_ns` is the key the regress gate
+        // compares, so tail growth beyond the threshold fails CI.
+        for (qname, v) in [("p50", p50), ("p95", p95), ("p99", p99), ("p999", p999)] {
+            let _ = write!(
+                series,
+                "{}      {{\"name\": \"serve/{label}/{qname}\", \"mean_ns\": {v}}}",
+                if series.is_empty() { "" } else { ",\n" }
+            );
+        }
+        let _ = write!(
+            throughput,
+            "{}    {{\"name\": \"serve/{label}\", \"rps\": {rps:.2}}}",
+            if i == 0 { "" } else { ",\n" }
+        );
+        let _ = write!(
+            endpoints,
+            "{}    {{\"endpoint\": \"{label}\", \"requests\": {n}, \"errors\": {}, \
+             \"error_rate\": {:.6}, \"rps\": {rps:.2}, \"mean_ns\": {mean:.0}, \
+             \"p50_ns\": {p50}, \"p95_ns\": {p95}, \"p99_ns\": {p99}, \"p999_ns\": {p999}}}",
+            if i == 0 { "" } else { ",\n" },
+            t.errors,
+            t.errors as f64 / n.max(1) as f64,
+        );
+    }
+    let total_rps = total_requests as f64 / secs;
+    let _ = write!(
+        throughput,
+        ",\n    {{\"name\": \"serve/total\", \"rps\": {total_rps:.2}}}"
+    );
+    let mix: Vec<String> = cfg
+        .mix
+        .iter()
+        .map(|(e, w)| format!("{}={w}", e.label()))
+        .collect();
+    format!(
+        "{{\n  \"schema\": 1,\n  \"kind\": \"serve-loadtest\",\n  \"meta\": {{\n    \
+         \"addr\": \"{addr}\",\n    \"duration_s\": {dur:.3},\n    \
+         \"connections\": {conns},\n    \"rate\": {rate},\n    \"seed\": {seed},\n    \
+         \"mix\": \"{mix}\",\n    \"law\": \"{law}\"\n  }},\n  \
+         \"summary\": {{\"schema\": 1, \"series\": [\n{series}\n  ]}},\n  \
+         \"throughput\": [\n{throughput}\n  ],\n  \
+         \"endpoints\": [\n{endpoints}\n  ],\n  \
+         \"transport_errors\": {transport_errors}\n}}\n",
+        addr = cfg.addr,
+        dur = wall.as_secs_f64(),
+        conns = cfg.connections,
+        rate = match cfg.rate {
+            Some(r) => format!("{r}"),
+            None => "null".to_owned(),
+        },
+        seed = cfg.seed,
+        mix = mix.join(","),
+        law = cfg.law,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_parsing_accepts_weights_and_rejects_junk() {
+        let mix = parse_mix("estimate=8,healthz=1,metrics=1").unwrap();
+        assert_eq!(mix.len(), 3);
+        assert_eq!(mix[0], (Endpoint::Estimate, 8));
+        assert_eq!(
+            parse_mix("healthz=1").unwrap(),
+            vec![(Endpoint::Healthz, 1)]
+        );
+        // Zero weights drop out.
+        assert_eq!(
+            parse_mix("estimate=0,healthz=2").unwrap(),
+            vec![(Endpoint::Healthz, 2)]
+        );
+        assert!(parse_mix("").is_err());
+        assert!(parse_mix("estimate=0").is_err());
+        assert!(parse_mix("bogus=1").is_err());
+        assert!(parse_mix("estimate").is_err());
+        assert!(parse_mix("estimate=x").is_err());
+    }
+
+    #[test]
+    fn weighted_pick_is_deterministic_and_covers_the_mix() {
+        let mix = parse_mix("estimate=8,healthz=1,metrics=1").unwrap();
+        let draw = |seed: u64| -> Vec<&'static str> {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            (0..200).map(|_| pick(&mix, &mut rng).label()).collect()
+        };
+        // Same seed, same workload — the property that makes runs comparable.
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+        let picks = draw(7);
+        let count = |l: &str| picks.iter().filter(|p| **p == l).count();
+        assert!(count("estimate") > count("healthz"));
+        assert!(count("healthz") > 0 && count("metrics") > 0);
+    }
+
+    #[test]
+    fn requests_are_well_formed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let post = String::from_utf8(build_request(Endpoint::Estimate, "mylaw", &mut rng)).unwrap();
+        assert!(post.starts_with("POST /estimate HTTP/1.1\r\n"), "{post}");
+        let body = post.split("\r\n\r\n").nth(1).unwrap();
+        let len: usize = post
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len());
+        assert!(body.contains("\"law\": \"mylaw\""));
+        let get = String::from_utf8(build_request(Endpoint::Metrics, "x", &mut rng)).unwrap();
+        assert!(get.starts_with("GET /metrics HTTP/1.1\r\n"), "{get}");
+    }
+
+    #[test]
+    fn quantiles_are_exact_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_ns(&v, 0.50), 50);
+        assert_eq!(quantile_ns(&v, 0.95), 95);
+        assert_eq!(quantile_ns(&v, 0.99), 99);
+        assert_eq!(quantile_ns(&v, 0.999), 100);
+        assert_eq!(quantile_ns(&[7], 0.5), 7);
+        assert_eq!(quantile_ns(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn report_is_valid_json_with_all_sections() {
+        let cfg = LoadtestConfig {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            duration: Duration::from_secs(1),
+            connections: 2,
+            rate: Some(100.0),
+            seed: 9,
+            mix: default_mix(),
+            law: "uniform".to_owned(),
+            out: "unused".to_owned(),
+        };
+        let mut merged = vec![
+            (
+                "estimate",
+                EndpointTally {
+                    latencies_ns: vec![300, 100, 200, 5000],
+                    errors: 1,
+                },
+            ),
+            (
+                "healthz",
+                EndpointTally {
+                    latencies_ns: vec![50],
+                    errors: 0,
+                },
+            ),
+        ];
+        let text = render_report(&cfg, Duration::from_secs(2), &mut merged, 3, 5);
+        let doc = sjpl_obs::json::Json::parse(&text).unwrap_or_else(|e| panic!("{e}:\n{text}"));
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("serve-loadtest"));
+        let series = doc
+            .get("summary")
+            .unwrap()
+            .get("series")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        // 2 endpoints × 4 quantiles.
+        assert_eq!(series.len(), 8);
+        assert!(series.iter().any(|s| {
+            s.get("name").unwrap().as_str() == Some("serve/estimate/p50")
+                && s.get("mean_ns").unwrap().as_f64() == Some(200.0)
+        }));
+        let thr = doc.get("throughput").unwrap().as_array().unwrap();
+        assert_eq!(thr.len(), 3); // estimate, healthz, total
+        let total = thr
+            .iter()
+            .find(|t| t.get("name").unwrap().as_str() == Some("serve/total"))
+            .unwrap();
+        assert_eq!(total.get("rps").unwrap().as_f64(), Some(2.5));
+        let eps = doc.get("endpoints").unwrap().as_array().unwrap();
+        assert_eq!(eps.len(), 2);
+        let est = &eps[0];
+        assert_eq!(est.get("requests").unwrap().as_f64(), Some(4.0));
+        assert_eq!(est.get("error_rate").unwrap().as_f64(), Some(0.25));
+        assert_eq!(est.get("p999_ns").unwrap().as_f64(), Some(5000.0));
+        assert_eq!(doc.get("transport_errors").unwrap().as_f64(), Some(3.0));
+        assert_eq!(
+            doc.get("meta").unwrap().get("mix").unwrap().as_str(),
+            Some("estimate=8,healthz=1,metrics=1")
+        );
+    }
+}

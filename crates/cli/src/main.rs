@@ -17,6 +17,7 @@
 mod args;
 mod commands;
 mod error;
+mod loadtest;
 mod regress;
 
 use std::process::ExitCode;

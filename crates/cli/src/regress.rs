@@ -8,7 +8,12 @@
 //!   array;
 //! * an `sjpl-obs` snapshot (schema ≥ 1, as written by `--obs-out`): perf
 //!   series from `spans` (`mean_ns` per span name), accuracy from the
-//!   schema-2 `accuracy` array.
+//!   schema-2 `accuracy` array;
+//! * a `BENCH_serve.json` (written by `sjpl loadtest`): perf series
+//!   (latency quantiles) from `summary.series`, throughput from the
+//!   top-level `throughput` array (`rps` per series name) — throughput is
+//!   gated in the *opposite* direction: a **decrease** beyond the perf
+//!   threshold fails.
 //!
 //! Comparison is by name: series present in only one file are reported but
 //! never fail the gate (benches come and go); a name present in both fails
@@ -66,6 +71,8 @@ pub struct Report {
     pub perf_compared: usize,
     /// Number of accuracy records compared in both files.
     pub accuracy_compared: usize,
+    /// Number of throughput series compared in both files.
+    pub throughput_compared: usize,
 }
 
 impl Report {
@@ -130,6 +137,21 @@ fn lookup(series: &[(String, f64)], name: &str) -> Option<f64> {
     series.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
 }
 
+/// Extracts throughput series `(name, rps)` from a loadtest report.
+fn throughput_series(doc: &Json) -> Vec<(String, f64)> {
+    let Some(items) = doc.get("throughput").and_then(Json::as_array) else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|it| {
+            let name = it.get("name")?.as_str()?.to_owned();
+            let rps = it.get("rps")?.as_f64()?;
+            Some((name, rps))
+        })
+        .collect()
+}
+
 /// Compares two parsed report documents under the given thresholds.
 pub fn compare(old: &Json, new: &Json, t: &Thresholds) -> Report {
     let mut rep = Report::default();
@@ -160,6 +182,37 @@ pub fn compare(old: &Json, new: &Json, t: &Thresholds) -> Report {
     for (name, _) in &new_perf {
         if lookup(&old_perf, name).is_none() {
             rep.notes.push(format!("perf {name}: new series"));
+        }
+    }
+
+    // Throughput regresses *downward*: fewer requests per second is worse.
+    let old_thr = throughput_series(old);
+    let new_thr = throughput_series(new);
+    for (name, old_rps) in &old_thr {
+        let Some(new_rps) = lookup(&new_thr, name) else {
+            rep.notes
+                .push(format!("throughput {name}: gone from new report"));
+            continue;
+        };
+        rep.throughput_compared += 1;
+        if *old_rps > 0.0 {
+            let drop = 1.0 - new_rps / old_rps;
+            if drop > t.max_perf {
+                rep.regressions.push(format!(
+                    "throughput {name}: {old_rps:.1} req/s -> {new_rps:.1} req/s \
+                     (-{:.1}% > allowed -{:.1}%)",
+                    drop * 100.0,
+                    t.max_perf * 100.0
+                ));
+            } else if drop < -t.max_perf {
+                rep.notes
+                    .push(format!("throughput {name}: improved {:.1}%", -drop * 100.0));
+            }
+        }
+    }
+    for (name, _) in &new_thr {
+        if lookup(&old_thr, name).is_none() {
+            rep.notes.push(format!("throughput {name}: new series"));
         }
     }
 
@@ -201,12 +254,13 @@ fn check_usable(path: &str, doc: &Json) -> Result<(), CliError> {
         || doc.get("results").and_then(Json::as_array).is_some()
         || doc.get("spans").and_then(Json::as_array).is_some();
     let has_accuracy = doc.get("accuracy").and_then(Json::as_array).is_some();
-    if has_perf || has_accuracy {
+    let has_throughput = doc.get("throughput").and_then(Json::as_array).is_some();
+    if has_perf || has_accuracy || has_throughput {
         Ok(())
     } else {
         Err(CliError::bad_report(format!(
             "{path}: unusable report: no perf section (`summary.series`, `results`, or \
-             `spans`) and no `accuracy` section"
+             `spans`), no `throughput` section, and no `accuracy` section"
         )))
     }
 }
@@ -347,6 +401,73 @@ mod tests {
         std::fs::write(&spans_only, "{\"schema\": 2, \"spans\": []}").unwrap();
         compare_files(good, spans_only.to_str().unwrap(), &t).unwrap();
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    const LOADTEST: &str = r#"{
+      "schema": 1,
+      "kind": "serve-loadtest",
+      "summary": {"schema": 1, "series": [
+        {"name": "serve/estimate/p99", "mean_ns": 500000}
+      ]},
+      "throughput": [
+        {"name": "serve/estimate", "rps": 2000.0},
+        {"name": "serve/total", "rps": 2500.0}
+      ]
+    }"#;
+
+    #[test]
+    fn throughput_decrease_fails_and_increase_is_a_note() {
+        let t = Thresholds::default();
+        // Identical: passes, and both throughput series are compared.
+        let rep = compare(&doc(LOADTEST), &doc(LOADTEST), &t);
+        assert!(rep.passed(), "{:?}", rep.regressions);
+        assert_eq!(rep.throughput_compared, 2);
+        assert_eq!(rep.perf_compared, 1);
+
+        // -20% total throughput fails the 10% gate.
+        let slower = LOADTEST.replace("\"rps\": 2500.0", "\"rps\": 2000.0");
+        let rep = compare(&doc(LOADTEST), &doc(&slower), &t);
+        assert_eq!(rep.regressions.len(), 1, "{:?}", rep.regressions);
+        assert!(rep.regressions[0].contains("serve/total"));
+        assert!(rep.regressions[0].contains("req/s"));
+
+        // +50% throughput is an improvement note, never a failure.
+        let faster = LOADTEST.replace("\"rps\": 2500.0", "\"rps\": 3750.0");
+        let rep = compare(&doc(LOADTEST), &doc(&faster), &t);
+        assert!(rep.passed());
+        assert!(rep
+            .notes
+            .iter()
+            .any(|n| n.contains("serve/total") && n.contains("improved")));
+
+        // Tail-latency growth in the same report still fails via the perf
+        // series path (mean_ns key).
+        let tail = LOADTEST.replace("\"mean_ns\": 500000", "\"mean_ns\": 900000");
+        let rep = compare(&doc(LOADTEST), &doc(&tail), &t);
+        assert_eq!(rep.regressions.len(), 1);
+        assert!(rep.regressions[0].contains("serve/estimate/p99"));
+    }
+
+    #[test]
+    fn throughput_only_reports_are_usable() {
+        let dir =
+            std::env::temp_dir().join(format!("sjpl_regress_thr_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("thr.json");
+        std::fs::write(
+            &p,
+            "{\"throughput\": [{\"name\": \"serve/total\", \"rps\": 10.0}]}",
+        )
+        .unwrap();
+        let rep = compare_files(
+            p.to_str().unwrap(),
+            p.to_str().unwrap(),
+            &Thresholds::default(),
+        )
+        .unwrap();
+        assert!(rep.passed());
+        assert_eq!(rep.throughput_compared, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -82,7 +82,7 @@ impl Snapshot {
     }
 }
 
-/// Converts a saved schema-2 snapshot JSON document (as written by
+/// Converts a saved snapshot JSON document, schema 2 or newer (as written by
 /// `--obs-out` / `--trace=json`) into a Chrome trace document — the
 /// offline path behind `sjpl trace-export`.
 pub fn snapshot_json_to_chrome(text: &str) -> Result<String, String> {

@@ -1,46 +1,66 @@
-//! Log2-bucketed latency histograms.
+//! Log-linear (HDR-style) latency histograms.
 //!
-//! Bucket `i` counts samples whose value has bit length `i`, i.e. values in
-//! `[2^(i-1), 2^i)` (bucket 0 holds exact zeros). Bit-length bucketing costs
-//! one `leading_zeros` per record, needs no configuration, and spans the
-//! full `u64` nanosecond range — from single-digit nanoseconds to hours —
-//! with a constant ~2× relative resolution, which is all a latency
-//! distribution needs to expose its shape and tail.
+//! Each log2 major bucket (values of one bit length) is subdivided into
+//! [`SUB`] = 16 linear sub-buckets, so a recorded value lands in a bucket
+//! whose width is at most 1/16 of its lower bound: quantile estimates are
+//! exact below 16 ns and within ~6% everywhere else, versus the ~2×
+//! error of plain log2 bucketing. Recording still costs one
+//! `leading_zeros` plus a shift — no configuration, no allocation — and
+//! the bucket array spans the full `u64` nanosecond range.
 
-/// Number of buckets: bit lengths 0 (zero) through 64 (`u64::MAX`).
-pub const BUCKETS: usize = 65;
+/// Sub-bucket resolution: each major (log2) bucket splits into `2^SUB_BITS`
+/// linear sub-buckets.
+pub const SUB_BITS: u32 = 4;
 
-/// A fixed-size log2 histogram over `u64` samples (typically nanoseconds).
+/// Number of linear sub-buckets per major bucket (16).
+pub const SUB: usize = 1 << SUB_BITS;
+
+/// Total bucket count: values `0..16` get one exact bucket each, then
+/// every bit length `5..=64` contributes [`SUB`] sub-buckets.
+pub const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// A fixed-size log-linear histogram over `u64` samples (typically
+/// nanoseconds).
 #[derive(Clone, Debug)]
-pub struct Log2Histogram {
+pub struct LogLinearHistogram {
     counts: [u64; BUCKETS],
 }
 
-impl Default for Log2Histogram {
+impl Default for LogLinearHistogram {
     fn default() -> Self {
-        Log2Histogram {
+        LogLinearHistogram {
             counts: [0; BUCKETS],
         }
     }
 }
 
-/// The bucket index of a sample: its bit length.
+/// The bucket index of a sample: the value itself below [`SUB`], then
+/// `SUB_BITS` bits of linear mantissa within its log2 major bucket.
 #[inline]
 pub fn bucket_of(v: u64) -> usize {
-    (u64::BITS - v.leading_zeros()) as usize
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let bits = (u64::BITS - v.leading_zeros()) as usize; // >= SUB_BITS + 1
+    let major = bits - 1 - SUB_BITS as usize; // 0-based major index
+    let sub = ((v >> major) as usize) & (SUB - 1);
+    SUB + major * SUB + sub
 }
 
 /// The exclusive upper bound of bucket `i` (`u64::MAX` for the last).
 #[inline]
 pub fn bucket_upper_bound(i: usize) -> u64 {
-    if i >= 64 {
-        u64::MAX
-    } else {
-        1u64 << i
+    if i < SUB {
+        return i as u64 + 1;
     }
+    let major = (i - SUB) / SUB;
+    let sub = ((i - SUB) % SUB) as u64;
+    let lo = 1u128 << (major + SUB_BITS as usize);
+    let ub = lo + (u128::from(sub) + 1) * (1u128 << major);
+    u64::try_from(ub).unwrap_or(u64::MAX)
 }
 
-impl Log2Histogram {
+impl LogLinearHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
         Self::default()
@@ -58,7 +78,7 @@ impl Log2Histogram {
     }
 
     /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &Log2Histogram) {
+    pub fn merge(&mut self, other: &LogLinearHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
         }
@@ -74,10 +94,19 @@ impl Log2Histogram {
             .collect()
     }
 
-    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the bucket
-    /// containing the `q`-th sample. Returns 0 on an empty histogram. The
-    /// answer is exact to within the bucket's ~2× width — good enough for
-    /// p50/p90/p99 tail summaries.
+    /// Number of samples recorded at or below `v`, to within one bucket:
+    /// every bucket whose range starts at or below `v` counts in full, so
+    /// the answer can overshoot by the partial occupancy of `v`'s own
+    /// bucket (≤ 1/16 relative). Used for SLO compliance ratios.
+    pub fn count_le(&self, v: u64) -> u64 {
+        self.counts[..=bucket_of(v)].iter().sum()
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the inclusive upper bound of
+    /// the bucket containing the `q`-th sample. Returns 0 on an empty
+    /// histogram. The answer is exact for samples below 32 and otherwise
+    /// overshoots the true sample by at most one sub-bucket width — i.e.
+    /// `true <= quantile(q) <= true * (1 + 1/16)`.
     pub fn quantile(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -88,7 +117,8 @@ impl Log2Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_upper_bound(i);
+                let ub = bucket_upper_bound(i);
+                return if ub == u64::MAX { ub } else { ub - 1 };
             }
         }
         u64::MAX
@@ -98,44 +128,167 @@ impl Log2Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
-    fn buckets_are_bit_lengths() {
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 1);
-        assert_eq!(bucket_of(2), 2);
-        assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(4), 3);
-        assert_eq!(bucket_of(1023), 10);
-        assert_eq!(bucket_of(1024), 11);
-        assert_eq!(bucket_of(u64::MAX), 64);
+    fn small_values_get_exact_buckets() {
+        for v in 0..(SUB as u64) {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_upper_bound(bucket_of(v)), v + 1);
+        }
+        // First major bucket (bit length 5) is still exact: width 1.
+        assert_eq!(bucket_of(16), SUB);
+        assert_eq!(bucket_of(31), SUB + 15);
+        assert_eq!(bucket_upper_bound(bucket_of(17)), 18);
     }
 
     #[test]
-    fn record_and_quantile() {
-        let mut h = Log2Histogram::new();
+    fn buckets_partition_the_range() {
+        // Every value maps into a bucket whose [lower, upper) contains it,
+        // and bucket bounds are strictly increasing.
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            31,
+            32,
+            63,
+            64,
+            100,
+            900,
+            1023,
+            1024,
+            69_999,
+            70_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_of(v);
+            let ub = bucket_upper_bound(i);
+            // The last bucket's bound is clamped from 2^64 to u64::MAX, so
+            // it is inclusive there.
+            assert!(v < ub || ub == u64::MAX, "v={v} bucket={i}");
+            if i > 0 {
+                assert!(
+                    v >= bucket_upper_bound(i - 1),
+                    "v={v} below bucket {i}'s lower bound"
+                );
+            }
+        }
+        for i in 1..BUCKETS {
+            assert!(bucket_upper_bound(i) > bucket_upper_bound(i - 1));
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn empty_single_and_extreme_quantiles() {
+        let mut h = LogLinearHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+
+        h.record(900);
+        assert_eq!(h.count(), 1);
+        // One sample: every quantile is that sample's bucket.
+        let q = h.quantile(0.5);
+        assert!((900..=956).contains(&q), "q={q}");
+        assert_eq!(h.quantile(0.0), q);
+        assert_eq!(h.quantile(1.0), q);
+    }
+
+    #[test]
+    fn quantiles_are_tight() {
+        let mut h = LogLinearHistogram::new();
         for v in [1u64, 2, 3, 100, 1000, 100_000] {
             h.record(v);
         }
         assert_eq!(h.count(), 6);
-        // p50 lands in the bucket of the 3rd sample (value 3, bucket [2,4)).
-        assert_eq!(h.quantile(0.5), 4);
-        // p100 is the top occupied bucket's bound.
-        assert!(h.quantile(1.0) >= 100_000);
-        assert_eq!(Log2Histogram::new().quantile(0.5), 0);
+        // p50 is exactly the 3rd sample: value 3 lives in an exact bucket.
+        assert_eq!(h.quantile(0.5), 3);
+        // p100 lands within a sub-bucket of the max.
+        let p100 = h.quantile(1.0);
+        assert!((100_000..=106_250).contains(&p100), "p100={p100}");
     }
 
     #[test]
-    fn merge_adds_counts() {
-        let mut a = Log2Histogram::new();
-        let mut b = Log2Histogram::new();
-        a.record(5);
-        b.record(5);
-        b.record(500);
-        a.merge(&b);
-        assert_eq!(a.count(), 3);
-        let nz = a.nonzero_buckets();
-        assert_eq!(nz.len(), 2);
-        assert_eq!(nz[0], (8, 2));
+    fn count_le_brackets_the_rank() {
+        let mut h = LogLinearHistogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count_le(0), 1);
+        assert_eq!(h.count_le(15), 16); // exact region
+        assert_eq!(h.count_le(u64::MAX), 1000);
+        // Beyond the exact region the answer overshoots by at most the
+        // occupancy of one sub-bucket.
+        let c = h.count_le(500);
+        assert!((501..=533).contains(&c), "count_le(500)={c}");
+    }
+
+    #[test]
+    fn merge_is_associative_and_adds_counts() {
+        let make = |vals: &[u64]| {
+            let mut h = LogLinearHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = make(&[5, 5, 900]);
+        let b = make(&[900, 70_000]);
+        let c = make(&[0, u64::MAX]);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c.counts.to_vec(), a_bc.counts.to_vec());
+        assert_eq!(ab_c.count(), 7);
+        // Same-bucket samples aggregate.
+        let nz = ab_c.nonzero_buckets();
+        assert!(nz.iter().any(|&(ub, c)| ub == 6 && c == 2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The headline contract: for any sample set, every estimated
+        /// quantile brackets the exact sorted-sample quantile from above by
+        /// at most one sub-bucket (1/16 relative).
+        #[test]
+        fn quantile_error_is_bounded(mut vals in prop::collection::vec(0u64..10_000_000_000, 1..300)) {
+            let mut h = LogLinearHistogram::new();
+            for &v in &vals {
+                h.record(v);
+            }
+            vals.sort_unstable();
+            for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+                let rank = ((q * vals.len() as f64).ceil() as usize).max(1) - 1;
+                let exact = vals[rank];
+                let est = h.quantile(q);
+                prop_assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+                let bound = exact + exact / SUB as u64 + 1;
+                prop_assert!(est <= bound, "q={q}: est {est} > bound {bound} (exact {exact})");
+            }
+        }
+
+        /// count_le is monotone and never undershoots the true rank.
+        #[test]
+        fn count_le_is_monotone(vals in prop::collection::vec(0u64..1_000_000, 1..200), probe in 0u64..1_000_000) {
+            let mut h = LogLinearHistogram::new();
+            for &v in &vals {
+                h.record(v);
+            }
+            let exact = vals.iter().filter(|&&v| v <= probe).count() as u64;
+            prop_assert!(h.count_le(probe) >= exact);
+            prop_assert!(h.count_le(probe) <= h.count());
+        }
     }
 }

@@ -2,11 +2,11 @@
 //!
 //! A dependency-free observability layer: RAII [`Span`]s timed on the
 //! monotonic clock, named [counters](counter_add) and [gauges](gauge_set),
-//! [log2-bucketed latency histograms](hist::Log2Histogram), discrete
+//! [log-linear latency histograms](hist::LogLinearHistogram), discrete
 //! [events](event), estimator [accuracy telemetry](accuracy), and a
 //! [flight-recorder timeline](timeline) of every closed span (id, parent
 //! id, thread id, duration) — all feeding one global recorder that can
-//! [snapshot](snapshot) to structured JSON (schema 2) or export the
+//! [snapshot](snapshot) to structured JSON (schema 3) or export the
 //! timeline in [Chrome Trace Event Format](chrome) for Perfetto.
 //!
 //! Design constraints (and how they are met):
@@ -51,7 +51,7 @@
 //! let child = &snap.timeline.by_name("demo.child")[0];
 //! let stage = &snap.timeline.by_name("demo.stage")[0];
 //! assert_eq!(child.parent, stage.id);
-//! let json = snap.to_json(); // schema 2, embeds the timeline
+//! let json = snap.to_json(); // schema 3, embeds the timeline
 //! assert!(json.contains("\"demo.stage\""));
 //! let trace = snap.to_chrome_trace(); // open in Perfetto
 //! assert!(trace.contains("\"traceEvents\""));
@@ -75,7 +75,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{LazyLock, Mutex, MutexGuard};
 use std::time::Instant;
 
-use hist::Log2Histogram;
+pub use hist::LogLinearHistogram;
 pub use snapshot::{EventSnapshot, Snapshot, TimingSnapshot};
 pub use timeline::{set_timeline_capacity, TimelineEvent, TimelineSnapshot};
 
@@ -98,7 +98,7 @@ struct TimingStat {
     total_ns: u64,
     min_ns: u64,
     max_ns: u64,
-    hist: Log2Histogram,
+    hist: LogLinearHistogram,
 }
 
 #[derive(Default)]
@@ -285,8 +285,23 @@ pub fn record_ns(name: &'static str, ns: u64) {
     if !enabled() {
         return;
     }
+    record_ns_key(name.to_owned(), ns);
+}
+
+/// [`record_ns`] for names built at runtime (e.g. the per-endpoint ×
+/// status-class serve series). The name should extend one of the stable
+/// dynamic prefixes in [`names::DYNAMIC_PREFIXES`] so scrapes stay
+/// predictable.
+pub fn record_ns_named(name: impl Into<String>, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    record_ns_key(name.into(), ns);
+}
+
+fn record_ns_key(name: String, ns: u64) {
     let mut r = registry();
-    let stat = r.timings.entry(name.to_owned()).or_insert(TimingStat {
+    let stat = r.timings.entry(name).or_insert(TimingStat {
         min_ns: u64::MAX,
         ..TimingStat::default()
     });
@@ -295,6 +310,28 @@ pub fn record_ns(name: &'static str, ns: u64) {
     stat.min_ns = stat.min_ns.min(ns);
     stat.max_ns = stat.max_ns.max(ns);
     stat.hist.record(ns);
+}
+
+/// Copies an already-measured interval into the flight-recorder timeline
+/// (and only there — callers pair it with [`record_ns`]/[`record_ns_named`]
+/// when they also want aggregates). Used to pin noteworthy intervals — e.g.
+/// slow HTTP requests — into the ring so they survive in `/timeline` and
+/// Chrome-trace exports even though the interval was timed by hand rather
+/// than by a [`Span`].
+pub fn timeline_capture(name: &'static str, dur_ns: u64, args: Option<String>) {
+    if !enabled() {
+        return;
+    }
+    let now = timeline::epoch_ns();
+    timeline::record(TimelineEvent {
+        id: timeline::next_span_id(),
+        parent: 0,
+        tid: timeline::current_tid(),
+        name,
+        start_ns: now.saturating_sub(dur_ns),
+        dur_ns,
+        args: args.map(String::into_boxed_str),
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -569,10 +606,10 @@ mod tests {
         });
         let j = snap.to_json();
         for needle in [
-            "\"schema\": 2",
+            "\"schema\": 3",
             "\"spans\": [",
             "\"name\": \"t.json\"",
-            "\"log2_hist\": [[",
+            "\"hist\": [[",
             "\"counters\": [",
             "\"gauges\": [",
             "\"events\": [",
@@ -638,6 +675,24 @@ mod tests {
         });
         assert_eq!(snap.counter("t.mt"), Some(800));
         assert_eq!(snap.span("t.mt.ns").unwrap().count, 800);
+    }
+
+    #[test]
+    fn named_timings_and_timeline_captures_record() {
+        let _g = locked();
+        let ((), snap) = capture(|| {
+            record_ns_named(format!("t.dyn.{}", "endpoint"), 500);
+            record_ns_named("t.dyn.endpoint".to_owned(), 700);
+            timeline_capture("t.slow", 1234, Some("status=200".into()));
+        });
+        let s = snap.span("t.dyn.endpoint").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 1200);
+        let ev = &snap.timeline.by_name("t.slow")[0];
+        assert_eq!(ev.dur_ns, 1234);
+        assert_eq!(ev.args.as_deref(), Some("status=200"));
+        // Aggregates were untouched by the capture.
+        assert!(snap.span("t.slow").is_none());
     }
 
     #[test]

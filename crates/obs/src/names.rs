@@ -26,10 +26,13 @@ pub const SPANS: &[&str] = &[
     "serve.estimate",
     "serve.healthz",
     "serve.metrics",
+    "serve.read",
     "serve.readyz",
     "serve.request",
+    "serve.slow_request",
     "serve.snapshot",
     "serve.timeline",
+    "serve.write",
 ];
 
 /// Every stable counter name, sorted.
@@ -53,6 +56,12 @@ pub const COUNTERS: &[&str] = &[
     "serve.drift.checks",
     "serve.errors",
     "serve.requests",
+    "serve.responses.2xx",
+    "serve.responses.3xx",
+    "serve.responses.4xx",
+    "serve.responses.5xx",
+    "serve.slo.breaches",
+    "serve.slow_requests",
     "streaming.rejected_points",
     "streaming.updates",
 ];
@@ -64,6 +73,7 @@ pub const GAUGES: &[&str] = &[
     "fit.points_used",
     "fit.r_squared",
     "fit.rmse_log10",
+    "serve.connections",
     "serve.inflight",
 ];
 
@@ -71,8 +81,21 @@ pub const GAUGES: &[&str] = &[
 pub const EVENTS: &[&str] = &["bops.engine", "datagen.generated", "serve.drift.breach"];
 
 /// Stable prefixes of runtime-built names: the full name is the prefix
-/// followed by a catalog law name (e.g. `serve.drift.rel_error.uniform`).
-pub const DYNAMIC_PREFIXES: &[&str] = &["serve.drift.breached.", "serve.drift.rel_error."];
+/// followed by a catalog law name (e.g. `serve.drift.rel_error.uniform`),
+/// an endpoint label plus status class (`serve.endpoint.estimate.2xx`), or
+/// an SLO endpoint label (`serve.slo.compliance.estimate`). Endpoint labels
+/// come from the fixed route table (`estimate`, `metrics`, `snapshot`,
+/// `timeline`, `healthz`, `readyz`, `other`) — never from raw client paths,
+/// which would be a cardinality/injection hazard.
+pub const DYNAMIC_PREFIXES: &[&str] = &[
+    "serve.drift.breached.",
+    "serve.drift.rel_error.",
+    "serve.endpoint.",
+    "serve.slo.breached.",
+    "serve.slo.breaches.",
+    "serve.slo.burn_rate.",
+    "serve.slo.compliance.",
+];
 
 /// Is `name` a stable name (or an instance of a stable dynamic family)?
 pub fn is_stable(name: &str) -> bool {
@@ -110,8 +133,14 @@ mod tests {
         assert!(is_stable("fit.r_squared"));
         assert!(is_stable("bops.engine"));
         assert!(is_stable("serve.drift.rel_error.my_law"));
+        assert!(is_stable("serve.endpoint.estimate.2xx"));
+        assert!(is_stable("serve.slo.compliance.estimate"));
+        assert!(is_stable("serve.slo.burn_rate.estimate"));
+        assert!(is_stable("serve.responses.4xx"));
+        assert!(is_stable("serve.connections"));
         assert!(!is_stable("bops.sort2"));
         assert!(!is_stable("serve.drift.rel_error"));
+        assert!(!is_stable("serve.endpoint"));
         assert!(!is_stable("totally.made.up"));
     }
 }

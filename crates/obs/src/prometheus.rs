@@ -6,10 +6,11 @@
 //! * counters → `sjpl_<name> counter`
 //! * gauges → `sjpl_<name> gauge`
 //! * span timings → `sjpl_<name>_ns histogram` with cumulative
-//!   `_bucket{le=...}` series derived from the log2 histogram (inclusive
-//!   integer bounds `2^i − 1`, always ending in `le="+Inf"` equal to
-//!   `_count`), plus `_sum` / `_count`; p50/p95/p99 additionally surface as
-//!   one labelled gauge family `sjpl_span_quantile_ns{span=...,quantile=...}`
+//!   `_bucket{le=...}` series derived from the log-linear histogram
+//!   (inclusive integer bounds one below each occupied bucket's exclusive
+//!   upper bound, always ending in `le="+Inf"` equal to `_count`), plus
+//!   `_sum` / `_count`; p50/p95/p99 additionally surface as one labelled
+//!   gauge family `sjpl_span_quantile_ns{span=...,quantile=...}`
 //! * accuracy records → `sjpl_accuracy_rel_error{dataset,method,join_kind,
 //!   radius}` gauges (one per distinct record key, last observation wins)
 //! * drop accounting → `sjpl_obs_events_dropped` etc.
@@ -21,7 +22,7 @@
 
 use std::fmt::Write as _;
 
-use crate::hist::{Log2Histogram, BUCKETS};
+use crate::hist::LogLinearHistogram;
 use crate::Snapshot;
 
 /// Sanitizes one dotted recorder name into a Prometheus metric name
@@ -70,10 +71,10 @@ fn sample_f64(v: f64) -> String {
 }
 
 /// Cumulative `(le_inclusive, cumulative_count)` pairs for the occupied
-/// buckets of a log2 histogram. Bucket `i` holds integer samples in
-/// `[2^(i-1), 2^i)`, so its inclusive upper bound is `2^i − 1` (`0` for the
-/// zero bucket). The final `+Inf` bucket is the caller's job.
-fn cumulative_buckets(h: &Log2Histogram) -> Vec<(u64, u64)> {
+/// buckets of a log-linear histogram. Each bucket holds integer samples in
+/// `[lower, upper)`, so its inclusive `le` bound is `upper − 1`. The final
+/// `+Inf` bucket is the caller's job.
+fn cumulative_buckets(h: &LogLinearHistogram) -> Vec<(u64, u64)> {
     let mut out = Vec::new();
     let mut cum = 0u64;
     for (ub, count) in h.nonzero_buckets() {
@@ -83,7 +84,6 @@ fn cumulative_buckets(h: &Log2Histogram) -> Vec<(u64, u64)> {
         let le = if ub == u64::MAX { u64::MAX } else { ub - 1 };
         out.push((le, cum));
     }
-    const { assert!(BUCKETS == 65) };
     out
 }
 
@@ -126,7 +126,7 @@ impl Snapshot {
             let m = "sjpl_span_quantile_ns";
             let _ = writeln!(
                 out,
-                "# HELP {m} log2-histogram quantile estimate per span (nanoseconds)"
+                "# HELP {m} log-linear-histogram quantile estimate per span (nanoseconds)"
             );
             let _ = writeln!(out, "# TYPE {m} gauge");
             for s in &self.spans {
@@ -253,7 +253,7 @@ mod tests {
     }
 
     fn sample_snapshot() -> Snapshot {
-        let mut hist = crate::hist::Log2Histogram::new();
+        let mut hist = crate::hist::LogLinearHistogram::new();
         for v in [0u64, 3, 3, 900, 70_000] {
             hist.record(v);
         }
@@ -328,13 +328,15 @@ mod tests {
     #[test]
     fn histogram_buckets_are_cumulative_with_inclusive_bounds() {
         let text = sample_snapshot().to_prometheus();
-        // Samples 0, 3, 3, 900, 70000: bucket bounds (inclusive) 0, 3,
-        // 1023, 131071 with cumulative counts 1, 3, 4, 5.
+        // Samples 0, 3, 3, 900, 70000: log-linear bucket bounds (inclusive)
+        // 0, 3, 927 (= 896 + 32 − 1), 73727 (= 69632 + 4096 − 1) with
+        // cumulative counts 1, 3, 4, 5 — ~16× tighter than the old log2
+        // bounds (1023, 131071).
         for needle in [
             "sjpl_serve_estimate_ns_bucket{le=\"0\"} 1",
             "sjpl_serve_estimate_ns_bucket{le=\"3\"} 3",
-            "sjpl_serve_estimate_ns_bucket{le=\"1023\"} 4",
-            "sjpl_serve_estimate_ns_bucket{le=\"131071\"} 5",
+            "sjpl_serve_estimate_ns_bucket{le=\"927\"} 4",
+            "sjpl_serve_estimate_ns_bucket{le=\"73727\"} 5",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

@@ -5,7 +5,7 @@
 //! The JSON is hand-rolled — the schema is small, fixed, and flat, so a
 //! serialization dependency would cost more than the ~60 lines it saves.
 
-use crate::hist::Log2Histogram;
+use crate::hist::LogLinearHistogram;
 use crate::timeline::TimelineSnapshot;
 use crate::Accuracy;
 
@@ -22,8 +22,8 @@ pub struct TimingSnapshot {
     pub min_ns: u64,
     /// Longest interval, nanoseconds.
     pub max_ns: u64,
-    /// Log2-bucketed distribution of the interval durations.
-    pub hist: Log2Histogram,
+    /// Log-linear-bucketed distribution of the interval durations.
+    pub hist: LogLinearHistogram,
 }
 
 impl TimingSnapshot {
@@ -79,7 +79,7 @@ impl Default for TimingSnapshot {
             total_ns: 0,
             min_ns: u64::MAX,
             max_ns: 0,
-            hist: Log2Histogram::new(),
+            hist: LogLinearHistogram::new(),
         }
     }
 }
@@ -131,14 +131,16 @@ impl Snapshot {
 
     /// Renders the snapshot as structured JSON.
     ///
-    /// Schema (stable; validated by CI). Schema 2 extends schema 1 with the
-    /// `accuracy` and `timeline` sections:
+    /// Schema (stable; validated by CI). Schema 2 extended schema 1 with the
+    /// `accuracy` and `timeline` sections; schema 3 switched span histograms
+    /// from log2 buckets (key `log2_hist`) to log-linear buckets (key
+    /// `hist`, same `[[upper_bound_ns, count], ...]` shape, ~16× finer):
     /// ```json
     /// {
-    ///   "schema": 2,
+    ///   "schema": 3,
     ///   "spans":    [{"name", "count", "total_ns", "mean_ns", "min_ns",
     ///                 "max_ns", "p50_ns", "p95_ns", "p99_ns",
-    ///                 "log2_hist": [[upper_bound_ns, count], ...]}],
+    ///                 "hist": [[upper_bound_ns, count], ...]}],
     ///   "counters": [{"name", "value"}],
     ///   "gauges":   [{"name", "value"}],
     ///   "events":   [{"seq", "name", "detail"}],
@@ -154,7 +156,7 @@ impl Snapshot {
     /// }
     /// ```
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": 2,\n  \"spans\": [\n");
+        let mut out = String::from("{\n  \"schema\": 3,\n  \"spans\": [\n");
         for (i, s) in self.spans.iter().enumerate() {
             let hist: Vec<String> = s
                 .hist
@@ -166,7 +168,7 @@ impl Snapshot {
                 "    {{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \
                  \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
                  \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
-                 \"log2_hist\": [{}]}}{}\n",
+                 \"hist\": [{}]}}{}\n",
                 json_escape(&s.name),
                 s.count,
                 s.total_ns,
@@ -388,7 +390,7 @@ mod tests {
     }
 
     fn sample_snapshot() -> Snapshot {
-        let mut hist = Log2Histogram::new();
+        let mut hist = LogLinearHistogram::new();
         hist.record(1_000);
         hist.record(2_000);
         Snapshot {
@@ -438,7 +440,7 @@ mod tests {
         let snap = sample_snapshot();
         let doc = Json::parse(&snap.to_json()).unwrap();
 
-        assert_eq!(doc.get("schema").unwrap().as_f64(), Some(2.0));
+        assert_eq!(doc.get("schema").unwrap().as_f64(), Some(3.0));
         let spans = doc.get("spans").unwrap().as_array().unwrap();
         assert_eq!(spans.len(), 1);
         let s = &spans[0];
@@ -446,11 +448,11 @@ mod tests {
         assert_eq!(s.get("count").unwrap().as_f64(), Some(2.0));
         assert_eq!(s.get("total_ns").unwrap().as_f64(), Some(3000.0));
         assert_eq!(s.get("mean_ns").unwrap().as_f64(), Some(1500.0));
-        // Quantile fields report the log2 bucket upper bound.
+        // Quantile fields report the log-linear bucket upper bound.
         for q in ["p50_ns", "p95_ns", "p99_ns"] {
             assert!(s.get(q).unwrap().as_f64().is_some(), "missing {q}");
         }
-        let hist = s.get("log2_hist").unwrap().as_array().unwrap();
+        let hist = s.get("hist").unwrap().as_array().unwrap();
         let total: f64 = hist
             .iter()
             .map(|b| b.as_array().unwrap()[1].as_f64().unwrap())

@@ -2,11 +2,11 @@
 //! and a JSON estimation API need, and nothing more.
 //!
 //! Same trade as `sjpl_obs::json`: the build environment has no crates.io
-//! access, and the protocol surface we serve (short one-shot requests,
-//! `Connection: close`, no chunked encoding, no keep-alive) is ~200 lines —
-//! far below the cost of carrying a framework. Every parse path is bounded:
-//! request line ≤ 8 KiB, ≤ 64 headers of ≤ 8 KiB each, body ≤ 1 MiB, so a
-//! hostile peer cannot balloon memory.
+//! access, and the protocol surface we serve (short requests with standard
+//! HTTP/1.1 keep-alive, explicit `Content-Length` framing, no chunked
+//! encoding) is ~250 lines — far below the cost of carrying a framework.
+//! Every parse path is bounded: request line ≤ 8 KiB, ≤ 64 headers of
+//! ≤ 8 KiB each, body ≤ 1 MiB, so a hostile peer cannot balloon memory.
 
 use std::io::{BufRead, Write};
 
@@ -54,6 +54,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response: HTTP/1.1
+    /// defaults to keep-alive, HTTP/1.0 to close, and an explicit
+    /// `Connection: close` / `Connection: keep-alive` header wins.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -158,12 +162,32 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Request, HttpError> {
         None => Vec::new(),
     };
 
+    let http11 = version != "HTTP/1.0";
+    let keep_alive = match headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.as_str())
+    {
+        Some(v) if conn_token(v, "close") => false,
+        Some(v) if conn_token(v, "keep-alive") => true,
+        _ => http11,
+    };
+
     Ok(Request {
         method,
         path,
         headers,
         body,
+        keep_alive,
     })
+}
+
+/// Does a `Connection` header value contain `token`? The value is a
+/// comma-separated list (`keep-alive, upgrade`), matched case-insensitively.
+fn conn_token(value: &str, token: &str) -> bool {
+    value
+        .split(',')
+        .any(|t| t.trim().eq_ignore_ascii_case(token))
 }
 
 /// A response under construction.
@@ -177,6 +201,9 @@ pub struct Response {
     pub extra_headers: Vec<String>,
     /// Response body.
     pub body: Vec<u8>,
+    /// Whether to announce `Connection: close` (the default — error paths
+    /// and parse failures always close) or `Connection: keep-alive`.
+    pub close: bool,
 }
 
 impl Response {
@@ -187,6 +214,7 @@ impl Response {
             content_type,
             extra_headers: Vec::new(),
             body: body.into(),
+            close: true,
         }
     }
 
@@ -201,6 +229,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             extra_headers: Vec::new(),
             body: body.into_bytes(),
+            close: true,
         }
     }
 
@@ -215,8 +244,16 @@ impl Response {
         self
     }
 
-    /// Serializes the response (always `Connection: close` — one request
-    /// per connection keeps the server loop trivial and drain = join).
+    /// Marks the connection to stay open after this response (the server
+    /// sets this from [`Request::keep_alive`]; the default is close so
+    /// error paths fail safe).
+    pub fn keep_alive(mut self, ka: bool) -> Self {
+        self.close = !ka;
+        self
+    }
+
+    /// Serializes the response with explicit `Content-Length` framing and a
+    /// `Connection: close` / `Connection: keep-alive` header per `close`.
     pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
         let reason = match self.status {
             200 => "OK",
@@ -231,11 +268,12 @@ impl Response {
         };
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason,
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if self.close { "close" } else { "keep-alive" },
         )?;
         for h in &self.extra_headers {
             write!(w, "{h}\r\n")?;
@@ -313,6 +351,43 @@ mod tests {
         assert_eq!(parse(&raw).unwrap_err().status, 413);
         let long = format!("GET / HTTP/1.1\r\nh: {}\r\n\r\n", "x".repeat(MAX_LINE + 1));
         assert_eq!(parse(&long).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        // HTTP/1.1 defaults to keep-alive.
+        assert!(parse("GET / HTTP/1.1\r\n\r\n").unwrap().keep_alive);
+        // HTTP/1.0 defaults to close.
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        // Explicit headers win over the version default, any case, and
+        // tokens inside a comma-separated list are honored.
+        assert!(
+            !parse("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            !parse("GET / HTTP/1.1\r\nConnection: foo, close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn responses_can_opt_into_keep_alive() {
+        let mut out = Vec::new();
+        Response::text(200, "ok")
+            .keep_alive(true)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Connection: close"));
     }
 
     #[test]

@@ -14,16 +14,37 @@
 //! |---|---|
 //! | `POST /estimate` | `{"law", "radius"}` → pair count, selectivity, and the law's provenance (K, α, R², fit window, set sizes) |
 //! | `GET /metrics` | the live `sjpl-obs` recorder in Prometheus text exposition format 0.0.4 |
-//! | `GET /snapshot` | the recorder as schema-2 JSON |
+//! | `GET /snapshot` | the recorder as schema-3 JSON |
 //! | `GET /timeline` | the flight-recorder timeline as a Chrome trace |
 //! | `GET /healthz` | liveness (always `200 ok`) |
 //! | `GET /readyz` | readiness (`503` until the catalog has laws) |
 //!
+//! Connections are HTTP/1.1 keep-alive (honoring `Connection:` headers
+//! and the HTTP/1.0 default-close rule); a worker serves requests off one
+//! connection until the peer closes, the idle window expires, or the
+//! server stops.
+//!
+//! ## Request-lifecycle observability
+//!
 //! Every request gets a sequential id (echoed as the `x-request-id`
-//! header and in the `/estimate` body) and a `serve.request` span, so the
-//! `/timeline` trace shows each request's lifecycle; per-endpoint spans,
-//! the `serve.requests` / `serve.errors` counters and the
-//! `serve.inflight` gauge feed `/metrics`.
+//! header and in the `/estimate` body) and `serve.read` / `serve.request`
+//! / `serve.write` spans, so the `/timeline` trace shows each request's
+//! full lifecycle. First-byte-to-last-write latency lands in a
+//! per-endpoint × status-class histogram family
+//! (`serve.endpoint.<endpoint>.<class>`); `serve.requests`,
+//! `serve.errors` and `serve.responses.<class>` counters plus the
+//! race-free `serve.inflight` / `serve.connections` gauges feed
+//! `/metrics`. Requests slower than a configurable threshold are counted
+//! (`serve.slow_requests`) and pinned into the flight-recorder timeline,
+//! and an optional JSONL access log records every request.
+//!
+//! ## SLOs
+//!
+//! Declarative per-endpoint SLOs ([`slo::SloSpec`], CLI syntax
+//! `/estimate=2ms@p99,err<0.1%`) are evaluated against the live
+//! histograms on each `/metrics` scrape, publishing
+//! `serve.slo.compliance.<endpoint>`, `serve.slo.burn_rate.<endpoint>`,
+//! `serve.slo.breached.<endpoint>` gauges and breach-transition counters.
 //!
 //! ## Drift monitoring
 //!
@@ -48,6 +69,8 @@
 pub mod drift;
 pub mod http;
 mod server;
+pub mod slo;
 
 pub use drift::{DriftConfig, DriftMonitor, DriftProbe};
 pub use server::{ServeConfig, Server};
+pub use slo::SloSpec;

@@ -1,31 +1,65 @@
-//! The accept loop, routing, and endpoint handlers.
+//! The accept loop, keep-alive connection handling, routing, and endpoint
+//! handlers — instrumented across the whole request lifecycle.
+//!
+//! Every request is timed from first byte to last write and recorded three
+//! ways: lifecycle spans (`serve.read` / `serve.request` / `serve.write`),
+//! a per-endpoint × status-class histogram family
+//! (`serve.endpoint.<endpoint>.<class>`), and global counters
+//! (`serve.requests`, `serve.errors`, `serve.responses.<class>`). Requests
+//! slower than [`ServeConfig::slow_ns`] are additionally pinned into the
+//! flight-recorder timeline (`serve.slow_request`) and counted, and every
+//! request can be appended to a JSONL access log
+//! ([`ServeConfig::access_log`]). Per-endpoint SLOs
+//! ([`ServeConfig::slos`]) are evaluated against those histograms on each
+//! `/metrics` scrape.
 
-use std::io::{BufReader, Write};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime};
 
 use sjpl_core::LawCatalog;
 use sjpl_obs::json::{escape, Json};
 
 use crate::drift::{DriftConfig, DriftMonitor, DriftProbe};
 use crate::http::{read_request, Request, Response};
+use crate::slo::SloSpec;
 
-/// Per-connection socket timeouts: a stalled peer must not pin a worker.
+/// Socket timeout while actually parsing/writing a request: a stalled peer
+/// must not pin a worker.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Poll granularity while a keep-alive connection is idle — short, so a
+/// worker parked on a quiet connection notices the stop flag quickly.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// How long a keep-alive connection may sit idle before the server closes
+/// it and frees the worker.
+const KEEPALIVE_IDLE: Duration = Duration::from_secs(10);
 
 /// Server configuration.
 pub struct ServeConfig {
     /// Bind address (port 0 picks a free port — the tests rely on this).
     pub addr: SocketAddr,
-    /// Number of accept/worker threads.
+    /// Number of accept/worker threads. Keep-alive connections occupy a
+    /// worker for their lifetime, so this also caps concurrent connections.
     pub threads: usize,
     /// Drift-monitor probes (empty disables the monitor thread).
     pub probes: Vec<DriftProbe>,
     /// Drift-monitor tuning.
     pub drift: DriftConfig,
+    /// Per-endpoint SLOs, evaluated on every `/metrics` scrape.
+    pub slos: Vec<SloSpec>,
+    /// JSONL access log path (appended; one object per request).
+    pub access_log: Option<PathBuf>,
+    /// Requests at least this slow are counted (`serve.slow_requests`) and
+    /// pinned into the flight-recorder timeline.
+    pub slow_ns: u64,
 }
 
 impl Default for ServeConfig {
@@ -35,7 +69,85 @@ impl Default for ServeConfig {
             threads: 4,
             probes: Vec::new(),
             drift: DriftConfig::default(),
+            slos: Vec::new(),
+            access_log: None,
+            slow_ns: 100_000_000, // 100 ms
         }
+    }
+}
+
+/// A condvar-backed stop flag: workers poll [`StopFlag::is_raised`] (one
+/// relaxed-ish atomic load), while [`Server::wait`] blocks on the condvar
+/// and wakes the instant [`StopFlag::raise`] runs — no sleep-poll
+/// quantization on shutdown latency.
+struct StopFlag {
+    raised: AtomicBool,
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl StopFlag {
+    fn new() -> Self {
+        StopFlag {
+            raised: AtomicBool::new(false),
+            state: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn raise(&self) {
+        self.raised.store(true, Ordering::SeqCst);
+        *self.state.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        self.cv.notify_all();
+    }
+
+    fn is_raised(&self) -> bool {
+        self.raised.load(Ordering::SeqCst)
+    }
+
+    fn wait(&self) {
+        let mut raised = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        while !*raised {
+            raised = self.cv.wait(raised).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// A gauge whose published value always reflects the *current* count:
+/// delta and publish happen under one lock, so two workers can never
+/// interleave their update with a stale publish (the race the old
+/// `fetch_add`-then-`gauge_set` pair had).
+struct LiveGauge {
+    name: &'static str,
+    value: Mutex<i64>,
+}
+
+impl LiveGauge {
+    fn new(name: &'static str) -> Self {
+        LiveGauge {
+            name,
+            value: Mutex::new(0),
+        }
+    }
+
+    fn add(&self, delta: i64) {
+        let mut v = self.value.lock().unwrap_or_else(|p| p.into_inner());
+        *v += delta;
+        sjpl_obs::gauge_set(self.name, *v as f64);
+    }
+
+    /// Increments now, decrements when the guard drops.
+    fn enter(&self) -> LiveGaugeGuard<'_> {
+        self.add(1);
+        LiveGaugeGuard(self)
+    }
+}
+
+struct LiveGaugeGuard<'a>(&'a LiveGauge);
+
+impl Drop for LiveGaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.add(-1);
     }
 }
 
@@ -43,7 +155,7 @@ impl Default for ServeConfig {
 /// optional drift-monitor thread. Stop it with [`Server::shutdown`].
 pub struct Server {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    stop: Arc<StopFlag>,
     workers: Vec<JoinHandle<()>>,
     drift: Option<DriftMonitor>,
 }
@@ -52,24 +164,41 @@ pub struct Server {
 /// `Server` handle).
 struct Shared {
     catalog: Arc<Mutex<LawCatalog>>,
-    stop: Arc<AtomicBool>,
+    stop: Arc<StopFlag>,
     request_seq: AtomicU64,
-    inflight: AtomicU64,
+    inflight: LiveGauge,
+    connections: LiveGauge,
+    slos: Vec<SloSpec>,
+    slo_breached: Mutex<HashMap<String, bool>>,
+    access_log: Option<Mutex<File>>,
+    slow_ns: u64,
 }
 
 impl Server {
     /// Binds, enables the observability recorder (the daemon *is* the
-    /// live metrics source), and spawns the worker threads.
+    /// live metrics source), opens the access log, and spawns the worker
+    /// threads.
     pub fn start(catalog: Arc<Mutex<LawCatalog>>, cfg: ServeConfig) -> std::io::Result<Server> {
         sjpl_obs::set_enabled(true);
         let listener = TcpListener::bind(cfg.addr)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
+        let access_log = match &cfg.access_log {
+            Some(path) => Some(Mutex::new(
+                File::options().create(true).append(true).open(path)?,
+            )),
+            None => None,
+        };
+        let stop = Arc::new(StopFlag::new());
         let shared = Arc::new(Shared {
             catalog: Arc::clone(&catalog),
             stop: Arc::clone(&stop),
             request_seq: AtomicU64::new(0),
-            inflight: AtomicU64::new(0),
+            inflight: LiveGauge::new("serve.inflight"),
+            connections: LiveGauge::new("serve.connections"),
+            slos: cfg.slos,
+            slo_breached: Mutex::new(HashMap::new()),
+            access_log,
+            slow_ns: cfg.slow_ns,
         });
 
         let mut workers = Vec::with_capacity(cfg.threads.max(1));
@@ -107,11 +236,12 @@ impl Server {
     /// in `accept`, and joins them. Workers finish their in-flight request
     /// before exiting, so joining *is* the connection drain.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.raise();
         for w in self.workers.drain(..) {
             // `accept` has no timeout; poke the listener until the worker
             // notices the flag. A wake consumed by another worker is
-            // harmless (it re-checks the flag and exits too).
+            // harmless (it re-checks the flag and exits too). Workers
+            // parked on idle keep-alive connections notice via IDLE_POLL.
             while !w.is_finished() {
                 let _ = TcpStream::connect(self.addr);
                 std::thread::sleep(Duration::from_millis(1));
@@ -125,10 +255,10 @@ impl Server {
 
     /// Blocks until the server is shut down from another thread (used by
     /// the CLI, which parks the main thread after printing the address).
+    /// Condvar-backed: returns as soon as [`Server::shutdown`] raises the
+    /// stop flag, with no polling interval in between.
     pub fn wait(&self) {
-        while !self.stop.load(Ordering::SeqCst) {
-            std::thread::sleep(Duration::from_millis(200));
-        }
+        self.stop.wait();
     }
 }
 
@@ -137,52 +267,241 @@ fn worker_loop(listener: TcpListener, shared: Arc<Shared>) {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => {
-                if shared.stop.load(Ordering::SeqCst) {
+                if shared.stop.is_raised() {
                     return;
                 }
                 continue;
             }
         };
-        if shared.stop.load(Ordering::SeqCst) {
+        if shared.stop.is_raised() {
             return; // the accepted connection was the shutdown wake-up
         }
-        let n = shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
-        sjpl_obs::gauge_set("serve.inflight", n as f64);
+        let _conn = shared.connections.enter();
         handle_connection(stream, &shared);
-        let n = shared.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
-        sjpl_obs::gauge_set("serve.inflight", n as f64);
     }
 }
 
+/// What a blocked keep-alive wait resolved to.
+enum ConnEvent {
+    /// Request bytes are buffered and ready to parse.
+    Ready,
+    /// Peer closed, the idle window expired, the socket errored, or the
+    /// server is stopping — close the connection either way.
+    Done,
+}
+
+/// Parks on the connection until the next request arrives, with a short
+/// read timeout so the stop flag and the idle limit are honored promptly.
+/// On `Ready` the socket timeout has been restored to [`IO_TIMEOUT`] for
+/// actual request parsing.
+fn wait_for_request(reader: &mut BufReader<TcpStream>, shared: &Shared) -> ConnEvent {
+    let _ = reader.get_ref().set_read_timeout(Some(IDLE_POLL));
+    let idle_since = Instant::now();
+    loop {
+        if shared.stop.is_raised() {
+            return ConnEvent::Done;
+        }
+        match reader.fill_buf() {
+            Ok([]) => return ConnEvent::Done, // EOF
+            Ok(_) => {
+                let _ = reader.get_ref().set_read_timeout(Some(IO_TIMEOUT));
+                return ConnEvent::Ready;
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if idle_since.elapsed() >= KEEPALIVE_IDLE {
+                    return ConnEvent::Done;
+                }
+            }
+            Err(_) => return ConnEvent::Done,
+        }
+    }
+}
+
+/// Serves requests off one connection until the peer closes, an error
+/// forces a close, the idle window expires, or the server stops.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let peer = stream.peer_addr().ok();
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    // Keep-alive turns Nagle + delayed ACK into a ~40ms stall per
+    // response; estimation answers are a few hundred bytes, so just send.
+    let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut writer = stream;
 
-    let request_id = shared.request_seq.fetch_add(1, Ordering::SeqCst) + 1;
-    let response = match read_request(&mut reader) {
-        Ok(req) => {
-            let _span = sjpl_obs::span_with("serve.request", || {
-                format!("{} {} #{request_id}", req.method, req.path)
-            });
-            route(&req, shared, request_id)
+    loop {
+        if matches!(wait_for_request(&mut reader, shared), ConnEvent::Done) {
+            return;
         }
-        Err(e) => Response::from(e),
-    };
-    sjpl_obs::counter_add("serve.requests", 1);
-    if response.status >= 400 {
-        sjpl_obs::counter_add("serve.errors", 1);
+        let _inflight = shared.inflight.enter();
+        let t0 = Instant::now();
+        let request_id = shared.request_seq.fetch_add(1, Ordering::SeqCst) + 1;
+
+        let parsed = {
+            let _s = sjpl_obs::span("serve.read");
+            read_request(&mut reader)
+        };
+        let (routed, keep_alive, method, path) = match parsed {
+            Ok(req) => {
+                let _span = sjpl_obs::span_with("serve.request", || {
+                    format!("{} {} #{request_id}", req.method, req.path)
+                });
+                let routed = route(&req, shared, request_id);
+                (routed, req.keep_alive, req.method, req.path)
+            }
+            // Parse failures have no usable framing; always close.
+            Err(e) => (
+                Routed::plain(Response::from(e)),
+                false,
+                String::new(),
+                String::new(),
+            ),
+        };
+
+        let response = routed
+            .response
+            .keep_alive(keep_alive)
+            .with_header("x-request-id", request_id);
+        let status = response.status;
+        sjpl_obs::counter_add("serve.requests", 1);
+        sjpl_obs::counter_add(class_counter(status), 1);
+        if status >= 400 {
+            sjpl_obs::counter_add("serve.errors", 1);
+        }
+        let write_ok = {
+            let _s = sjpl_obs::span("serve.write");
+            response.write_to(&mut writer).is_ok()
+        };
+
+        let dur_ns = t0.elapsed().as_nanos() as u64;
+        let endpoint = endpoint_label(&path);
+        sjpl_obs::record_ns_named(
+            format!("serve.endpoint.{endpoint}.{}", status_class(status)),
+            dur_ns,
+        );
+        let slow = dur_ns >= shared.slow_ns;
+        if slow {
+            sjpl_obs::counter_add("serve.slow_requests", 1);
+            sjpl_obs::timeline_capture(
+                "serve.slow_request",
+                dur_ns,
+                Some(format!("{method} {path} status={status} #{request_id}")),
+            );
+        }
+        access_log(
+            shared,
+            peer,
+            request_id,
+            &method,
+            &path,
+            endpoint,
+            status,
+            dur_ns,
+            routed.law.as_deref(),
+            slow,
+        );
+
+        if !keep_alive || !write_ok {
+            return;
+        }
     }
-    let response = response.with_header("x-request-id", request_id);
-    let _ = response.write_to(&mut writer);
-    let _ = writer.flush();
 }
 
-fn route(req: &Request, shared: &Shared, request_id: u64) -> Response {
+/// Appends one JSONL record to the access log, if one is configured.
+#[allow(clippy::too_many_arguments)]
+fn access_log(
+    shared: &Shared,
+    peer: Option<SocketAddr>,
+    request_id: u64,
+    method: &str,
+    path: &str,
+    endpoint: &str,
+    status: u16,
+    dur_ns: u64,
+    law: Option<&str>,
+    slow: bool,
+) {
+    let Some(log) = &shared.access_log else {
+        return;
+    };
+    let ts_ms = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let line = format!(
+        "{{\"ts_ms\":{ts_ms},\"request_id\":{request_id},\"remote\":{remote},\
+         \"method\":\"{method}\",\"path\":\"{path}\",\"endpoint\":\"{endpoint}\",\
+         \"status\":{status},\"duration_ns\":{dur_ns},\"law\":{law},\"slow\":{slow}}}\n",
+        remote = match peer {
+            Some(p) => format!("\"{p}\""),
+            None => "null".to_owned(),
+        },
+        method = escape(method),
+        path = escape(path),
+        law = match law {
+            Some(l) => format!("\"{}\"", escape(l)),
+            None => "null".to_owned(),
+        },
+    );
+    let mut f = log.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = f.write_all(line.as_bytes());
+}
+
+/// The fixed endpoint label a path is bucketed under for metrics — never
+/// the raw client path, which would be unbounded-cardinality (and an
+/// injection vector into metric names).
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/estimate" => "estimate",
+        "/metrics" => "metrics",
+        "/snapshot" => "snapshot",
+        "/timeline" => "timeline",
+        "/healthz" => "healthz",
+        "/readyz" => "readyz",
+        _ => "other",
+    }
+}
+
+/// The status class label (1xx is folded into 2xx; the server never emits
+/// informational responses).
+fn status_class(status: u16) -> &'static str {
+    match status {
+        0..=299 => "2xx",
+        300..=399 => "3xx",
+        400..=499 => "4xx",
+        _ => "5xx",
+    }
+}
+
+/// The per-class response counter name for a status.
+fn class_counter(status: u16) -> &'static str {
+    match status {
+        0..=299 => "serve.responses.2xx",
+        300..=399 => "serve.responses.3xx",
+        400..=499 => "serve.responses.4xx",
+        _ => "serve.responses.5xx",
+    }
+}
+
+/// A routed response plus request metadata the access log wants (the law
+/// name an `/estimate` request asked for).
+struct Routed {
+    response: Response,
+    law: Option<String>,
+}
+
+impl Routed {
+    fn plain(response: Response) -> Routed {
+        Routed {
+            response,
+            law: None,
+        }
+    }
+}
+
+fn route(req: &Request, shared: &Shared, request_id: u64) -> Routed {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/estimate") => {
             let _s = sjpl_obs::span("serve.estimate");
@@ -190,22 +509,23 @@ fn route(req: &Request, shared: &Shared, request_id: u64) -> Response {
         }
         ("GET", "/metrics") => {
             let _s = sjpl_obs::span("serve.metrics");
-            Response::ok(
+            publish_slos(shared);
+            Routed::plain(Response::ok(
                 "text/plain; version=0.0.4; charset=utf-8",
                 sjpl_obs::snapshot().to_prometheus(),
-            )
+            ))
         }
         ("GET", "/snapshot") => {
             let _s = sjpl_obs::span("serve.snapshot");
-            Response::json(sjpl_obs::snapshot().to_json())
+            Routed::plain(Response::json(sjpl_obs::snapshot().to_json()))
         }
         ("GET", "/timeline") => {
             let _s = sjpl_obs::span("serve.timeline");
-            Response::json(sjpl_obs::snapshot().to_chrome_trace())
+            Routed::plain(Response::json(sjpl_obs::snapshot().to_chrome_trace()))
         }
         ("GET", "/healthz") => {
             let _s = sjpl_obs::span("serve.healthz");
-            Response::text(200, "ok")
+            Routed::plain(Response::text(200, "ok"))
         }
         ("GET", "/readyz") => {
             let _s = sjpl_obs::span("serve.readyz");
@@ -214,47 +534,98 @@ fn route(req: &Request, shared: &Shared, request_id: u64) -> Response {
                 .lock()
                 .unwrap_or_else(|p| p.into_inner())
                 .len();
-            if n > 0 {
+            Routed::plain(if n > 0 {
                 Response::text(200, format!("ready ({n} laws)"))
             } else {
                 Response::text(503, "no laws loaded")
-            }
+            })
         }
-        (
-            "POST" | "GET",
-            "/estimate" | "/metrics" | "/snapshot" | "/timeline" | "/healthz" | "/readyz",
-        ) => Response::text(405, format!("method {} not allowed", req.method)),
-        _ => Response::text(404, format!("no such endpoint {}", req.path)),
+        // Known path, wrong method: 405 with the allowed method advertised.
+        (_, "/estimate") => Routed::plain(
+            Response::text(405, format!("method {} not allowed", req.method))
+                .with_header("Allow", "POST"),
+        ),
+        (_, "/metrics" | "/snapshot" | "/timeline" | "/healthz" | "/readyz") => Routed::plain(
+            Response::text(405, format!("method {} not allowed", req.method))
+                .with_header("Allow", "GET"),
+        ),
+        _ => Routed::plain(Response::text(
+            404,
+            format!("no such endpoint {}", req.path),
+        )),
+    }
+}
+
+/// Evaluates every configured SLO against the live per-endpoint histograms
+/// and publishes compliance / burn-rate / breached gauges plus breach
+/// counters, so the `/metrics` response that follows carries them.
+fn publish_slos(shared: &Shared) {
+    if shared.slos.is_empty() {
+        return;
+    }
+    let snap = sjpl_obs::snapshot();
+    let mut state = shared
+        .slo_breached
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    for spec in &shared.slos {
+        let st = spec.evaluate(&snap);
+        let ep = &st.endpoint;
+        sjpl_obs::gauge_set_named(format!("serve.slo.compliance.{ep}"), st.compliance);
+        sjpl_obs::gauge_set_named(format!("serve.slo.burn_rate.{ep}"), st.burn_rate);
+        sjpl_obs::gauge_set_named(
+            format!("serve.slo.breached.{ep}"),
+            if st.breached { 1.0 } else { 0.0 },
+        );
+        let prev = state.entry(ep.clone()).or_insert(false);
+        if st.breached && !*prev {
+            sjpl_obs::counter_add("serve.slo.breaches", 1);
+            sjpl_obs::counter_add_named(format!("serve.slo.breaches.{ep}"), 1);
+        }
+        *prev = st.breached;
     }
 }
 
 /// `POST /estimate` — body `{"law": "<catalog name>", "radius": <r>}`;
 /// answers with the O(1) estimate plus the law's full provenance so the
 /// client can audit what produced the number.
-fn estimate(req: &Request, shared: &Shared, request_id: u64) -> Response {
+fn estimate(req: &Request, shared: &Shared, request_id: u64) -> Routed {
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
-        Err(_) => return Response::text(400, "body is not UTF-8"),
+        Err(_) => return Routed::plain(Response::text(400, "body is not UTF-8")),
     };
     let doc = match Json::parse(body) {
         Ok(d) => d,
-        Err(e) => return Response::text(400, format!("bad JSON body: {e}")),
+        Err(e) => return Routed::plain(Response::text(400, format!("bad JSON body: {e}"))),
     };
     let Some(law_name) = doc.get("law").and_then(Json::as_str) else {
-        return Response::text(400, "missing string field \"law\"");
+        return Routed::plain(Response::text(400, "missing string field \"law\""));
     };
     let Some(radius) = doc.get("radius").and_then(Json::as_f64) else {
-        return Response::text(400, "missing numeric field \"radius\"");
+        return Routed {
+            response: Response::text(400, "missing numeric field \"radius\""),
+            law: Some(law_name.to_owned()),
+        };
+    };
+    let routed = |response| Routed {
+        response,
+        law: Some(law_name.to_owned()),
     };
     if !radius.is_finite() || radius < 0.0 {
-        return Response::text(400, format!("radius {radius} must be finite and >= 0"));
+        return routed(Response::text(
+            400,
+            format!("radius {radius} must be finite and >= 0"),
+        ));
     }
     let law = {
         let cat = shared.catalog.lock().unwrap_or_else(|p| p.into_inner());
         cat.get(law_name).copied()
     };
     let Some(law) = law else {
-        return Response::text(404, format!("no law named {law_name:?} in the catalog"));
+        return routed(Response::text(
+            404,
+            format!("no law named {law_name:?} in the catalog"),
+        ));
     };
 
     let p = law.provenance();
@@ -297,7 +668,7 @@ fn estimate(req: &Request, shared: &Shared, request_id: u64) -> Response {
         n = p.n,
         m = p.m,
     );
-    Response::json(body)
+    routed(Response::json(body))
 }
 
 /// JSON-safe float formatting (no NaN/Inf in JSON).
@@ -306,5 +677,82 @@ fn jf(v: f64) -> String {
         format!("{v}")
     } else {
         "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_flag_wait_wakes_immediately_on_raise() {
+        let flag = Arc::new(StopFlag::new());
+        let waiter = {
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                flag.wait();
+                t0.elapsed()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!flag.is_raised());
+        let raised_at = Instant::now();
+        flag.raise();
+        let waited = waiter.join().unwrap();
+        assert!(flag.is_raised());
+        // The waiter must wake via the condvar, not a 200ms poll tick.
+        assert!(
+            raised_at.elapsed() < Duration::from_millis(100),
+            "wait() took {waited:?} after raise"
+        );
+        // And a wait() after the raise returns immediately.
+        let t0 = Instant::now();
+        flag.wait();
+        assert!(t0.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn live_gauge_guard_restores_on_drop() {
+        let g = LiveGauge::new("serve.inflight");
+        {
+            let _a = g.enter();
+            let _b = g.enter();
+            assert_eq!(*g.value.lock().unwrap(), 2);
+        }
+        assert_eq!(*g.value.lock().unwrap(), 0);
+    }
+
+    #[test]
+    fn live_gauge_publishes_the_true_count_under_contention() {
+        // Hammer one gauge from many threads; after everything unwinds the
+        // count must be exactly zero (the old fetch_add/gauge_set pair
+        // could leave a stale published value, but the count itself also
+        // had to balance — this pins the invariant the lock protects).
+        let g = Arc::new(LiveGauge::new("serve.inflight"));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let g = Arc::clone(&g);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let _guard = g.enter();
+                    }
+                });
+            }
+        });
+        assert_eq!(*g.value.lock().unwrap(), 0);
+    }
+
+    #[test]
+    fn endpoint_labels_and_status_classes_are_fixed() {
+        assert_eq!(endpoint_label("/estimate"), "estimate");
+        assert_eq!(endpoint_label("/healthz"), "healthz");
+        assert_eq!(endpoint_label("/../etc/passwd"), "other");
+        assert_eq!(endpoint_label("/metrics{evil=\"1\"}"), "other");
+        assert_eq!(status_class(200), "2xx");
+        assert_eq!(status_class(301), "3xx");
+        assert_eq!(status_class(404), "4xx");
+        assert_eq!(status_class(500), "5xx");
+        assert_eq!(class_counter(503), "serve.responses.5xx");
     }
 }

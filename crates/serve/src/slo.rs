@@ -1,0 +1,327 @@
+//! Declarative per-endpoint SLOs, parsed from `--slo` flags and evaluated
+//! against the live per-endpoint latency histograms on every `/metrics`
+//! scrape.
+//!
+//! Spec syntax (one flag per endpoint, clauses comma-separated):
+//!
+//! ```text
+//! --slo /estimate=2ms@p99,err<0.1%
+//!        └──┬───┘ └──┬──┘ └───┬──┘
+//!        endpoint  latency   error-rate budget
+//!                  target    (5xx fraction)
+//! ```
+//!
+//! * The latency clause `<duration>@<quantile>` means "at least `quantile`
+//!   of requests complete within `duration`" — durations take `ns`, `us`,
+//!   `ms` or `s` suffixes; quantiles are `p50`…`p999` style.
+//! * The error clause `err<X%` (or `err<0.001` as a bare fraction) bounds
+//!   the 5xx fraction of responses.
+//!
+//! Each scrape publishes, per endpoint:
+//!
+//! * `serve.slo.compliance.<endpoint>` — fraction of requests meeting the
+//!   latency target (or `1 − error_rate` for error-only SLOs),
+//! * `serve.slo.burn_rate.<endpoint>` — how fast the error budget burns: the
+//!   max of `violating_fraction / (1 − quantile)` and
+//!   `error_rate / budget`; 1.0 = burning exactly the budget, > 1 = breach,
+//! * `serve.slo.breached.<endpoint>` — 0/1,
+//! * `serve.slo.breaches` (+ a per-endpoint counter) incremented on each
+//!   false→true breach transition.
+
+use sjpl_obs::Snapshot;
+
+/// The endpoint labels requests are bucketed under (everything else is
+/// `other`). SLO specs must name one of these — a typo'd endpoint would
+/// otherwise silently report an always-compliant SLO over zero requests.
+pub const ENDPOINTS: &[&str] = &[
+    "estimate", "healthz", "metrics", "other", "readyz", "snapshot", "timeline",
+];
+
+/// The response status classes tracked per endpoint.
+pub const STATUS_CLASSES: &[&str] = &["2xx", "3xx", "4xx", "5xx"];
+
+/// One parsed `--slo` spec.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloSpec {
+    /// Endpoint label (one of [`ENDPOINTS`]).
+    pub endpoint: String,
+    /// Latency target in nanoseconds, when a `<duration>@<quantile>` clause
+    /// was given.
+    pub latency_ns: Option<u64>,
+    /// The quantile the latency target applies at (e.g. `0.99`).
+    pub quantile: f64,
+    /// Maximum allowed 5xx fraction, when an `err<` clause was given.
+    pub max_error_rate: Option<f64>,
+}
+
+/// The result of evaluating one [`SloSpec`] against a snapshot.
+#[derive(Clone, Debug)]
+pub struct SloStatus {
+    /// Endpoint label the status is for.
+    pub endpoint: String,
+    /// Requests observed for the endpoint (all status classes).
+    pub total: u64,
+    /// Fraction of requests meeting the latency target (`1 − error_rate`
+    /// for error-only SLOs); 1.0 when no traffic.
+    pub compliance: f64,
+    /// Observed 5xx fraction.
+    pub error_rate: f64,
+    /// Max of the latency and error budget burn rates; > 1 means breached.
+    pub burn_rate: f64,
+    /// `burn_rate > 1`.
+    pub breached: bool,
+}
+
+impl SloSpec {
+    /// Parses `/<endpoint>=<clause>[,<clause>...]`.
+    pub fn parse(s: &str) -> Result<SloSpec, String> {
+        let (lhs, rhs) = s
+            .split_once('=')
+            .ok_or_else(|| format!("SLO {s:?}: expected <endpoint>=<clauses>"))?;
+        let endpoint = lhs.trim().trim_start_matches('/').to_owned();
+        if !ENDPOINTS.contains(&endpoint.as_str()) {
+            return Err(format!(
+                "SLO endpoint {endpoint:?} is not one of {ENDPOINTS:?}"
+            ));
+        }
+        let mut spec = SloSpec {
+            endpoint,
+            latency_ns: None,
+            quantile: 0.99,
+            max_error_rate: None,
+        };
+        for clause in rhs.split(',') {
+            let clause = clause.trim();
+            if let Some(rate) = clause.strip_prefix("err<") {
+                spec.max_error_rate = Some(parse_rate(rate)?);
+            } else {
+                let (dur, q) = clause.split_once('@').ok_or_else(|| {
+                    format!("SLO clause {clause:?}: expected <duration>@<quantile> or err<rate>")
+                })?;
+                spec.latency_ns = Some(parse_duration_ns(dur)?);
+                spec.quantile = parse_quantile(q)?;
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Evaluates this spec against the per-endpoint histograms in `snap`.
+    /// Zero traffic is compliant (nothing has violated anything yet).
+    pub fn evaluate(&self, snap: &Snapshot) -> SloStatus {
+        let mut total = 0u64;
+        let mut errors = 0u64;
+        let mut within = 0u64;
+        for class in STATUS_CLASSES {
+            let name = format!("serve.endpoint.{}.{class}", self.endpoint);
+            let Some(series) = snap.span(&name) else {
+                continue;
+            };
+            total += series.count;
+            if *class == "5xx" {
+                errors += series.count;
+            }
+            if let Some(target) = self.latency_ns {
+                within += series.hist.count_le(target).min(series.count);
+            }
+        }
+        if total == 0 {
+            return SloStatus {
+                endpoint: self.endpoint.clone(),
+                total: 0,
+                compliance: 1.0,
+                error_rate: 0.0,
+                burn_rate: 0.0,
+                breached: false,
+            };
+        }
+        let error_rate = errors as f64 / total as f64;
+        let mut burn: f64 = 0.0;
+        let compliance = if self.latency_ns.is_some() {
+            let ok = within as f64 / total as f64;
+            let allowed = (1.0 - self.quantile).max(1e-9);
+            burn = burn.max((1.0 - ok) / allowed);
+            ok
+        } else {
+            1.0 - error_rate
+        };
+        if let Some(budget) = self.max_error_rate {
+            burn = burn.max(error_rate / budget.max(1e-9));
+        }
+        SloStatus {
+            endpoint: self.endpoint.clone(),
+            total,
+            compliance,
+            error_rate,
+            burn_rate: burn,
+            breached: burn > 1.0,
+        }
+    }
+}
+
+/// `2ms` / `150us` / `3s` / `1500000ns` → nanoseconds.
+fn parse_duration_ns(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let (num, mult) = if let Some(n) = s.strip_suffix("ns") {
+        (n, 1.0)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1e3)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1e6)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1e9)
+    } else {
+        return Err(format!("duration {s:?}: need a ns/us/ms/s suffix"));
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("duration {s:?}: bad number {num:?}"))?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(format!("duration {s:?} must be positive"));
+    }
+    Ok((v * mult) as u64)
+}
+
+/// `p50` / `p99` / `p999` → 0.5 / 0.99 / 0.999.
+fn parse_quantile(s: &str) -> Result<f64, String> {
+    let digits = s
+        .trim()
+        .strip_prefix('p')
+        .ok_or_else(|| format!("quantile {s:?}: expected pNN (p50, p99, p999, ...)"))?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!(
+            "quantile {s:?}: expected pNN (p50, p99, p999, ...)"
+        ));
+    }
+    let q = digits.parse::<f64>().unwrap() / 10f64.powi(digits.len() as i32);
+    if q <= 0.0 || q >= 1.0 {
+        return Err(format!("quantile {s:?} must be inside (0, 1)"));
+    }
+    Ok(q)
+}
+
+/// `0.1%` → 0.001; a bare number is taken as a fraction.
+fn parse_rate(s: &str) -> Result<f64, String> {
+    let s = s.trim();
+    let (num, div) = match s.strip_suffix('%') {
+        Some(n) => (n, 100.0),
+        None => (s, 1.0),
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("error rate {s:?}: bad number"))?;
+    let rate = v / div;
+    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+        return Err(format!("error rate {s:?} must be within [0, 100%]"));
+    }
+    Ok(rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjpl_obs::snapshot::TimingSnapshot;
+    use sjpl_obs::LogLinearHistogram;
+
+    #[test]
+    fn parses_the_documented_example() {
+        let spec = SloSpec::parse("/estimate=2ms@p99,err<0.1%").unwrap();
+        assert_eq!(spec.endpoint, "estimate");
+        assert_eq!(spec.latency_ns, Some(2_000_000));
+        assert_eq!(spec.quantile, 0.99);
+        assert_eq!(spec.max_error_rate, Some(0.001));
+    }
+
+    #[test]
+    fn parses_partial_specs_and_unit_variety() {
+        let lat_only = SloSpec::parse("metrics=150us@p95").unwrap();
+        assert_eq!(lat_only.latency_ns, Some(150_000));
+        assert_eq!(lat_only.quantile, 0.95);
+        assert_eq!(lat_only.max_error_rate, None);
+
+        let err_only = SloSpec::parse("/healthz=err<1%").unwrap();
+        assert_eq!(err_only.latency_ns, None);
+        assert_eq!(err_only.max_error_rate, Some(0.01));
+
+        assert_eq!(SloSpec::parse("/estimate=1s@p999").unwrap().quantile, 0.999);
+        assert_eq!(
+            SloSpec::parse("/estimate=err<0.05").unwrap().max_error_rate,
+            Some(0.05)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "no-equals",
+            "/bogus=1ms@p99",     // unknown endpoint
+            "/estimate=2ms",      // missing quantile
+            "/estimate=2@p99",    // missing unit
+            "/estimate=2ms@99",   // missing p
+            "/estimate=2ms@p0",   // q = 0
+            "/estimate=err<x",    // bad number
+            "/estimate=err<150%", // > 100%
+        ] {
+            assert!(SloSpec::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    fn series(name: &str, samples: &[u64]) -> TimingSnapshot {
+        let mut hist = LogLinearHistogram::new();
+        for &s in samples {
+            hist.record(s);
+        }
+        TimingSnapshot {
+            name: name.into(),
+            count: samples.len() as u64,
+            total_ns: samples.iter().sum(),
+            min_ns: samples.iter().copied().min().unwrap_or(u64::MAX),
+            max_ns: samples.iter().copied().max().unwrap_or(0),
+            hist,
+        }
+    }
+
+    #[test]
+    fn evaluation_tracks_latency_and_error_budgets() {
+        // 9 fast 2xx requests + 1 slow 5xx request.
+        let snap = Snapshot {
+            spans: vec![
+                series("serve.endpoint.estimate.2xx", &[1_000; 9]),
+                series("serve.endpoint.estimate.5xx", &[50_000_000]),
+            ],
+            ..Snapshot::default()
+        };
+
+        // p50 @ 1ms: 90% within, allowed violation 50% → not breached.
+        let ok = SloSpec::parse("/estimate=1ms@p50").unwrap().evaluate(&snap);
+        assert_eq!(ok.total, 10);
+        assert!((ok.compliance - 0.9).abs() < 1e-9);
+        assert!((ok.burn_rate - 0.2).abs() < 1e-9);
+        assert!(!ok.breached);
+
+        // p99 @ 1ms: 10% violating vs 1% allowed → burn 10, breached.
+        let hot = SloSpec::parse("/estimate=1ms@p99").unwrap().evaluate(&snap);
+        assert!((hot.burn_rate - 10.0).abs() < 1e-9);
+        assert!(hot.breached);
+
+        // err < 5%: observed 10% → burn 2, breached even though no latency
+        // clause was given.
+        let err = SloSpec::parse("/estimate=err<5%").unwrap().evaluate(&snap);
+        assert!((err.error_rate - 0.1).abs() < 1e-9);
+        assert!((err.burn_rate - 2.0).abs() < 1e-9);
+        assert!(err.breached);
+        assert!((err.compliance - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_traffic_is_compliant() {
+        let st = SloSpec::parse("/estimate=2ms@p99,err<0.1%")
+            .unwrap()
+            .evaluate(&Snapshot::default());
+        assert_eq!(st.total, 0);
+        assert_eq!(st.compliance, 1.0);
+        assert_eq!(st.burn_rate, 0.0);
+        assert!(!st.breached);
+    }
+}

@@ -18,7 +18,9 @@ use sjpl_index::{self_pair_count, JoinAlgorithm};
 use sjpl_obs::json::Json;
 use sjpl_serve::{DriftConfig, DriftProbe, ServeConfig, Server};
 
-/// Sends one raw HTTP request and returns `(status, headers, body)`.
+/// Sends one raw HTTP request (the caller includes `Connection: close` —
+/// the server is keep-alive by default) and returns
+/// `(status, headers, body)`.
 fn http(addr: SocketAddr, raw: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.write_all(raw.as_bytes()).unwrap();
@@ -36,17 +38,45 @@ fn http(addr: SocketAddr, raw: &str) -> (u16, String, String) {
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
-    http(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    http(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
 }
 
 fn post_estimate(addr: SocketAddr, body: &str) -> (u16, String, String) {
     http(
         addr,
         &format!(
-            "POST /estimate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST /estimate HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         ),
     )
+}
+
+/// Reads one `Content-Length`-framed response off a kept-alive stream.
+fn read_framed(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    while !buf.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("read header byte");
+        buf.push(byte[0]);
+    }
+    let head = String::from_utf8(buf).unwrap();
+    let status: u16 = head.split(' ').nth(1).unwrap().parse().unwrap();
+    let len: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .map(str::to_owned)
+        })
+        .and_then(|v| v.parse().ok())
+        .expect("content-length header");
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).expect("read body");
+    (status, head, String::from_utf8(body).unwrap())
 }
 
 /// Fits a BOPS law on uniform 2-d data.
@@ -199,7 +229,21 @@ fn endpoint_contract_and_concurrent_estimates() {
         400
     );
     assert_eq!(get(addr, "/no-such-endpoint").0, 404);
-    assert_eq!(get(addr, "/estimate").0, 405);
+    let (status, head, _) = get(addr, "/estimate");
+    assert_eq!(status, 405);
+    assert!(
+        head.to_lowercase().contains("allow: post"),
+        "405 must advertise Allow: {head}"
+    );
+    let (status, head, _) = http(
+        addr,
+        "DELETE /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 405);
+    assert!(
+        head.to_lowercase().contains("allow: get"),
+        "405 must advertise Allow: {head}"
+    );
     assert_eq!(
         http(addr, "POST /estimate HTTP/1.1\r\nHost: t\r\n\r\n").0,
         411
@@ -217,6 +261,16 @@ fn endpoint_contract_and_concurrent_estimates() {
         "sjpl_span_quantile_ns{span=\"serve.estimate\",quantile=\"0.99\"}",
         "# TYPE sjpl_serve_errors counter",
         "# TYPE sjpl_serve_inflight gauge",
+        "# TYPE sjpl_serve_connections gauge",
+        // Lifecycle spans and per-endpoint × status-class histograms.
+        "# TYPE sjpl_serve_read_ns histogram",
+        "# TYPE sjpl_serve_write_ns histogram",
+        "# TYPE sjpl_serve_endpoint_estimate_2xx_ns histogram",
+        "# TYPE sjpl_serve_endpoint_estimate_4xx_ns histogram",
+        "# TYPE sjpl_serve_endpoint_other_4xx_ns histogram",
+        // Response-class counters.
+        "# TYPE sjpl_serve_responses_2xx counter",
+        "# TYPE sjpl_serve_responses_4xx counter",
     ] {
         assert!(text.contains(needle), "missing {needle:?}");
     }
@@ -224,7 +278,7 @@ fn endpoint_contract_and_concurrent_estimates() {
     let (status, _, snap) = get(addr, "/snapshot");
     assert_eq!(status, 200);
     let doc = Json::parse(&snap).unwrap();
-    assert_eq!(doc.get("schema").unwrap().as_f64(), Some(2.0));
+    assert_eq!(doc.get("schema").unwrap().as_f64(), Some(3.0));
     let spans = doc.get("spans").unwrap().as_array().unwrap();
     assert!(spans
         .iter()
@@ -361,6 +415,204 @@ fn drift_monitor_flags_a_perturbed_law() {
         .any(|e| e.get("name").unwrap().as_str() == Some("serve.drift.breach")));
 
     server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_per_connection() {
+    let server = Server::start(
+        catalog_with("ka", fitted_law(1_000, 11)),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    // Three requests down one connection: HTTP/1.1 defaults to keep-alive.
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let (status, head, body) = read_framed(&mut stream);
+        assert_eq!((status, body.trim()), (200, "ok"));
+        let lowered = head.to_lowercase();
+        assert!(
+            lowered.contains("connection: keep-alive"),
+            "keep-alive response must say so: {head}"
+        );
+        ids.push(
+            lowered
+                .lines()
+                .find_map(|l| {
+                    l.strip_prefix("x-request-id:")
+                        .map(str::trim)
+                        .map(str::to_owned)
+                })
+                .expect("x-request-id"),
+        );
+    }
+    let unique: std::collections::HashSet<_> = ids.iter().collect();
+    assert_eq!(unique.len(), 3, "each request gets its own id: {ids:?}");
+
+    // A POST /estimate works on the same kept-alive connection too.
+    let body = r#"{"law": "ka", "radius": 0.1}"#;
+    stream
+        .write_all(
+            format!(
+                "POST /estimate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let (status, _, body) = read_framed(&mut stream);
+    assert_eq!(status, 200, "body: {body}");
+
+    // `Connection: close` ends the session: response says close, then EOF.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let (status, head, _) = read_framed(&mut stream);
+    assert_eq!(status, 200);
+    assert!(head.to_lowercase().contains("connection: close"), "{head}");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server must close after Connection: close");
+
+    server.shutdown();
+}
+
+#[test]
+fn slo_gauges_and_breach_counters_appear_on_metrics() {
+    let server = Server::start(
+        catalog_with("slolaw", fitted_law(1_000, 13)),
+        ServeConfig {
+            slos: vec![
+                // 1 ns @ p50: impossible, so healthz traffic must breach.
+                sjpl_serve::SloSpec::parse("/healthz=1ns@p50").unwrap(),
+                // 10 s @ p99 with a generous error budget: never breaches.
+                sjpl_serve::SloSpec::parse("/readyz=10s@p99,err<50%").unwrap(),
+            ],
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    assert_eq!(get(addr, "/healthz").0, 200);
+    assert_eq!(get(addr, "/readyz").0, 200);
+
+    let gauge = |text: &str, name: &str| -> Option<f64> {
+        text.lines()
+            .find(|l| l.starts_with(&format!("{name} ")))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+    };
+
+    // SLOs are evaluated on each scrape against the histograms as of that
+    // scrape; the healthz request lands in the histogram just after its
+    // response is written, so poll until the breach shows.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let text = loop {
+        let (status, _, text) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        if gauge(&text, "sjpl_serve_slo_breached_healthz") == Some(1.0) {
+            break text;
+        }
+        assert!(Instant::now() < deadline, "healthz SLO never breached");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        gauge(&text, "sjpl_serve_slo_compliance_healthz").unwrap() < 1.0,
+        "1ns target can't be met"
+    );
+    assert!(gauge(&text, "sjpl_serve_slo_burn_rate_healthz").unwrap() > 1.0);
+    assert!(gauge(&text, "sjpl_serve_slo_breaches").unwrap() >= 1.0);
+    assert!(gauge(&text, "sjpl_serve_slo_breaches_healthz").unwrap() >= 1.0);
+
+    // The generous SLO stays green.
+    assert_eq!(
+        gauge(&text, "sjpl_serve_slo_breached_readyz"),
+        Some(0.0),
+        "10s@p99 must not breach"
+    );
+    assert_eq!(gauge(&text, "sjpl_serve_slo_compliance_readyz"), Some(1.0));
+    assert_valid_exposition(&text);
+
+    server.shutdown();
+}
+
+#[test]
+fn access_log_records_every_request_and_slow_capture_fires() {
+    let log_path =
+        std::env::temp_dir().join(format!("sjpl-access-log-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let server = Server::start(
+        catalog_with("loglaw", fitted_law(1_000, 17)),
+        ServeConfig {
+            access_log: Some(log_path.clone()),
+            slow_ns: 0, // every request counts as slow: capture must fire
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    assert_eq!(get(addr, "/healthz").0, 200);
+    assert_eq!(
+        post_estimate(addr, r#"{"law": "loglaw", "radius": 0.1}"#).0,
+        200
+    );
+    assert_eq!(
+        post_estimate(addr, r#"{"law": "ghost", "radius": 0.1}"#).0,
+        404
+    );
+
+    // The slow-request capture is on the timeline before shutdown.
+    let (_, _, trace) = get(addr, "/timeline");
+    assert!(
+        trace.contains("serve.slow_request"),
+        "slow capture missing from timeline"
+    );
+
+    server.shutdown();
+
+    let log = std::fs::read_to_string(&log_path).expect("access log written");
+    let lines: Vec<&str> = log.lines().collect();
+    assert!(lines.len() >= 4, "expected >= 4 access-log lines:\n{log}");
+    for line in &lines {
+        let doc = Json::parse(line).unwrap_or_else(|e| panic!("bad JSONL {line:?}: {e}"));
+        for field in [
+            "ts_ms",
+            "request_id",
+            "method",
+            "path",
+            "endpoint",
+            "status",
+            "duration_ns",
+            "slow",
+        ] {
+            assert!(doc.get(field).is_some(), "missing {field} in {line}");
+        }
+        assert_eq!(doc.get("slow").unwrap().as_bool(), Some(true));
+    }
+    // The estimate rows carry the law name; the 404 row carries the law it
+    // asked for, so misses are attributable too.
+    assert!(
+        lines.iter().any(|l| l.contains("\"law\":\"loglaw\"")),
+        "{log}"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("\"law\":\"ghost\"")),
+        "{log}"
+    );
+    assert!(log.contains("\"endpoint\":\"healthz\""), "{log}");
+    assert!(log.contains("\"endpoint\":\"estimate\""), "{log}");
+    let _ = std::fs::remove_file(&log_path);
 }
 
 #[test]

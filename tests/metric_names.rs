@@ -168,11 +168,21 @@ fn registry_covers_the_serve_names_too() {
     // (the serve integration tests assert the emission side).
     for name in [
         "serve.request",
+        "serve.read",
+        "serve.write",
         "serve.estimate",
         "serve.metrics",
+        "serve.slow_request",
         "serve.requests",
         "serve.errors",
+        "serve.responses.2xx",
+        "serve.responses.3xx",
+        "serve.responses.4xx",
+        "serve.responses.5xx",
+        "serve.slo.breaches",
+        "serve.slow_requests",
         "serve.inflight",
+        "serve.connections",
         "serve.drift.checks",
         "serve.drift.breaches",
         "serve.drift.breach",
@@ -181,4 +191,27 @@ fn registry_covers_the_serve_names_too() {
     }
     assert!(names::is_stable("serve.drift.rel_error.any_law"));
     assert!(names::is_stable("serve.drift.breached.any_law"));
+
+    // Request-lifecycle dynamic families: per-endpoint × status-class
+    // histograms and per-endpoint SLO series. The endpoint suffix always
+    // comes from the server's fixed route table, never raw client paths.
+    for endpoint in [
+        "estimate", "metrics", "snapshot", "timeline", "healthz", "readyz", "other",
+    ] {
+        for class in ["2xx", "3xx", "4xx", "5xx"] {
+            assert!(names::is_stable(&format!(
+                "serve.endpoint.{endpoint}.{class}"
+            )));
+        }
+        assert!(names::is_stable(&format!(
+            "serve.slo.compliance.{endpoint}"
+        )));
+        assert!(names::is_stable(&format!("serve.slo.burn_rate.{endpoint}")));
+        assert!(names::is_stable(&format!("serve.slo.breached.{endpoint}")));
+        assert!(names::is_stable(&format!("serve.slo.breaches.{endpoint}")));
+    }
+    // Typos stay un-stable.
+    assert!(!names::is_stable("serve.endpoints.estimate.2xx"));
+    assert!(!names::is_stable("serve.slo"));
+    assert!(!names::is_stable("serve.responses.7xx"));
 }
