@@ -15,7 +15,10 @@
 //! regress` consumes: a `summary` (schema-versioned `{name, mean_ns,
 //! prev_mean_ns}` series — the external bench-trajectory harness reads the
 //! same shape) and an `accuracy` array of estimator-vs-exact-join records
-//! on fixed datasets and radii.
+//! on fixed datasets and radii. Passing `-- --profile` additionally runs
+//! the span-stack sampling profiler over the observed workload and embeds
+//! a `profile` section: sampling rate, sample accounting, and the top
+//! spans by self time (the flamegraph's widest leaves, machine-readable).
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sjpl_core::streaming::Side;
@@ -300,6 +303,27 @@ fn main() {
     sjpl_obs::set_enabled(false);
     sjpl_obs::reset();
 
+    // `cargo bench --bench bops -- --profile`: sample the span-stack
+    // profiler while the observed workload runs, so the report carries a
+    // flamegraph summary of where the estimator's time actually goes.
+    // Opt-in — sampling is cheap but not free, and the default report
+    // must stay comparable across commits.
+    let profile = if std::env::args().any(|a| a == "--profile") {
+        sjpl_obs::reset();
+        sjpl_obs::set_enabled(true);
+        assert!(
+            sjpl_obs::prof::start(997.0),
+            "span-stack profiler already running"
+        );
+        let _ = mean_run_ns(&a, &b, &cfg);
+        let prof = sjpl_obs::prof::stop().expect("profiler was started above");
+        sjpl_obs::set_enabled(false);
+        sjpl_obs::reset();
+        Some(prof)
+    } else {
+        None
+    };
+
     let accuracy = accuracy_records();
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -369,10 +393,34 @@ fn main() {
     json.push_str(",\n");
     json.push_str(&format!(
         "  \"obs_overhead\": {{\"disabled_mean_ns\": {disabled_ns:.1}, \
-         \"enabled_mean_ns\": {enabled_ns:.1}, \"overhead_pct\": {:.2}}}\n",
+         \"enabled_mean_ns\": {enabled_ns:.1}, \"overhead_pct\": {:.2}}}",
         100.0 * (enabled_ns - disabled_ns) / disabled_ns
     ));
-    json.push_str("}\n");
+    if let Some(p) = &profile {
+        let mut spans = p.spans();
+        spans.sort_by(|x, y| {
+            y.self_samples
+                .cmp(&x.self_samples)
+                .then_with(|| x.name.cmp(&y.name))
+        });
+        spans.truncate(10);
+        json.push_str(&format!(
+            ",\n  \"profile\": {{\"hz\": {}, \"duration_ns\": {}, \"samples\": {}, \
+             \"dropped\": {}, \"overhead_ns\": {}, \"top_self\": [\n",
+            p.hz, p.duration_ns, p.samples, p.dropped, p.overhead_ns
+        ));
+        for (i, s) in spans.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"span\": \"{}\", \"self_samples\": {}, \"total_samples\": {}}}{}\n",
+                s.name,
+                s.self_samples,
+                s.total_samples,
+                if i + 1 < spans.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]}");
+    }
+    json.push_str("\n}\n");
     std::fs::write(out, json).expect("write BENCH_bops.json");
     println!("wrote {out}");
     println!(
@@ -381,4 +429,13 @@ fn main() {
         enabled_ns / 1e6,
         100.0 * (enabled_ns - disabled_ns) / disabled_ns
     );
+    if let Some(p) = &profile {
+        println!(
+            "profile: {} samples at {} Hz over {:.2} ms ({} dropped), top spans embedded",
+            p.samples,
+            p.hz,
+            p.duration_ns as f64 / 1e6,
+            p.dropped
+        );
+    }
 }

@@ -86,6 +86,11 @@ pub struct Options {
     pub law: Option<String>,
     /// `--out <file>` (loadtest: report path).
     pub out: Option<String>,
+    /// `--profile-hz <hz>` (serve: run the continuous sampling profiler).
+    pub profile_hz: Option<f64>,
+    /// `--profile-out <file>` (loadtest: fetch a collapsed-stack profile
+    /// window from the daemon during the run and write it here).
+    pub profile_out: Option<String>,
 }
 
 /// Parses `argv` into [`Options`].
@@ -123,6 +128,8 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
         mix: None,
         law: None,
         out: None,
+        profile_hz: None,
+        profile_out: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -288,6 +295,17 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
             }
             "--out" => {
                 o.out = Some(take_value("--out")?);
+            }
+            "--profile-hz" => {
+                let v = take_value("--profile-hz")?;
+                let hz: f64 = v.parse().map_err(|_| format!("bad profile-hz {v:?}"))?;
+                if !(hz > 0.0 && hz.is_finite()) {
+                    return Err(format!("profile-hz {v:?} must be finite and > 0"));
+                }
+                o.profile_hz = Some(hz);
+            }
+            "--profile-out" => {
+                o.profile_out = Some(take_value("--profile-out")?);
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}"));
@@ -497,6 +515,24 @@ mod tests {
         assert!(parse(&sv(&["--rate", "inf"])).is_err());
         assert!(parse(&sv(&["--duration", "0"])).is_err());
         assert!(parse(&sv(&["--seed", "x"])).is_err());
+    }
+
+    #[test]
+    fn profiler_flags_parse() {
+        let o = parse(&sv(&[
+            "--profile-hz",
+            "99",
+            "--profile-out",
+            "profile.folded",
+        ]))
+        .unwrap();
+        assert_eq!(o.profile_hz, Some(99.0));
+        assert_eq!(o.profile_out.as_deref(), Some("profile.folded"));
+        assert!(parse(&sv(&["--profile-hz", "0"])).is_err());
+        assert!(parse(&sv(&["--profile-hz", "-5"])).is_err());
+        assert!(parse(&sv(&["--profile-hz", "inf"])).is_err());
+        assert!(parse(&sv(&["--profile-hz", "x"])).is_err());
+        assert!(parse(&sv(&["--profile-out"])).is_err());
     }
 
     #[test]

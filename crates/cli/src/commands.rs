@@ -95,6 +95,9 @@ options:
                        endpoint, status, duration, law)
   --slow-ms <ms>       serve: requests at least this slow are counted and
                        pinned into the /timeline ring [default 100]
+  --profile-hz <hz>    serve: run the continuous span-stack profiler at this
+                       sampling rate; collapsed stacks via GET /debug/profile,
+                       flamegraph section in /snapshot [off by default]
   --connections <n>    loadtest: concurrent keep-alive connections; keep at
                        or below the server's --threads [default 2]
   --rate <r>           loadtest: open-loop target req/s (latency measured
@@ -106,6 +109,9 @@ options:
   --law <name>         loadtest: law name for /estimate traffic
                        [default uniform]
   --out <file>         loadtest: report path [default BENCH_serve.json]
+  --profile-out <file> loadtest: fetch /debug/profile from the target during
+                       the run and write the collapsed stacks here (feed to
+                       a flamegraph renderer)
 
 exit codes:
   0  success
@@ -277,6 +283,7 @@ fn cmd_loadtest(o: &Options) -> Result<(), String> {
             .out
             .clone()
             .unwrap_or_else(|| "BENCH_serve.json".to_owned()),
+        profile_out: o.profile_out.clone(),
     };
     let summary = crate::loadtest::run(&cfg)?;
     println!("{summary}");
@@ -325,11 +332,13 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         slow_ns: o
             .slow_ms
             .map_or(defaults_cfg.slow_ns, |ms| (ms * 1e6) as u64),
+        profile_hz: o.profile_hz,
     };
     let n_laws = catalog.len();
     let n_probes = cfg.probes.len();
     let n_slos = cfg.slos.len();
     let access_log = cfg.access_log.clone();
+    let profile_hz = cfg.profile_hz;
     let interval = cfg.drift.interval;
     let budget = cfg.drift.error_budget;
     let server = Server::start(Arc::new(Mutex::new(catalog)), cfg).map_err(|e| e.to_string())?;
@@ -337,7 +346,10 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         "sjpl serve: listening on http://{} ({n_laws} law(s) loaded)",
         server.addr()
     );
-    println!("endpoints: POST /estimate | GET /metrics /snapshot /timeline /healthz /readyz");
+    println!(
+        "endpoints: POST /estimate | GET /metrics /snapshot /timeline /healthz /readyz \
+         /debug/profile /debug/exemplars"
+    );
     if n_probes > 0 {
         println!("drift monitor: {n_probes} probe(s), every {interval:?}, error budget {budget}");
     }
@@ -346,6 +358,9 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     }
     if let Some(path) = access_log {
         println!("access log: appending JSONL to {}", path.display());
+    }
+    if let Some(hz) = profile_hz {
+        println!("profiler: sampling span stacks at {hz} Hz (GET /debug/profile)");
     }
     server.wait();
     Ok(())
@@ -1009,7 +1024,7 @@ mod tests {
         // The recorder is process-global and other tests run concurrently,
         // so assert presence of this run's keys, not exact values.
         for needle in [
-            "\"schema\": 3",
+            "\"schema\": 4",
             "bops.quantize",
             "bops.sort",
             "bops.scan",
@@ -1356,6 +1371,7 @@ mod tests {
         let addr = server.addr().to_string();
 
         let out = dir.join("BENCH_serve.json");
+        let prof = dir.join("loadtest_profile.txt");
         run(&sv(&[
             "loadtest",
             &addr,
@@ -1369,9 +1385,21 @@ mod tests {
             "uniform",
             "--out",
             out.to_str().unwrap(),
+            "--profile-out",
+            prof.to_str().unwrap(),
         ]))
         .unwrap();
         server.shutdown();
+
+        // The mid-run profile fetch wrote collapsed stacks (`path N` lines);
+        // the worker serving the fetch itself is always sampled.
+        let collapsed = std::fs::read_to_string(&prof).unwrap();
+        assert!(collapsed.contains("serve.profile"), "{collapsed}");
+        for line in collapsed.lines() {
+            let (stack, count) = line.rsplit_once(' ').unwrap_or_else(|| panic!("{line}"));
+            assert!(!stack.is_empty(), "{line}");
+            assert!(count.parse::<u64>().is_ok(), "{line}");
+        }
 
         let text = std::fs::read_to_string(&out).unwrap();
         let doc = sjpl_obs::json::Json::parse(&text).unwrap();

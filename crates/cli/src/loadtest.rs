@@ -46,6 +46,10 @@ pub struct LoadtestConfig {
     pub law: String,
     /// Output report path.
     pub out: String,
+    /// When set, fetch `/debug/profile` from the target *during* the run
+    /// and write the collapsed stacks here — a flamegraph of the server
+    /// under exactly this workload.
+    pub profile_out: Option<String>,
 }
 
 /// The endpoints the harness knows how to exercise.
@@ -224,6 +228,54 @@ impl Conn {
     }
 }
 
+/// One-shot GET that returns the response body — used for the mid-run
+/// `/debug/profile` fetch, which (unlike the workload requests) needs the
+/// body, and whose response is delayed by the profiling window itself.
+fn fetch_body(addr: SocketAddr, target: &str, timeout: Duration) -> std::io::Result<String> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    writer.write_all(format!("GET {target} HTTP/1.1\r\nHost: l\r\n\r\n").as_bytes())?;
+    let mut status = 0u16;
+    let mut content_length: Option<usize> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(ErrorKind::UnexpectedEof.into());
+        }
+        let t = line.trim_end();
+        if status == 0 {
+            status = t
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or(ErrorKind::InvalidData)?;
+            continue;
+        }
+        if t.is_empty() {
+            break;
+        }
+        if let Some(v) = t
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .map(str::to_owned)
+        {
+            content_length = v.parse().ok();
+        }
+    }
+    if status != 200 {
+        return Err(std::io::Error::other(format!("{target} returned {status}")));
+    }
+    let len = content_length.ok_or(ErrorKind::InvalidData)?;
+    let mut body = String::with_capacity(len);
+    (&mut reader).take(len as u64).read_to_string(&mut body)?;
+    Ok(body)
+}
+
 /// Builds the raw request bytes for one sampled endpoint.
 fn build_request(ep: Endpoint, law: &str, rng: &mut rand::rngs::StdRng) -> Vec<u8> {
     match ep {
@@ -264,7 +316,20 @@ pub fn run(cfg: &LoadtestConfig) -> Result<String, String> {
     // Open-loop: workers pull send slots off one shared schedule.
     let schedule = AtomicU64::new(0);
 
-    let tallies: Vec<WorkerTally> = std::thread::scope(|s| {
+    let (tallies, profile_fetched) = std::thread::scope(|s| {
+        // The profile fetch runs concurrently with the workload so the
+        // collapsed stacks show the server *under this load*, not idle.
+        let profiler = cfg.profile_out.as_ref().map(|out| {
+            let secs = (cfg.duration.as_secs_f64() * 0.8).clamp(0.1, 3.0);
+            let target = format!("/debug/profile?seconds={secs:.3}");
+            let timeout = Duration::from_secs_f64(secs + 10.0);
+            let addr = cfg.addr;
+            s.spawn(move || -> Result<(String, String), String> {
+                let body = fetch_body(addr, &target, timeout)
+                    .map_err(|e| format!("profile fetch failed: {e}"))?;
+                Ok((out.clone(), body))
+            })
+        });
         let handles: Vec<_> = (0..cfg.connections.max(1))
             .map(|worker| {
                 let schedule = &schedule;
@@ -327,9 +392,23 @@ pub fn run(cfg: &LoadtestConfig) -> Result<String, String> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let tallies: Vec<WorkerTally> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (tallies, profiler.map(|h| h.join().unwrap()))
     });
     let wall = start.elapsed();
+
+    // A failed profile fetch degrades the report, not the run: warn and
+    // keep going (the target may be an older daemon without /debug/profile).
+    let mut profile_note = String::new();
+    if let Some(fetched) = profile_fetched {
+        match fetched {
+            Ok((path, body)) => {
+                std::fs::write(&path, body.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+                profile_note = format!(", profile -> {path}");
+            }
+            Err(e) => eprintln!("note: {e} (is the target serving /debug/profile?)"),
+        }
+    }
 
     // Merge workers.
     let mut merged: Vec<(&'static str, EndpointTally)> = Vec::new();
@@ -361,7 +440,8 @@ pub fn run(cfg: &LoadtestConfig) -> Result<String, String> {
     let total_errors: u64 = merged.iter().map(|(_, t)| t.errors).sum();
     Ok(format!(
         "loadtest: {total_requests} requests in {wall:.2?} \
-         ({:.0} req/s, {total_errors} HTTP errors, {transport_errors} transport errors) -> {}",
+         ({:.0} req/s, {total_errors} HTTP errors, {transport_errors} transport errors) \
+         -> {}{profile_note}",
         total_requests as f64 / wall.as_secs_f64(),
         cfg.out
     ))
@@ -537,6 +617,7 @@ mod tests {
             mix: default_mix(),
             law: "uniform".to_owned(),
             out: "unused".to_owned(),
+            profile_out: None,
         };
         let mut merged = vec![
             (

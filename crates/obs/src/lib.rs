@@ -5,8 +5,9 @@
 //! [log-linear latency histograms](hist::LogLinearHistogram), discrete
 //! [events](event), estimator [accuracy telemetry](accuracy), and a
 //! [flight-recorder timeline](timeline) of every closed span (id, parent
-//! id, thread id, duration) — all feeding one global recorder that can
-//! [snapshot](snapshot) to structured JSON (schema 3) or export the
+//! id, thread id, duration), and a [sampling profiler](prof) over the live
+//! span stacks — all feeding one global recorder that can
+//! [snapshot](snapshot) to structured JSON (schema 4) or export the
 //! timeline in [Chrome Trace Event Format](chrome) for Perfetto.
 //!
 //! Design constraints (and how they are met):
@@ -51,7 +52,7 @@
 //! let child = &snap.timeline.by_name("demo.child")[0];
 //! let stage = &snap.timeline.by_name("demo.stage")[0];
 //! assert_eq!(child.parent, stage.id);
-//! let json = snap.to_json(); // schema 3, embeds the timeline
+//! let json = snap.to_json(); // schema 4, embeds the timeline
 //! assert!(json.contains("\"demo.stage\""));
 //! let trace = snap.to_chrome_trace(); // open in Perfetto
 //! assert!(trace.contains("\"traceEvents\""));
@@ -66,6 +67,7 @@ pub mod chrome;
 pub mod hist;
 pub mod json;
 pub mod names;
+pub mod prof;
 pub mod prometheus;
 pub mod snapshot;
 pub mod timeline;
@@ -76,6 +78,7 @@ use std::sync::{LazyLock, Mutex, MutexGuard};
 use std::time::Instant;
 
 pub use hist::LogLinearHistogram;
+pub use prof::{Profile, SpanProfile};
 pub use snapshot::{EventSnapshot, Snapshot, TimingSnapshot};
 pub use timeline::{set_timeline_capacity, TimelineEvent, TimelineSnapshot};
 
@@ -138,13 +141,15 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
-/// Clears all recorded metrics and the timeline ring (the enable flag and
-/// the configured timeline capacity are left unchanged).
+/// Clears all recorded metrics, the timeline ring and the last completed
+/// profile (the enable flag, the configured timeline capacity and a
+/// *running* profiler sampler are left unchanged).
 pub fn reset() {
     let mut r = registry();
     *r = Registry::default();
     drop(r);
     timeline::reset();
+    prof::clear_last();
 }
 
 // ---------------------------------------------------------------------------
@@ -165,6 +170,14 @@ impl SpanContext {
     /// A context that parents spans at the root of the tree.
     pub fn root() -> Self {
         SpanContext { id: 0 }
+    }
+
+    /// The timeline id of the span this context points at (0 for the root /
+    /// an inert span). Stable across the whole run, so external systems —
+    /// e.g. OpenMetrics exemplars — can reference the span in the
+    /// flight-recorder timeline by id.
+    pub fn span_id(&self) -> u64 {
+        self.id
     }
 }
 
@@ -201,7 +214,7 @@ fn open_span(name: &'static str, parent: Option<u64>, args: Option<String>) -> S
     }
     let id = timeline::next_span_id();
     let parent = parent.unwrap_or_else(timeline::current_parent);
-    timeline::push_open(id);
+    timeline::push_open(id, name);
     Span {
         name,
         start: Some(Instant::now()),
@@ -498,6 +511,7 @@ pub fn snapshot() -> Snapshot {
         accuracy,
         accuracy_dropped,
         timeline: timeline::snapshot(),
+        profile: prof::current_profile(),
     }
 }
 
@@ -606,7 +620,8 @@ mod tests {
         });
         let j = snap.to_json();
         for needle in [
-            "\"schema\": 3",
+            "\"schema\": 4",
+            "\"profile\": ",
             "\"spans\": [",
             "\"name\": \"t.json\"",
             "\"hist\": [[",

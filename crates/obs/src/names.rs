@@ -24,11 +24,14 @@ pub const SPANS: &[&str] = &[
     "join.sweep",
     "join.sweep.worker",
     "serve.estimate",
+    "serve.exemplars",
     "serve.healthz",
     "serve.metrics",
+    "serve.profile",
     "serve.read",
     "serve.readyz",
     "serve.request",
+    "serve.scrape",
     "serve.slow_request",
     "serve.snapshot",
     "serve.timeline",
@@ -52,6 +55,9 @@ pub const COUNTERS: &[&str] = &[
     "join.par_sweep.band_points",
     "join.par_sweep.mini_refinements",
     "join.par_sweep.slabs",
+    "prof.dropped_samples",
+    "prof.overhead_ns",
+    "prof.samples",
     "serve.drift.breaches",
     "serve.drift.checks",
     "serve.errors",
@@ -60,6 +66,7 @@ pub const COUNTERS: &[&str] = &[
     "serve.responses.3xx",
     "serve.responses.4xx",
     "serve.responses.5xx",
+    "serve.scrape.total",
     "serve.slo.breaches",
     "serve.slow_requests",
     "streaming.rejected_points",
@@ -73,6 +80,9 @@ pub const GAUGES: &[&str] = &[
     "fit.points_used",
     "fit.r_squared",
     "fit.rmse_log10",
+    "prof.live.dropped_samples",
+    "prof.live.overhead_ns",
+    "prof.live.samples",
     "serve.connections",
     "serve.inflight",
 ];
@@ -85,8 +95,9 @@ pub const EVENTS: &[&str] = &["bops.engine", "datagen.generated", "serve.drift.b
 /// an endpoint label plus status class (`serve.endpoint.estimate.2xx`), or
 /// an SLO endpoint label (`serve.slo.compliance.estimate`). Endpoint labels
 /// come from the fixed route table (`estimate`, `metrics`, `snapshot`,
-/// `timeline`, `healthz`, `readyz`, `other`) — never from raw client paths,
-/// which would be a cardinality/injection hazard.
+/// `timeline`, `healthz`, `readyz`, `profile`, `exemplars`, `other`) —
+/// never from raw client paths, which would be a cardinality/injection
+/// hazard.
 pub const DYNAMIC_PREFIXES: &[&str] = &[
     "serve.drift.breached.",
     "serve.drift.rel_error.",
@@ -138,6 +149,11 @@ mod tests {
         assert!(is_stable("serve.slo.burn_rate.estimate"));
         assert!(is_stable("serve.responses.4xx"));
         assert!(is_stable("serve.connections"));
+        assert!(is_stable("serve.scrape"));
+        assert!(is_stable("serve.scrape.total"));
+        assert!(is_stable("prof.samples"));
+        assert!(is_stable("prof.overhead_ns"));
+        assert!(is_stable("prof.live.samples"));
         assert!(!is_stable("bops.sort2"));
         assert!(!is_stable("serve.drift.rel_error"));
         assert!(!is_stable("serve.endpoint"));

@@ -9,8 +9,8 @@
 //!   `_bucket{le=...}` series derived from the log-linear histogram
 //!   (inclusive integer bounds one below each occupied bucket's exclusive
 //!   upper bound, always ending in `le="+Inf"` equal to `_count`), plus
-//!   `_sum` / `_count`; p50/p95/p99 additionally surface as one labelled
-//!   gauge family `sjpl_span_quantile_ns{span=...,quantile=...}`
+//!   `_sum` / `_count`; p50/p95/p99/p999 additionally surface as one
+//!   labelled gauge family `sjpl_span_quantile_ns{span=...,quantile=...}`
 //! * accuracy records → `sjpl_accuracy_rel_error{dataset,method,join_kind,
 //!   radius}` gauges (one per distinct record key, last observation wins)
 //! * drop accounting → `sjpl_obs_events_dropped` etc.
@@ -131,7 +131,12 @@ impl Snapshot {
             let _ = writeln!(out, "# TYPE {m} gauge");
             for s in &self.spans {
                 let span = label_escape(&s.name);
-                for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                for (label, q) in [
+                    ("0.5", 0.5),
+                    ("0.95", 0.95),
+                    ("0.99", 0.99),
+                    ("0.999", 0.999),
+                ] {
                     let _ = writeln!(
                         out,
                         "{m}{{span=\"{span}\",quantile=\"{label}\"}} {}",
@@ -204,7 +209,9 @@ mod tests {
 
     /// Structural validator used by the tests (CI's `serve-smoke` job does
     /// the same checks with grep/awk on a live scrape): every non-comment
-    /// line is `name[{labels}] value`, every histogram's buckets are
+    /// line is `name[{labels}] value` — optionally followed by an
+    /// OpenMetrics exemplar suffix ` # {labels} value`, which the serve
+    /// layer appends to tail buckets — and every histogram's buckets are
     /// monotone and end in `+Inf` matching `_count`.
     fn validate(text: &str) {
         let mut hist_cum: Option<(String, u64)> = None;
@@ -218,6 +225,17 @@ mod tests {
                 );
                 continue;
             }
+            // Strip an exemplar suffix before parsing the sample proper.
+            let line = match line.split_once(" # ") {
+                Some((sample, exemplar)) => {
+                    assert!(
+                        exemplar.starts_with('{') && exemplar.contains("} "),
+                        "malformed exemplar in {line:?}"
+                    );
+                    sample
+                }
+                None => line,
+            };
             let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
             assert!(!series.is_empty() && !value.is_empty(), "bad line {line:?}");
             let name = series.split('{').next().unwrap();
@@ -353,6 +371,29 @@ mod tests {
         // Newest record: est 110 vs truth 100 → 0.1.
         assert!(lines[0].ends_with(" 0.1"), "{}", lines[0]);
         assert!(lines[0].contains("dataset=\"uniform\""));
+    }
+
+    #[test]
+    fn quantile_family_includes_p999() {
+        let text = sample_snapshot().to_prometheus();
+        for q in ["0.5", "0.95", "0.99", "0.999"] {
+            let needle =
+                format!("sjpl_span_quantile_ns{{span=\"serve.estimate\",quantile=\"{q}\"}}");
+            assert!(text.contains(&needle), "missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn validator_tolerates_openmetrics_exemplar_suffixes() {
+        let mut text = sample_snapshot().to_prometheus();
+        // Append an exemplar to the +Inf bucket, the way serve's /metrics
+        // decorates tail buckets with the request that landed there.
+        text = text.replace(
+            "sjpl_serve_estimate_ns_bucket{le=\"+Inf\"} 5",
+            "sjpl_serve_estimate_ns_bucket{le=\"+Inf\"} 5 \
+             # {request_id=\"42\",span_id=\"7\"} 70000",
+        );
+        validate(&text);
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub struct Snapshot {
     /// The flight-recorder timeline: every closed span with its id, parent
     /// id and thread id (bounded ring; see its `dropped_events`).
     pub timeline: TimelineSnapshot,
+    /// The sampling profiler's folded profile: the running sampler's live
+    /// accumulation, or the last completed window (`None` if the profiler
+    /// has never run).
+    pub profile: Option<crate::prof::Profile>,
 }
 
 impl Default for TimingSnapshot {
@@ -102,7 +106,7 @@ pub(crate) fn json_escape(s: &str) -> String {
 }
 
 /// Formats an `f64` as JSON (JSON has no NaN/Infinity; map them to null).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -134,12 +138,15 @@ impl Snapshot {
     /// Schema (stable; validated by CI). Schema 2 extended schema 1 with the
     /// `accuracy` and `timeline` sections; schema 3 switched span histograms
     /// from log2 buckets (key `log2_hist`) to log-linear buckets (key
-    /// `hist`, same `[[upper_bound_ns, count], ...]` shape, ~16× finer):
+    /// `hist`, same `[[upper_bound_ns, count], ...]` shape, ~16× finer);
+    /// schema 4 added `p999_ns` to the span quantiles and the `profile`
+    /// section (the sampling profiler's folded profile, `null` when the
+    /// profiler has never run):
     /// ```json
     /// {
-    ///   "schema": 3,
+    ///   "schema": 4,
     ///   "spans":    [{"name", "count", "total_ns", "mean_ns", "min_ns",
-    ///                 "max_ns", "p50_ns", "p95_ns", "p99_ns",
+    ///                 "max_ns", "p50_ns", "p95_ns", "p99_ns", "p999_ns",
     ///                 "hist": [[upper_bound_ns, count], ...]}],
     ///   "counters": [{"name", "value"}],
     ///   "gauges":   [{"name", "value"}],
@@ -152,11 +159,17 @@ impl Snapshot {
     ///     "events": [{"id", "parent", "tid", "name", "start_ns", "dur_ns",
     ///                 "args"?}],
     ///     "dropped_events": 0
+    ///   },
+    ///   "profile": {
+    ///     "hz", "duration_ns", "ticks", "missed_ticks", "attempts",
+    ///     "samples", "idle", "dropped", "overhead_ns",
+    ///     "folded": [{"stack": "a;b;c", "count"}],
+    ///     "spans":  [{"name", "self", "total"}]
     ///   }
     /// }
     /// ```
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": 3,\n  \"spans\": [\n");
+        let mut out = String::from("{\n  \"schema\": 4,\n  \"spans\": [\n");
         for (i, s) in self.spans.iter().enumerate() {
             let hist: Vec<String> = s
                 .hist
@@ -168,7 +181,7 @@ impl Snapshot {
                 "    {{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \
                  \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
                  \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
-                 \"hist\": [{}]}}{}\n",
+                 \"p999_ns\": {}, \"hist\": [{}]}}{}\n",
                 json_escape(&s.name),
                 s.count,
                 s.total_ns,
@@ -178,6 +191,7 @@ impl Snapshot {
                 s.hist.quantile(0.5),
                 s.hist.quantile(0.95),
                 s.hist.quantile(0.99),
+                s.hist.quantile(0.999),
                 hist.join(", "),
                 comma(i, self.spans.len()),
             ));
@@ -252,8 +266,12 @@ impl Snapshot {
             ));
         }
         out.push_str(&format!(
-            "    ],\n    \"dropped_events\": {}\n  }}\n}}\n",
-            self.timeline.dropped_events
+            "    ],\n    \"dropped_events\": {}\n  }},\n  \"profile\": {}\n}}\n",
+            self.timeline.dropped_events,
+            match &self.profile {
+                Some(p) => p.to_json(),
+                None => "null".to_owned(),
+            }
         ));
         out
     }
@@ -267,7 +285,7 @@ impl Snapshot {
             for s in &self.spans {
                 out.push_str(&format!(
                     "  {:<w$}  count {:>8}  total {:>12}  mean {:>12}  \
-                     p50 {:>10}  p95 {:>10}  p99 {:>10}\n",
+                     p50 {:>10}  p95 {:>10}  p99 {:>10}  p999 {:>10}\n",
                     s.name,
                     s.count,
                     fmt_ns(s.total_ns),
@@ -275,6 +293,7 @@ impl Snapshot {
                     fmt_ns(s.hist.quantile(0.5)),
                     fmt_ns(s.hist.quantile(0.95)),
                     fmt_ns(s.hist.quantile(0.99)),
+                    fmt_ns(s.hist.quantile(0.999)),
                 ));
             }
         }
@@ -335,6 +354,24 @@ impl Snapshot {
                 out.push_str(&format!(" ({} dropped)", self.timeline.dropped_events));
             }
             out.push('\n');
+        }
+        if let Some(p) = &self.profile {
+            out.push_str(&format!(
+                "profile: {} samples at {:.0} Hz over {} \
+                 ({} idle, {} dropped, overhead {})\n",
+                p.samples,
+                p.hz,
+                fmt_ns(p.duration_ns),
+                p.idle,
+                p.dropped + p.missed_ticks,
+                fmt_ns(p.overhead_ns),
+            ));
+            for s in p.spans().iter().take(5) {
+                out.push_str(&format!(
+                    "  {:<24} self {:>8}  total {:>8}\n",
+                    s.name, s.self_samples, s.total_samples
+                ));
+            }
         }
         if out.is_empty() {
             out.push_str("(no metrics recorded)\n");
@@ -431,6 +468,18 @@ mod tests {
                 }],
                 dropped_events: 9,
             },
+            profile: Some(crate::prof::Profile {
+                hz: 99.0,
+                duration_ns: 1_000_000,
+                ticks: 10,
+                missed_ticks: 1,
+                attempts: 12,
+                samples: 8,
+                idle: 3,
+                dropped: 1,
+                overhead_ns: 2_500,
+                folded: vec![("bops.plot;bops.scan".into(), 6), ("bops.plot".into(), 2)],
+            }),
         }
     }
 
@@ -440,7 +489,7 @@ mod tests {
         let snap = sample_snapshot();
         let doc = Json::parse(&snap.to_json()).unwrap();
 
-        assert_eq!(doc.get("schema").unwrap().as_f64(), Some(3.0));
+        assert_eq!(doc.get("schema").unwrap().as_f64(), Some(4.0));
         let spans = doc.get("spans").unwrap().as_array().unwrap();
         assert_eq!(spans.len(), 1);
         let s = &spans[0];
@@ -449,7 +498,7 @@ mod tests {
         assert_eq!(s.get("total_ns").unwrap().as_f64(), Some(3000.0));
         assert_eq!(s.get("mean_ns").unwrap().as_f64(), Some(1500.0));
         // Quantile fields report the log-linear bucket upper bound.
-        for q in ["p50_ns", "p95_ns", "p99_ns"] {
+        for q in ["p50_ns", "p95_ns", "p99_ns", "p999_ns"] {
             assert!(s.get(q).unwrap().as_f64().is_some(), "missing {q}");
         }
         let hist = s.get("hist").unwrap().as_array().unwrap();
@@ -485,5 +534,25 @@ mod tests {
         assert_eq!(tev.get("parent").unwrap().as_f64(), Some(0.0));
         assert_eq!(tev.get("tid").unwrap().as_f64(), Some(2.0));
         assert_eq!(tev.get("args").unwrap().as_str(), Some("levels=12"));
+
+        let prof = doc.get("profile").unwrap();
+        assert_eq!(prof.get("hz").unwrap().as_f64(), Some(99.0));
+        assert_eq!(prof.get("samples").unwrap().as_f64(), Some(8.0));
+        assert_eq!(prof.get("overhead_ns").unwrap().as_f64(), Some(2500.0));
+        let folded = prof.get("folded").unwrap().as_array().unwrap();
+        assert_eq!(
+            folded[0].get("stack").unwrap().as_str(),
+            Some("bops.plot;bops.scan")
+        );
+        let pspans = prof.get("spans").unwrap().as_array().unwrap();
+        assert!(pspans
+            .iter()
+            .any(|s| s.get("name").unwrap().as_str() == Some("bops.plot")
+                && s.get("total").unwrap().as_f64() == Some(8.0)
+                && s.get("self").unwrap().as_f64() == Some(2.0)));
+
+        // A profiler-less snapshot renders `"profile": null`.
+        let none = Snapshot::default().to_json();
+        assert!(none.contains("\"profile\": null"), "{none}");
     }
 }

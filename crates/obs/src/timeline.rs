@@ -12,17 +12,25 @@
 //! survive a long run, so an overflowing trace degrades into "the tail of
 //! the run, with the tree intact above it" instead of a headless forest.
 //!
-//! Parentage is tracked with a thread-local stack of open span ids: a span
+//! Parentage is tracked with a per-thread stack of open spans: a span
 //! opened on a thread becomes the child of the innermost span still open
 //! *on that thread*. Spawned workers start with an empty stack; to attach
 //! their spans beneath a span owned by the spawning thread, pass a
 //! [`SpanContext`](crate::SpanContext) across and open the worker span with
 //! [`span_under`](crate::span_under).
+//!
+//! The stack itself is shared: each thread's open-span list lives behind an
+//! `Arc<Mutex<..>>` registered with the [profiler](crate::prof) on first
+//! use and deregistered when the thread exits, so the sampling profiler can
+//! observe every thread's live span path without any cooperation from the
+//! instrumented code.
 
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{LazyLock, Mutex, MutexGuard};
+use std::sync::{Arc, LazyLock, Mutex, MutexGuard};
 use std::time::Instant;
+
+use crate::prof;
 
 /// Default ring capacity (events). At ~80 bytes an event, a full default
 /// ring costs ~5 MB — and only once that many spans have actually closed;
@@ -146,9 +154,35 @@ pub(crate) fn epoch_ns() -> u64 {
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Owns this thread's shared live stack; the `Drop` impl deregisters it
+/// from the profiler when the thread exits.
+struct StackHandle {
+    stack: Arc<prof::LiveStack>,
+}
+
+impl Drop for StackHandle {
+    fn drop(&mut self) {
+        prof::deregister(self.stack.tid);
+    }
+}
+
 thread_local! {
     static THREAD_ID: Cell<u64> = const { Cell::new(0) };
-    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static SPAN_STACK: StackHandle = StackHandle {
+        stack: prof::register(current_tid()),
+    };
+}
+
+/// Runs `f` on this thread's shared live stack. During thread teardown the
+/// thread-local may already be destroyed (spans dropping from other TLS
+/// destructors); those late calls degrade to a no-op / `default`.
+fn with_stack<T: Default>(f: impl FnOnce(&mut Vec<prof::Frame>) -> T) -> T {
+    SPAN_STACK
+        .try_with(|h| {
+            let mut frames = h.stack.frames.lock().unwrap_or_else(|p| p.into_inner());
+            f(&mut frames)
+        })
+        .unwrap_or_default()
 }
 
 /// The calling thread's small sequential id (assigned on first use).
@@ -170,22 +204,22 @@ pub(crate) fn next_span_id() -> u64 {
 
 /// The innermost span currently open on this thread (0 = none).
 pub(crate) fn current_parent() -> u64 {
-    SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+    with_stack(|s| s.last().map(|&(id, _)| id).unwrap_or(0))
 }
 
-/// Marks `id` as the innermost open span on this thread.
-pub(crate) fn push_open(id: u64) {
-    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+/// Marks `id` as the innermost open span on this thread. The name rides
+/// along so the profiler's sampler can fold readable span paths.
+pub(crate) fn push_open(id: u64, name: &'static str) {
+    with_stack(|s| s.push((id, name)));
 }
 
 /// Removes `id` from this thread's open-span stack. Usually the top (RAII
 /// nesting), but out-of-order `close()` calls are tolerated by removing the
 /// last matching entry wherever it sits.
 pub(crate) fn pop_open(id: u64) {
-    SPAN_STACK.with(|s| {
-        let mut stack = s.borrow_mut();
-        if let Some(pos) = stack.iter().rposition(|&x| x == id) {
-            stack.remove(pos);
+    with_stack(|s| {
+        if let Some(pos) = s.iter().rposition(|&(x, _)| x == id) {
+            s.remove(pos);
         }
     });
 }
@@ -257,11 +291,16 @@ mod tests {
 
     #[test]
     fn stack_tolerates_out_of_order_removal() {
-        push_open(101);
-        push_open(102);
-        pop_open(101); // out of order
-        assert_eq!(current_parent(), 102);
-        pop_open(102);
-        assert_eq!(current_parent(), 0);
+        // Run on a dedicated thread: other tests share this thread's stack.
+        std::thread::spawn(|| {
+            push_open(101, "t.a");
+            push_open(102, "t.b");
+            pop_open(101); // out of order
+            assert_eq!(current_parent(), 102);
+            pop_open(102);
+            assert_eq!(current_parent(), 0);
+        })
+        .join()
+        .unwrap();
     }
 }

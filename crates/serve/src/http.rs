@@ -50,6 +50,8 @@ pub struct Request {
     pub method: String,
     /// Request path with any `?query` suffix removed.
     pub path: String,
+    /// The raw query string (text after the first `?`), when one was sent.
+    pub query: Option<String>,
     /// Headers as `(lowercased-name, value)` in arrival order.
     pub headers: Vec<(String, String)>,
     /// Request body (empty when no `Content-Length` was sent).
@@ -114,7 +116,10 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Request, HttpError> {
     if method.is_empty() || !version.starts_with("HTTP/1.") {
         return Err(HttpError::bad(format!("bad request line {line:?}")));
     }
-    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
+        None => (target.to_owned(), None),
+    };
 
     let mut headers = Vec::new();
     loop {
@@ -176,6 +181,7 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Request, HttpError> {
     Ok(Request {
         method,
         path,
+        query,
         headers,
         body,
         keep_alive,
@@ -305,6 +311,7 @@ mod tests {
             parse("GET /metrics?x=1 HTTP/1.1\r\nHost: localhost\r\nX-Thing: a b\r\n\r\n").unwrap();
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/metrics");
+        assert_eq!(r.query.as_deref(), Some("x=1"));
         assert_eq!(r.header("host"), Some("localhost"));
         assert_eq!(r.header("X-THING"), Some("a b"));
         assert!(r.body.is_empty());

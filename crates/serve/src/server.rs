@@ -12,8 +12,18 @@
 //! ([`ServeConfig::access_log`]). Per-endpoint SLOs
 //! ([`ServeConfig::slos`]) are evaluated against those histograms on each
 //! `/metrics` scrape.
+//!
+//! The tail of every per-endpoint histogram also remembers *which* request
+//! landed there: the highest-latency occupied buckets each keep the most
+//! recent `(request_id, timeline span id)` that hit them, surfaced as
+//! OpenMetrics exemplar suffixes on the `/metrics` bucket lines and as a
+//! JSON view at `/debug/exemplars` — so a p99 breach links straight to the
+//! offending request's access-log line and flight-recorder span tree. With
+//! [`ServeConfig::profile_hz`] set the daemon also runs the continuous
+//! [sampling profiler](sjpl_obs::prof); `GET /debug/profile?seconds=N`
+//! returns a collapsed-stack (flamegraph-ready) window either way.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs::File;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -60,6 +70,10 @@ pub struct ServeConfig {
     /// Requests at least this slow are counted (`serve.slow_requests`) and
     /// pinned into the flight-recorder timeline.
     pub slow_ns: u64,
+    /// Run the continuous sampling profiler at this rate (Hz) for the
+    /// server's lifetime; `None` leaves the profiler off (a
+    /// `/debug/profile` request can still take an on-demand window).
+    pub profile_hz: Option<f64>,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +86,7 @@ impl Default for ServeConfig {
             slos: Vec::new(),
             access_log: None,
             slow_ns: 100_000_000, // 100 ms
+            profile_hz: None,
         }
     }
 }
@@ -158,7 +173,28 @@ pub struct Server {
     stop: Arc<StopFlag>,
     workers: Vec<JoinHandle<()>>,
     drift: Option<DriftMonitor>,
+    shared: Arc<Shared>,
+    /// Whether `start` launched the continuous profiler (and `shutdown`
+    /// should therefore stop it).
+    profiler_started: bool,
 }
+
+/// One tail-latency exemplar: the most recent request that landed in a
+/// given histogram bucket of a per-endpoint timing series.
+#[derive(Clone, Debug)]
+struct Exemplar {
+    request_id: u64,
+    /// Timeline id of the request's `serve.request` span (0 when the
+    /// recorder allocated none, e.g. a parse failure).
+    span_id: u64,
+    dur_ns: u64,
+    ts_ms: u64,
+}
+
+/// Tail buckets remembered per series: the highest-`le` occupied buckets
+/// keep their most recent exemplar, faster buckets age out as slower ones
+/// appear. Bounded, so exemplar memory is O(series × 8).
+const MAX_EXEMPLAR_BUCKETS: usize = 8;
 
 /// State shared by every worker (the stop flag is also held by the
 /// `Server` handle).
@@ -172,6 +208,8 @@ struct Shared {
     slo_breached: Mutex<HashMap<String, bool>>,
     access_log: Option<Mutex<File>>,
     slow_ns: u64,
+    /// series name → inclusive `le` bucket bound → most recent exemplar.
+    exemplars: Mutex<HashMap<String, BTreeMap<u64, Exemplar>>>,
 }
 
 impl Server {
@@ -199,7 +237,12 @@ impl Server {
             slo_breached: Mutex::new(HashMap::new()),
             access_log,
             slow_ns: cfg.slow_ns,
+            exemplars: Mutex::new(HashMap::new()),
         });
+        let profiler_started = match cfg.profile_hz {
+            Some(hz) => sjpl_obs::prof::start(hz),
+            None => false,
+        };
 
         let mut workers = Vec::with_capacity(cfg.threads.max(1));
         for i in 0..cfg.threads.max(1) {
@@ -224,6 +267,8 @@ impl Server {
             stop,
             workers,
             drift,
+            shared,
+            profiler_started,
         })
     }
 
@@ -250,6 +295,18 @@ impl Server {
         }
         if let Some(d) = self.drift.take() {
             d.shutdown();
+        }
+        if self.profiler_started {
+            // Folds the run's samples into the `prof.*` counters and keeps
+            // the finished profile retrievable via `current_profile`.
+            let _ = sjpl_obs::prof::stop();
+        }
+        // Workers are joined, so no request can still be writing: flush the
+        // access log to disk before the handle drops. `write_all` already
+        // pushed every line to the OS; `sync_all` makes them durable.
+        if let Some(log) = &self.shared.access_log {
+            let f = log.lock().unwrap_or_else(|p| p.into_inner());
+            let _ = f.sync_all();
         }
     }
 
@@ -343,13 +400,17 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             let _s = sjpl_obs::span("serve.read");
             read_request(&mut reader)
         };
-        let (routed, keep_alive, method, path) = match parsed {
+        let (routed, keep_alive, method, path, span_id) = match parsed {
             Ok(req) => {
-                let _span = sjpl_obs::span_with("serve.request", || {
+                let span = sjpl_obs::span_with("serve.request", || {
                     format!("{} {} #{request_id}", req.method, req.path)
                 });
+                // Remembered by the exemplar store so a tail bucket can
+                // point back into the flight-recorder timeline.
+                let span_id = span.context().span_id();
                 let routed = route(&req, shared, request_id);
-                (routed, req.keep_alive, req.method, req.path)
+                drop(span);
+                (routed, req.keep_alive, req.method, req.path, span_id)
             }
             // Parse failures have no usable framing; always close.
             Err(e) => (
@@ -357,6 +418,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 false,
                 String::new(),
                 String::new(),
+                0,
             ),
         };
 
@@ -377,10 +439,9 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 
         let dur_ns = t0.elapsed().as_nanos() as u64;
         let endpoint = endpoint_label(&path);
-        sjpl_obs::record_ns_named(
-            format!("serve.endpoint.{endpoint}.{}", status_class(status)),
-            dur_ns,
-        );
+        let series = format!("serve.endpoint.{endpoint}.{}", status_class(status));
+        sjpl_obs::record_ns_named(series.clone(), dur_ns);
+        record_exemplar(shared, series, request_id, span_id, dur_ns);
         let slow = dur_ns >= shared.slow_ns;
         if slow {
             sjpl_obs::counter_add("serve.slow_requests", 1);
@@ -449,6 +510,137 @@ fn access_log(
     let _ = f.write_all(line.as_bytes());
 }
 
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Remembers this request as the exemplar of the histogram bucket its
+/// duration landed in — keyed by the same inclusive `le` bound the
+/// Prometheus exposition prints, so the `/metrics` decorator can match
+/// bucket lines exactly. Only the [`MAX_EXEMPLAR_BUCKETS`] highest buckets
+/// survive per series: fast requests age out, tail requests stick.
+fn record_exemplar(shared: &Shared, series: String, request_id: u64, span_id: u64, dur_ns: u64) {
+    let ub = sjpl_obs::hist::bucket_upper_bound(sjpl_obs::hist::bucket_of(dur_ns));
+    let le = if ub == u64::MAX { ub } else { ub - 1 };
+    let exemplar = Exemplar {
+        request_id,
+        span_id,
+        dur_ns,
+        ts_ms: now_ms(),
+    };
+    let mut store = shared.exemplars.lock().unwrap_or_else(|p| p.into_inner());
+    let buckets = store.entry(series).or_default();
+    buckets.insert(le, exemplar);
+    while buckets.len() > MAX_EXEMPLAR_BUCKETS {
+        buckets.pop_first();
+    }
+}
+
+/// Appends OpenMetrics exemplar suffixes (` # {labels} value`) to the
+/// `_bucket` lines of series that have remembered exemplars. The `+Inf`
+/// bucket carries the slowest remembered exemplar; finite buckets carry
+/// their own. Lines without a matching exemplar pass through untouched.
+fn decorate_with_exemplars(text: &str, store: &HashMap<String, BTreeMap<u64, Exemplar>>) -> String {
+    if store.is_empty() {
+        return text.to_owned();
+    }
+    let by_prefix: Vec<(String, &BTreeMap<u64, Exemplar>)> = store
+        .iter()
+        .map(|(series, buckets)| {
+            let p = format!(
+                "sjpl_{}_ns_bucket{{le=\"",
+                sjpl_obs::prometheus::sanitize(series)
+            );
+            (p, buckets)
+        })
+        .collect();
+    let mut out = String::with_capacity(text.len() + 64 * store.len());
+    for line in text.lines() {
+        out.push_str(line);
+        for (prefix, buckets) in &by_prefix {
+            let Some(rest) = line.strip_prefix(prefix.as_str()) else {
+                continue;
+            };
+            let le_str = rest.split('"').next().unwrap_or("");
+            let exemplar = if le_str == "+Inf" {
+                buckets.last_key_value().map(|(_, e)| e)
+            } else {
+                le_str.parse::<u64>().ok().and_then(|le| buckets.get(&le))
+            };
+            if let Some(e) = exemplar {
+                let _ = std::fmt::Write::write_fmt(
+                    &mut out,
+                    format_args!(
+                        " # {{request_id=\"{}\",span_id=\"{}\"}} {}",
+                        e.request_id, e.span_id, e.dur_ns
+                    ),
+                );
+            }
+            break;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The `/debug/exemplars` JSON view: every remembered tail bucket, sorted
+/// by series name then `le`.
+fn exemplars_json(shared: &Shared) -> String {
+    let store = shared.exemplars.lock().unwrap_or_else(|p| p.into_inner());
+    let mut series: Vec<(&String, &BTreeMap<u64, Exemplar>)> = store.iter().collect();
+    series.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"exemplars\": [\n");
+    let mut first = true;
+    for (name, buckets) in series {
+        for (le, e) in buckets {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "    {{\"series\": \"{}\", \"le\": {le}, \"request_id\": {}, \
+                     \"span_id\": {}, \"duration_ns\": {}, \"ts_ms\": {}}}",
+                    escape(name),
+                    e.request_id,
+                    e.span_id,
+                    e.dur_ns,
+                    e.ts_ms
+                ),
+            );
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Publishes the live profiler accounting (`prof.live.*` gauges) so every
+/// scrape carries the sampler's current sample/drop/overhead totals — for
+/// the continuous sampler while it runs, or the last finished window.
+fn publish_profiler_gauges() {
+    if let Some(p) = sjpl_obs::prof::current_profile() {
+        sjpl_obs::gauge_set("prof.live.samples", p.samples as f64);
+        sjpl_obs::gauge_set(
+            "prof.live.dropped_samples",
+            (p.dropped + p.missed_ticks) as f64,
+        );
+        sjpl_obs::gauge_set("prof.live.overhead_ns", p.overhead_ns as f64);
+    }
+}
+
+/// First value of `key` in a raw `a=1&b=2` query string.
+fn query_param<'a>(query: Option<&'a str>, key: &str) -> Option<&'a str> {
+    query?.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
 /// The fixed endpoint label a path is bucketed under for metrics — never
 /// the raw client path, which would be unbounded-cardinality (and an
 /// injection vector into metric names).
@@ -460,6 +652,8 @@ fn endpoint_label(path: &str) -> &'static str {
         "/timeline" => "timeline",
         "/healthz" => "healthz",
         "/readyz" => "readyz",
+        "/debug/profile" => "profile",
+        "/debug/exemplars" => "exemplars",
         _ => "other",
     }
 }
@@ -509,10 +703,21 @@ fn route(req: &Request, shared: &Shared, request_id: u64) -> Routed {
         }
         ("GET", "/metrics") => {
             let _s = sjpl_obs::span("serve.metrics");
+            // The scrape path instruments itself: its own span/counter land
+            // in the *next* scrape (this one's snapshot is already taken by
+            // the time the span closes).
+            let _scrape = sjpl_obs::span("serve.scrape");
+            sjpl_obs::counter_add("serve.scrape.total", 1);
             publish_slos(shared);
+            publish_profiler_gauges();
+            let text = sjpl_obs::snapshot().to_prometheus();
+            let decorated = {
+                let store = shared.exemplars.lock().unwrap_or_else(|p| p.into_inner());
+                decorate_with_exemplars(&text, &store)
+            };
             Routed::plain(Response::ok(
                 "text/plain; version=0.0.4; charset=utf-8",
-                sjpl_obs::snapshot().to_prometheus(),
+                decorated,
             ))
         }
         ("GET", "/snapshot") => {
@@ -526,6 +731,39 @@ fn route(req: &Request, shared: &Shared, request_id: u64) -> Routed {
         ("GET", "/healthz") => {
             let _s = sjpl_obs::span("serve.healthz");
             Routed::plain(Response::text(200, "ok"))
+        }
+        ("GET", "/debug/profile") => {
+            let _s = sjpl_obs::span("serve.profile");
+            let q = req.query.as_deref();
+            let seconds = match query_param(q, "seconds").map(str::parse::<f64>) {
+                None => 1.0,
+                Some(Ok(s)) if s.is_finite() && s > 0.0 && s <= 30.0 => s,
+                Some(_) => {
+                    return Routed::plain(Response::text(
+                        400,
+                        "seconds must be a number in (0, 30]",
+                    ))
+                }
+            };
+            let hz = match query_param(q, "hz").map(str::parse::<f64>) {
+                None => 99.0,
+                Some(Ok(h)) if h.is_finite() && h > 0.0 => h,
+                Some(_) => {
+                    return Routed::plain(Response::text(400, "hz must be a positive number"))
+                }
+            };
+            // Blocks this worker for the window; bounded by the 30s cap.
+            // When the continuous sampler is running, the window is a diff
+            // of its live profile and `hz` is ignored.
+            let profile = sjpl_obs::prof::window(hz, Duration::from_secs_f64(seconds));
+            Routed::plain(match query_param(q, "format") {
+                Some("json") => Response::json(profile.to_json()),
+                _ => Response::ok("text/plain; charset=utf-8", profile.to_collapsed()),
+            })
+        }
+        ("GET", "/debug/exemplars") => {
+            let _s = sjpl_obs::span("serve.exemplars");
+            Routed::plain(Response::json(exemplars_json(shared)))
         }
         ("GET", "/readyz") => {
             let _s = sjpl_obs::span("serve.readyz");
@@ -545,7 +783,11 @@ fn route(req: &Request, shared: &Shared, request_id: u64) -> Routed {
             Response::text(405, format!("method {} not allowed", req.method))
                 .with_header("Allow", "POST"),
         ),
-        (_, "/metrics" | "/snapshot" | "/timeline" | "/healthz" | "/readyz") => Routed::plain(
+        (
+            _,
+            "/metrics" | "/snapshot" | "/timeline" | "/healthz" | "/readyz" | "/debug/profile"
+            | "/debug/exemplars",
+        ) => Routed::plain(
             Response::text(405, format!("method {} not allowed", req.method))
                 .with_header("Allow", "GET"),
         ),
@@ -747,6 +989,8 @@ mod tests {
     fn endpoint_labels_and_status_classes_are_fixed() {
         assert_eq!(endpoint_label("/estimate"), "estimate");
         assert_eq!(endpoint_label("/healthz"), "healthz");
+        assert_eq!(endpoint_label("/debug/profile"), "profile");
+        assert_eq!(endpoint_label("/debug/exemplars"), "exemplars");
         assert_eq!(endpoint_label("/../etc/passwd"), "other");
         assert_eq!(endpoint_label("/metrics{evil=\"1\"}"), "other");
         assert_eq!(status_class(200), "2xx");
@@ -754,5 +998,120 @@ mod tests {
         assert_eq!(status_class(404), "4xx");
         assert_eq!(status_class(500), "5xx");
         assert_eq!(class_counter(503), "serve.responses.5xx");
+    }
+
+    #[test]
+    fn query_params_parse_first_match_and_tolerate_junk() {
+        assert_eq!(query_param(Some("seconds=2&hz=50"), "seconds"), Some("2"));
+        assert_eq!(query_param(Some("seconds=2&hz=50"), "hz"), Some("50"));
+        assert_eq!(query_param(Some("a=1&a=2"), "a"), Some("1"));
+        assert_eq!(query_param(Some("novalue&x=1"), "x"), Some("1"));
+        assert_eq!(query_param(Some("seconds=2"), "hz"), None);
+        assert_eq!(query_param(None, "seconds"), None);
+    }
+
+    fn exemplar_store(
+        entries: &[(&str, u64, u64, u64, u64)],
+    ) -> HashMap<String, BTreeMap<u64, Exemplar>> {
+        let mut store: HashMap<String, BTreeMap<u64, Exemplar>> = HashMap::new();
+        for &(series, le, request_id, span_id, dur_ns) in entries {
+            store.entry(series.to_owned()).or_default().insert(
+                le,
+                Exemplar {
+                    request_id,
+                    span_id,
+                    dur_ns,
+                    ts_ms: 0,
+                },
+            );
+        }
+        store
+    }
+
+    #[test]
+    fn exemplar_decoration_hits_matching_buckets_only() {
+        // `le` bounds must match what the exposition prints for these
+        // durations: bucket_upper_bound(bucket_of(v)) − 1.
+        let text = "\
+# TYPE sjpl_serve_endpoint_estimate_2xx_ns histogram
+sjpl_serve_endpoint_estimate_2xx_ns_bucket{le=\"927\"} 4
+sjpl_serve_endpoint_estimate_2xx_ns_bucket{le=\"1023\"} 5
+sjpl_serve_endpoint_estimate_2xx_ns_bucket{le=\"+Inf\"} 6
+sjpl_serve_endpoint_estimate_2xx_ns_sum 4321
+sjpl_serve_endpoint_estimate_2xx_ns_count 6
+sjpl_other_metric 1
+";
+        let store = exemplar_store(&[
+            ("serve.endpoint.estimate.2xx", 927, 41, 7, 900),
+            ("serve.endpoint.estimate.2xx", 4095, 42, 8, 4000),
+        ]);
+        let out = decorate_with_exemplars(text, &store);
+        // The 927 bucket carries its exemplar; 1023 has none and passes
+        // through; +Inf carries the slowest remembered one.
+        assert!(out.contains(
+            "sjpl_serve_endpoint_estimate_2xx_ns_bucket{le=\"927\"} 4 \
+             # {request_id=\"41\",span_id=\"7\"} 900"
+        ));
+        assert!(out.contains("{le=\"1023\"} 5\n"));
+        assert!(out.contains(
+            "sjpl_serve_endpoint_estimate_2xx_ns_bucket{le=\"+Inf\"} 6 \
+             # {request_id=\"42\",span_id=\"8\"} 4000"
+        ));
+        // Non-bucket lines and other metrics are untouched.
+        assert!(out.contains("sjpl_serve_endpoint_estimate_2xx_ns_sum 4321\n"));
+        assert!(out.contains("sjpl_other_metric 1\n"));
+        // An empty store is the identity.
+        assert_eq!(decorate_with_exemplars(text, &HashMap::new()), text);
+    }
+
+    #[test]
+    fn exemplar_buckets_keep_the_tail_and_stay_bounded() {
+        let shared = Shared {
+            catalog: Arc::new(Mutex::new(sjpl_core::LawCatalog::default())),
+            stop: Arc::new(StopFlag::new()),
+            request_seq: AtomicU64::new(0),
+            inflight: LiveGauge::new("serve.inflight"),
+            connections: LiveGauge::new("serve.connections"),
+            slos: Vec::new(),
+            slo_breached: Mutex::new(HashMap::new()),
+            access_log: None,
+            slow_ns: u64::MAX,
+            exemplars: Mutex::new(HashMap::new()),
+        };
+        // Durations spread across > MAX_EXEMPLAR_BUCKETS distinct buckets:
+        // powers of two land in distinct log-linear buckets.
+        for i in 0..12u32 {
+            record_exemplar(
+                &shared,
+                "serve.endpoint.estimate.2xx".to_owned(),
+                u64::from(i) + 1,
+                100 + u64::from(i),
+                1u64 << (i + 4),
+            );
+        }
+        let store = shared.exemplars.lock().unwrap();
+        let buckets = &store["serve.endpoint.estimate.2xx"];
+        assert_eq!(buckets.len(), MAX_EXEMPLAR_BUCKETS);
+        // The slowest request survives as the top bucket's exemplar...
+        let (_, top) = buckets.last_key_value().unwrap();
+        assert_eq!(top.request_id, 12);
+        assert_eq!(top.dur_ns, 1 << 15);
+        // ...and the fastest ones aged out.
+        let (_, bottom) = buckets.first_key_value().unwrap();
+        assert!(bottom.dur_ns > 1 << 6);
+        // A faster repeat into a surviving bucket overwrites in place.
+        drop(store);
+        record_exemplar(
+            &shared,
+            "serve.endpoint.estimate.2xx".to_owned(),
+            99,
+            999,
+            1 << 15,
+        );
+        let store = shared.exemplars.lock().unwrap();
+        let (_, top) = store["serve.endpoint.estimate.2xx"]
+            .last_key_value()
+            .unwrap();
+        assert_eq!((top.request_id, top.span_id), (99, 999));
     }
 }

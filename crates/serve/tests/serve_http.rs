@@ -114,6 +114,18 @@ fn assert_valid_exposition(text: &str) {
             continue;
         }
         assert!(!line.starts_with('#'), "stray comment: {line:?}");
+        // Tail buckets may carry an OpenMetrics exemplar suffix
+        // (` # {labels} value`); strip it before parsing the sample.
+        let line = match line.split_once(" # ") {
+            Some((sample, exemplar)) => {
+                assert!(
+                    exemplar.starts_with('{') && exemplar.contains("} "),
+                    "malformed exemplar: {line:?}"
+                );
+                sample
+            }
+            None => line,
+        };
         let (series, value) = line.rsplit_once(' ').expect("sample line");
         let name = series.split('{').next().unwrap().to_owned();
         if let Some(base) = name.strip_suffix("_bucket") {
@@ -271,6 +283,9 @@ fn endpoint_contract_and_concurrent_estimates() {
         // Response-class counters.
         "# TYPE sjpl_serve_responses_2xx counter",
         "# TYPE sjpl_serve_responses_4xx counter",
+        // The scrape path instruments itself; the counter is bumped before
+        // the snapshot is taken, so even the first scrape carries it.
+        "# TYPE sjpl_serve_scrape_total counter",
     ] {
         assert!(text.contains(needle), "missing {needle:?}");
     }
@@ -278,7 +293,7 @@ fn endpoint_contract_and_concurrent_estimates() {
     let (status, _, snap) = get(addr, "/snapshot");
     assert_eq!(status, 200);
     let doc = Json::parse(&snap).unwrap();
-    assert_eq!(doc.get("schema").unwrap().as_f64(), Some(3.0));
+    assert_eq!(doc.get("schema").unwrap().as_f64(), Some(4.0));
     let spans = doc.get("spans").unwrap().as_array().unwrap();
     assert!(spans
         .iter()
@@ -286,6 +301,9 @@ fn endpoint_contract_and_concurrent_estimates() {
     assert!(spans
         .iter()
         .all(|s| s.get("p95_ns").unwrap().as_f64().is_some()));
+    assert!(spans
+        .iter()
+        .all(|s| s.get("p999_ns").unwrap().as_f64().is_some()));
 
     let (status, _, trace) = get(addr, "/timeline");
     assert_eq!(status, 200);
@@ -612,7 +630,227 @@ fn access_log_records_every_request_and_slow_capture_fires() {
     );
     assert!(log.contains("\"endpoint\":\"healthz\""), "{log}");
     assert!(log.contains("\"endpoint\":\"estimate\""), "{log}");
+    // Shutdown flushed the log: the *last* request before shutdown (the
+    // /timeline probe) is on disk, with the run's highest request id.
+    assert!(log.contains("\"endpoint\":\"timeline\""), "{log}");
+    let max_id = lines
+        .iter()
+        .map(|l| {
+            Json::parse(l)
+                .unwrap()
+                .get("request_id")
+                .unwrap()
+                .as_f64()
+                .unwrap() as u64
+        })
+        .max()
+        .unwrap();
+    let last = Json::parse(lines.last().unwrap()).unwrap();
+    assert_eq!(
+        last.get("request_id").unwrap().as_f64().map(|v| v as u64),
+        Some(max_id),
+        "last line must be the last request"
+    );
+    assert_eq!(last.get("endpoint").unwrap().as_str(), Some("timeline"));
     let _ = std::fs::remove_file(&log_path);
+}
+
+/// The tentpole's linking contract, end to end: a request lands in a tail
+/// bucket → `/debug/exemplars` remembers its id → the `/metrics` bucket
+/// line carries it as an OpenMetrics exemplar → the id resolves to the
+/// same request in both the flight-recorder timeline (span tree) and the
+/// access log. All three views must agree.
+#[test]
+fn exemplars_link_scrape_to_access_log_and_timeline() {
+    let log_path =
+        std::env::temp_dir().join(format!("sjpl-exemplar-log-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let server = Server::start(
+        catalog_with("exlaw", fitted_law(1_000, 23)),
+        ServeConfig {
+            access_log: Some(log_path.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    for _ in 0..3 {
+        assert_eq!(
+            post_estimate(addr, r#"{"law": "exlaw", "radius": 0.1}"#).0,
+            200
+        );
+    }
+
+    // The exemplar store remembers a recent estimate request.
+    let (status, _, body) = get(addr, "/debug/exemplars");
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("schema").unwrap().as_f64(), Some(1.0));
+    let exemplars = doc.get("exemplars").unwrap().as_array().unwrap();
+    let ex = exemplars
+        .iter()
+        .rfind(|e| e.get("series").unwrap().as_str() == Some("serve.endpoint.estimate.2xx"))
+        .expect("an exemplar for the estimate endpoint");
+    let request_id = ex.get("request_id").unwrap().as_f64().unwrap() as u64;
+    let span_id = ex.get("span_id").unwrap().as_f64().unwrap() as u64;
+    let dur_ns = ex.get("duration_ns").unwrap().as_f64().unwrap() as u64;
+    assert!(request_id > 0 && span_id > 0, "{body}");
+
+    // The /metrics exposition carries it as an exemplar suffix on an
+    // estimate bucket line.
+    let (_, _, text) = get(addr, "/metrics");
+    assert_valid_exposition(&text);
+    let suffix = format!(" # {{request_id=\"{request_id}\",span_id=\"{span_id}\"}} {dur_ns}");
+    let line = text
+        .lines()
+        .find(|l| l.ends_with(&suffix))
+        .unwrap_or_else(|| panic!("no bucket line ends with {suffix:?} in:\n{text}"));
+    assert!(
+        line.starts_with("sjpl_serve_endpoint_estimate_2xx_ns_bucket{le=\""),
+        "exemplar on the wrong series: {line}"
+    );
+
+    // The span id resolves in the flight-recorder timeline to the same
+    // request's `serve.request` span.
+    let (_, _, snap) = get(addr, "/snapshot");
+    let doc = Json::parse(&snap).unwrap();
+    let events = doc
+        .get("timeline")
+        .unwrap()
+        .get("events")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    let span = events
+        .iter()
+        .find(|e| e.get("id").unwrap().as_f64() == Some(span_id as f64))
+        .expect("exemplar span id must resolve in the timeline");
+    assert_eq!(span.get("name").unwrap().as_str(), Some("serve.request"));
+    let args = span.get("args").unwrap().as_str().unwrap();
+    assert!(
+        args.contains(&format!("#{request_id}")) && args.contains("POST /estimate"),
+        "timeline span {span_id} disagrees with exemplar: {args:?}"
+    );
+    // And the routed handler is a child of that request span.
+    assert!(
+        events.iter().any(|e| {
+            e.get("name").unwrap().as_str() == Some("serve.estimate")
+                && e.get("parent").unwrap().as_f64() == Some(span_id as f64)
+        }),
+        "no serve.estimate child under span {span_id}"
+    );
+
+    server.shutdown();
+
+    // The request id resolves in the access log to the same request.
+    let log = std::fs::read_to_string(&log_path).expect("access log written");
+    let row = log
+        .lines()
+        .map(|l| Json::parse(l).unwrap())
+        .find(|d| d.get("request_id").unwrap().as_f64() == Some(request_id as f64))
+        .expect("exemplar request id must resolve in the access log");
+    assert_eq!(row.get("endpoint").unwrap().as_str(), Some("estimate"));
+    assert_eq!(row.get("status").unwrap().as_f64(), Some(200.0));
+    assert_eq!(row.get("law").unwrap().as_str(), Some("exlaw"));
+    let _ = std::fs::remove_file(&log_path);
+}
+
+/// `/debug/profile` returns a collapsed-stack window. The worker serving
+/// the request holds `serve.request` → `serve.profile` open for the whole
+/// window, so the profile always contains at least that path.
+#[test]
+fn debug_profile_returns_collapsed_stacks_and_json() {
+    let server = Server::start(
+        catalog_with("proflaw", fitted_law(1_000, 29)),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let (status, head, body) = get(addr, "/debug/profile?seconds=0.4&hz=250");
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("text/plain"), "{head}");
+    for line in body.lines() {
+        let (stack, count) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("collapsed line must be `path;to;span N`: {line:?}"));
+        count
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("collapsed count must be an integer: {line:?}"));
+        assert!(
+            !stack.is_empty() && stack.split(';').all(|f| !f.is_empty()),
+            "empty frame in {line:?}"
+        );
+    }
+    assert!(
+        body.lines().any(|l| l.contains("serve.profile")),
+        "the profiling request itself must be sampled:\n{body}"
+    );
+
+    // JSON format: the accounting invariant holds over the window.
+    let (status, _, body) = get(addr, "/debug/profile?seconds=0.2&hz=100&format=json");
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).unwrap();
+    let field = |k: &str| doc.get(k).unwrap().as_f64().unwrap() as u64;
+    assert_eq!(
+        field("attempts"),
+        field("samples") + field("idle") + field("dropped"),
+        "{body}"
+    );
+    assert!(field("ticks") >= 1, "{body}");
+
+    // Bad parameters are rejected, wrong methods advertised.
+    assert_eq!(get(addr, "/debug/profile?seconds=99").0, 400);
+    assert_eq!(get(addr, "/debug/profile?seconds=nope").0, 400);
+    assert_eq!(get(addr, "/debug/profile?hz=-5").0, 400);
+    let (status, head, _) = http(
+        addr,
+        "POST /debug/profile HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 405);
+    assert!(head.to_lowercase().contains("allow: get"), "{head}");
+
+    server.shutdown();
+}
+
+/// With `profile_hz` set the daemon runs the continuous sampler: scrapes
+/// publish the live accounting gauges and `/debug/profile` windows are
+/// diffs of the running profile.
+#[test]
+fn continuous_profiler_publishes_live_gauges() {
+    let server = Server::start(
+        catalog_with("contlaw", fitted_law(1_000, 31)),
+        ServeConfig {
+            profile_hz: Some(199.0),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Give the sampler a few ticks, then scrape.
+    std::thread::sleep(Duration::from_millis(120));
+    let (status, _, text) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_valid_exposition(&text);
+    for needle in [
+        "# TYPE sjpl_prof_live_samples gauge",
+        "# TYPE sjpl_prof_live_dropped_samples gauge",
+        "# TYPE sjpl_prof_live_overhead_ns gauge",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // A window against the running sampler still works (snapshot diff).
+    let (status, _, body) = get(addr, "/debug/profile?seconds=0.3");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.lines().any(|l| l.contains("serve.profile")),
+        "window over the continuous sampler must see the live request:\n{body}"
+    );
+
+    server.shutdown();
 }
 
 #[test]

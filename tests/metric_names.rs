@@ -186,6 +186,16 @@ fn registry_covers_the_serve_names_too() {
         "serve.drift.checks",
         "serve.drift.breaches",
         "serve.drift.breach",
+        "serve.scrape",
+        "serve.scrape.total",
+        "serve.profile",
+        "serve.exemplars",
+        "prof.samples",
+        "prof.dropped_samples",
+        "prof.overhead_ns",
+        "prof.live.samples",
+        "prof.live.dropped_samples",
+        "prof.live.overhead_ns",
     ] {
         assert!(names::is_stable(name), "{name:?} missing from the registry");
     }
@@ -196,7 +206,15 @@ fn registry_covers_the_serve_names_too() {
     // histograms and per-endpoint SLO series. The endpoint suffix always
     // comes from the server's fixed route table, never raw client paths.
     for endpoint in [
-        "estimate", "metrics", "snapshot", "timeline", "healthz", "readyz", "other",
+        "estimate",
+        "metrics",
+        "snapshot",
+        "timeline",
+        "healthz",
+        "readyz",
+        "other",
+        "profile",
+        "exemplars",
     ] {
         for class in ["2xx", "3xx", "4xx", "5xx"] {
             assert!(names::is_stable(&format!(
