@@ -91,6 +91,20 @@ pub struct Options {
     /// `--profile-out <file>` (loadtest: fetch a collapsed-stack profile
     /// window from the daemon during the run and write it here).
     pub profile_out: Option<String>,
+    /// `--max-inflight <n>` (serve: admission-control capacity; 0 = same
+    /// as `--threads`).
+    pub max_inflight: Option<usize>,
+    /// `--deadline-ms <ms>` (serve: default per-request deadline budget).
+    pub deadline_ms: Option<u64>,
+    /// `--fault <plan>` (serve: seeded fault-injection plan, e.g.
+    /// `estimate:latency=50ms@0.1,accept:reset@0.02`).
+    pub fault: Option<String>,
+    /// `--fault-seed <n>` (serve: fault-plan RNG seed).
+    pub fault_seed: Option<u64>,
+    /// `--chaos` (loadtest: interleave hostile-client behavior).
+    pub chaos: bool,
+    /// `--retries <n>` (loadtest: retry budget per logical request).
+    pub retries: Option<u32>,
 }
 
 /// Parses `argv` into [`Options`].
@@ -130,6 +144,12 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
         out: None,
         profile_hz: None,
         profile_out: None,
+        max_inflight: None,
+        deadline_ms: None,
+        fault: None,
+        fault_seed: None,
+        chaos: false,
+        retries: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -306,6 +326,32 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
             }
             "--profile-out" => {
                 o.profile_out = Some(take_value("--profile-out")?);
+            }
+            "--max-inflight" => {
+                let v = take_value("--max-inflight")?;
+                o.max_inflight = Some(v.parse().map_err(|_| format!("bad max-inflight {v:?}"))?);
+            }
+            "--deadline-ms" => {
+                let v = take_value("--deadline-ms")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad deadline-ms {v:?}"))?;
+                if ms == 0 {
+                    return Err("deadline-ms must be >= 1".to_owned());
+                }
+                o.deadline_ms = Some(ms);
+            }
+            "--fault" => {
+                o.fault = Some(take_value("--fault")?);
+            }
+            "--fault-seed" => {
+                let v = take_value("--fault-seed")?;
+                o.fault_seed = Some(v.parse().map_err(|_| format!("bad fault-seed {v:?}"))?);
+            }
+            "--chaos" => {
+                o.chaos = true;
+            }
+            "--retries" => {
+                let v = take_value("--retries")?;
+                o.retries = Some(v.parse().map_err(|_| format!("bad retries {v:?}"))?);
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}"));
@@ -533,6 +579,41 @@ mod tests {
         assert!(parse(&sv(&["--profile-hz", "inf"])).is_err());
         assert!(parse(&sv(&["--profile-hz", "x"])).is_err());
         assert!(parse(&sv(&["--profile-out"])).is_err());
+    }
+
+    #[test]
+    fn chaos_and_overload_flags_parse() {
+        let o = parse(&sv(&[
+            "--max-inflight",
+            "8",
+            "--deadline-ms",
+            "250",
+            "--fault",
+            "estimate:latency=50ms@0.1,accept:reset@0.02",
+            "--fault-seed",
+            "7",
+            "--chaos",
+            "--retries",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(o.max_inflight, Some(8));
+        assert_eq!(o.deadline_ms, Some(250));
+        assert_eq!(
+            o.fault.as_deref(),
+            Some("estimate:latency=50ms@0.1,accept:reset@0.02")
+        );
+        assert_eq!(o.fault_seed, Some(7));
+        assert!(o.chaos);
+        assert_eq!(o.retries, Some(3));
+        let o = parse(&sv(&["--max-inflight", "0"])).unwrap();
+        assert_eq!(o.max_inflight, Some(0));
+        assert!(!parse(&sv(&["--retries", "0"])).unwrap().chaos);
+        assert!(parse(&sv(&["--deadline-ms", "0"])).is_err());
+        assert!(parse(&sv(&["--deadline-ms", "x"])).is_err());
+        assert!(parse(&sv(&["--max-inflight", "-1"])).is_err());
+        assert!(parse(&sv(&["--fault"])).is_err());
+        assert!(parse(&sv(&["--retries", "-2"])).is_err());
     }
 
     #[test]

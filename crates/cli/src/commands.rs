@@ -36,15 +36,18 @@ commands:
                                                  timeline to Chrome Trace Format
                                                  (open at https://ui.perfetto.dev)
   regress <old.json> <new.json>                  diff two snapshot/bench reports;
-                                                 exit nonzero on perf, throughput
-                                                 or accuracy regression beyond
-                                                 the thresholds
+                                                 exit nonzero on perf, throughput,
+                                                 error-rate or accuracy regression
+                                                 beyond the thresholds
   loadtest [host:port]                           drive a running serve daemon
                                                  with a seeded keep-alive
                                                  workload and write
                                                  BENCH_serve.json (req/s,
-                                                 p50/p95/p99/p999 per endpoint)
-                                                 for the regress gate
+                                                 p50/p95/p99/p999 per endpoint,
+                                                 client-visible error rates)
+                                                 for the regress gate; --chaos
+                                                 adds hostile clients, --retries
+                                                 a Retry-After-aware retry policy
   serve --catalog <cat.tsv> [data.csv…]          live estimation daemon: POST
                                                  /estimate answers O(1) from the
                                                  stored laws; GET /metrics
@@ -98,6 +101,19 @@ options:
   --profile-hz <hz>    serve: run the continuous span-stack profiler at this
                        sampling rate; collapsed stacks via GET /debug/profile,
                        flamegraph section in /snapshot [off by default]
+  --max-inflight <n>   serve: admission-control capacity; requests beyond it
+                       (plus a short queue) are shed with 429 + Retry-After.
+                       Debug endpoints shed first, health probes never
+                       [default 0 = same as --threads]
+  --deadline-ms <ms>   serve: default per-request deadline budget; requests
+                       exceeding it get 503 + Retry-After. Clients override
+                       per request with an X-Deadline-Ms header [off by default]
+  --fault <plan>       serve: deterministic fault injection, comma-separated
+                       <stage|endpoint>:<kind>[=value]@<probability> rules,
+                       e.g. estimate:latency=50ms@0.1,accept:reset@0.02
+                       (kinds: latency=<dur>, reset, torn, panic); every
+                       injection is counted on /metrics
+  --fault-seed <n>     serve: RNG seed for the fault plan [default 42]
   --connections <n>    loadtest: concurrent keep-alive connections; keep at
                        or below the server's --threads [default 2]
   --rate <r>           loadtest: open-loop target req/s (latency measured
@@ -112,6 +128,13 @@ options:
   --profile-out <file> loadtest: fetch /debug/profile from the target during
                        the run and write the collapsed stacks here (feed to
                        a flamegraph renderer)
+  --retries <n>        loadtest: retry budget per logical request — retries on
+                       transport failure, 429 and 503 with capped exponential
+                       backoff, deterministic jitter and Retry-After awareness
+                       [default 0]
+  --chaos              loadtest: interleave hostile-client acts on throwaway
+                       connections (slow-loris header drip, truncated bodies,
+                       mid-response aborts, garbage pipelining)
 
 exit codes:
   0  success
@@ -228,10 +251,12 @@ fn cmd_regress(o: &Options) -> Result<(), CliError> {
         eprintln!("note: {note}");
     }
     println!(
-        "compared {} perf series, {} throughput series and {} accuracy records \
-         (thresholds: perf +{:.1}%, throughput -{:.1}%, rel_error +{:.3})",
+        "compared {} perf series, {} throughput series, {} error-rate series and \
+         {} accuracy records (thresholds: perf +{:.1}%, throughput -{:.1}%, \
+         error rate/rel_error +{:.3})",
         rep.perf_compared,
         rep.throughput_compared,
+        rep.error_rate_compared,
         rep.accuracy_compared,
         thresholds.max_perf * 100.0,
         thresholds.max_perf * 100.0,
@@ -284,6 +309,8 @@ fn cmd_loadtest(o: &Options) -> Result<(), String> {
             .clone()
             .unwrap_or_else(|| "BENCH_serve.json".to_owned()),
         profile_out: o.profile_out.clone(),
+        retries: o.retries.unwrap_or(0),
+        chaos: o.chaos,
     };
     let summary = crate::loadtest::run(&cfg)?;
     println!("{summary}");
@@ -321,6 +348,11 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     for spec in &o.slos {
         slos.push(sjpl_serve::SloSpec::parse(spec)?);
     }
+    let fault_seed = o.fault_seed.unwrap_or(42);
+    let faults = match &o.fault {
+        Some(spec) => Some(sjpl_serve::FaultPlan::parse(spec, fault_seed)?),
+        None => None,
+    };
     let defaults_cfg = ServeConfig::default();
     let cfg = ServeConfig {
         addr: SocketAddr::from(([127, 0, 0, 1], o.port.unwrap_or(9090))),
@@ -333,6 +365,10 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
             .slow_ms
             .map_or(defaults_cfg.slow_ns, |ms| (ms * 1e6) as u64),
         profile_hz: o.profile_hz,
+        max_inflight: o.max_inflight.unwrap_or(0),
+        deadline_ms: o.deadline_ms,
+        faults,
+        ..defaults_cfg
     };
     let n_laws = catalog.len();
     let n_probes = cfg.probes.len();
@@ -341,6 +377,22 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     let profile_hz = cfg.profile_hz;
     let interval = cfg.drift.interval;
     let budget = cfg.drift.error_budget;
+    let admission_banner = format!(
+        "admission: max {} in flight (queue depth {}), shed with 429 + Retry-After",
+        if cfg.max_inflight == 0 {
+            cfg.threads.max(1)
+        } else {
+            cfg.max_inflight
+        },
+        cfg.queue_depth
+    );
+    let deadline_banner = cfg
+        .deadline_ms
+        .map(|ms| format!("deadline: {ms} ms per request (override with X-Deadline-Ms)"));
+    let fault_banner = cfg
+        .faults
+        .as_ref()
+        .map(|p| format!("fault injection: {p} (seed {fault_seed})"));
     let server = Server::start(Arc::new(Mutex::new(catalog)), cfg).map_err(|e| e.to_string())?;
     println!(
         "sjpl serve: listening on http://{} ({n_laws} law(s) loaded)",
@@ -361,6 +413,13 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     }
     if let Some(hz) = profile_hz {
         println!("profiler: sampling span stacks at {hz} Hz (GET /debug/profile)");
+    }
+    println!("{admission_banner}");
+    if let Some(line) = deadline_banner {
+        println!("{line}");
+    }
+    if let Some(line) = fault_banner {
+        println!("{line}");
     }
     server.wait();
     Ok(())
@@ -1468,6 +1527,128 @@ mod tests {
         .unwrap_err();
         assert_eq!(e.code, 1);
         assert!(e.message.contains("throughput"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The chaos acceptance loop: a daemon with the issue's seeded fault
+    /// plan (10% estimate latency, 2% connection resets), driven by a
+    /// chaos loadtest with a retry policy. The retries must absorb the
+    /// faults (< 0.5% client-visible failures, every shed carrying
+    /// Retry-After), and a planted no-retry run against a harsher plan
+    /// must fail the regress error-rate gate.
+    #[test]
+    fn chaos_loadtest_recovers_and_feeds_the_error_rate_gate() {
+        use std::sync::{Arc, Mutex};
+        let dir = tmpdir();
+        let data = dir.join("chaos_uniform.csv");
+        let cat = dir.join("chaos_laws.tsv");
+        run(&sv(&[
+            "generate",
+            "uniform",
+            "1500",
+            "23",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "catalog-add",
+            cat.to_str().unwrap(),
+            "uniform",
+            data.to_str().unwrap(),
+            "--levels",
+            "8",
+        ]))
+        .unwrap();
+        let boot = |fault: &str, seed: u64| {
+            let catalog = sjpl_core::LawCatalog::load(&cat).unwrap();
+            sjpl_serve::Server::start(
+                Arc::new(Mutex::new(catalog)),
+                sjpl_serve::ServeConfig {
+                    faults: Some(sjpl_serve::FaultPlan::parse(fault, seed).unwrap()),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+
+        // Run 1: the issue's fault plan + chaos + retries. Retries recover
+        // everything the faults break.
+        let server = boot("estimate:latency=5ms@0.1,accept:reset@0.02", 7);
+        let addr = server.addr().to_string();
+        let out = dir.join("BENCH_chaos.json");
+        run(&sv(&[
+            "loadtest",
+            &addr,
+            "--duration",
+            "0.6",
+            "--connections",
+            "2",
+            "--seed",
+            "11",
+            "--law",
+            "uniform",
+            "--chaos",
+            "--retries",
+            "3",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        server.shutdown();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let doc = sjpl_obs::json::Json::parse(&text).unwrap();
+        let res = doc.get("resilience").unwrap();
+        let rate = res.get("failure_rate").unwrap().as_f64().unwrap();
+        assert!(rate < 0.005, "client-visible failure rate {rate}:\n{text}");
+        assert_eq!(
+            res.get("shed_missing_retry_after").unwrap().as_f64(),
+            Some(0.0),
+            "{text}"
+        );
+        assert!(
+            res.get("chaos_acts").unwrap().as_f64().unwrap() >= 1.0,
+            "{text}"
+        );
+        // Identity comparison passes the gate (and compares error rates).
+        run(&sv(&[
+            "regress",
+            out.to_str().unwrap(),
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Run 2 (planted failure): half the estimates die mid-handle and
+        // the client never retries, so the failures stay client-visible
+        // and the error-rate gate must catch the report.
+        let server = boot("estimate:reset@0.5", 9);
+        let addr = server.addr().to_string();
+        let bad = dir.join("BENCH_noretry.json");
+        run(&sv(&[
+            "loadtest",
+            &addr,
+            "--duration",
+            "0.5",
+            "--connections",
+            "2",
+            "--seed",
+            "11",
+            "--law",
+            "uniform",
+            "--out",
+            bad.to_str().unwrap(),
+        ]))
+        .unwrap();
+        server.shutdown();
+        let e = run(&sv(&[
+            "regress",
+            out.to_str().unwrap(),
+            bad.to_str().unwrap(),
+            "--max-error-regress",
+            "0.005",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("error-rate"), "{e}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

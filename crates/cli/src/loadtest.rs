@@ -18,8 +18,23 @@
 //! commits. Results go to `BENCH_serve.json`: per-endpoint request
 //! counts, error rates, exact p50/p95/p99/p999 latencies (under
 //! `summary.series`, where the regress gate reads them as perf series),
-//! and per-endpoint throughput (under `throughput`, where the gate fails
-//! on *decreases*).
+//! per-endpoint throughput (under `throughput`, where the gate fails
+//! on *decreases*), and client-visible failure rates (under
+//! `error_rates`, gated on absolute growth).
+//!
+//! ## Retries and chaos
+//!
+//! With `--retries N`, each logical request is retried up to `N` times on
+//! transport failure, `429` or `503` — capped exponential backoff with
+//! deterministic jitter, honoring the server's `Retry-After` hint. A
+//! request counts as a *client-visible failure* only when its final
+//! outcome (after retries) is a transport error or a status ≥ 400; the
+//! report's `resilience` section and `error_rates` array track exactly
+//! those, so the regress gate catches a server whose shedding became
+//! un-retryable. `--chaos` additionally interleaves hostile-client acts
+//! on throwaway connections — slow-loris header drip, truncated bodies,
+//! mid-response aborts, garbage pipelining — which a robust server must
+//! absorb without the well-behaved traffic noticing.
 
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -50,6 +65,11 @@ pub struct LoadtestConfig {
     /// and write the collapsed stacks here — a flamegraph of the server
     /// under exactly this workload.
     pub profile_out: Option<String>,
+    /// Retry budget per logical request (0 = no retries). Retries fire on
+    /// transport failure, `429` and `503`.
+    pub retries: u32,
+    /// Interleave hostile-client acts on throwaway connections.
+    pub chaos: bool,
 }
 
 /// The endpoints the harness knows how to exercise.
@@ -143,18 +163,34 @@ pub fn default_mix() -> Vec<(Endpoint, u32)> {
 /// One worker's tally for one endpoint.
 #[derive(Default, Clone)]
 struct EndpointTally {
-    /// Latencies of requests that got *any* HTTP response, ns.
+    /// Latencies of requests whose *final* attempt got an HTTP response, ns.
     latencies_ns: Vec<u64>,
-    /// Responses with status >= 400.
+    /// Final responses with status >= 400 (after retries).
     errors: u64,
+    /// Logical requests that died below HTTP even after retries.
+    transport_failed: u64,
+}
+
+/// Retry/shed/chaos bookkeeping, summed across workers.
+#[derive(Default, Clone, Copy)]
+struct Resilience {
+    /// Retry attempts performed.
+    retries: u64,
+    /// `429 Too Many Requests` responses seen (any attempt).
+    shed_responses: u64,
+    /// Shed responses missing the `Retry-After` header — must stay 0.
+    shed_missing_retry_after: u64,
+    /// Hostile-client acts performed (`--chaos`).
+    chaos_acts: u64,
 }
 
 /// One worker's full result set.
 #[derive(Default)]
 struct WorkerTally {
     per_endpoint: Vec<(&'static str, EndpointTally)>,
-    /// Requests that died below HTTP (connect/read/write failure, timeout).
+    /// Attempts that died below HTTP (connect/read/write failure, timeout).
     transport_errors: u64,
+    resilience: Resilience,
 }
 
 impl WorkerTally {
@@ -186,11 +222,12 @@ impl Conn {
     }
 
     /// Sends raw request bytes and reads one framed response; returns the
-    /// status code.
-    fn roundtrip(&mut self, raw: &[u8]) -> std::io::Result<u16> {
+    /// status code and the `Retry-After` header value (seconds), if any.
+    fn roundtrip(&mut self, raw: &[u8]) -> std::io::Result<(u16, Option<u64>)> {
         self.writer.write_all(raw)?;
         let mut status = 0u16;
         let mut content_length: Option<usize> = None;
+        let mut retry_after: Option<u64> = None;
         let mut line = String::new();
         loop {
             line.clear();
@@ -209,13 +246,11 @@ impl Conn {
             if t.is_empty() {
                 break;
             }
-            if let Some(v) = t
-                .to_ascii_lowercase()
-                .strip_prefix("content-length:")
-                .map(str::trim)
-                .map(str::to_owned)
-            {
-                content_length = v.parse().ok();
+            let lower = t.to_ascii_lowercase();
+            if let Some(v) = lower.strip_prefix("content-length:") {
+                content_length = v.trim().parse().ok();
+            } else if let Some(v) = lower.strip_prefix("retry-after:") {
+                retry_after = v.trim().parse().ok();
             }
         }
         let len = content_length.ok_or(ErrorKind::InvalidData)?;
@@ -224,8 +259,71 @@ impl Conn {
             &mut (&mut self.reader).take(len as u64),
             &mut std::io::sink(),
         )?;
-        Ok(status)
+        Ok((status, retry_after))
     }
+}
+
+/// Delay before retry number `attempt` (0-based): honor the server's
+/// `Retry-After` hint when present (capped so short runs stay short),
+/// otherwise capped exponential backoff with deterministic half-jitter —
+/// same seed, same retry schedule.
+fn backoff_delay(
+    attempt: u32,
+    retry_after_s: Option<u64>,
+    rng: &mut rand::rngs::StdRng,
+) -> Duration {
+    const CAP_MS: u64 = 160;
+    if let Some(secs) = retry_after_s {
+        return Duration::from_millis(secs.saturating_mul(1000).min(250));
+    }
+    let exp = 5u64.saturating_mul(1u64 << attempt.min(5)); // 5, 10, 20, 40, 80, 160
+    let cap = exp.min(CAP_MS);
+    let jitter = rng.gen_range(0..=cap / 2);
+    Duration::from_millis(cap - cap / 2 + jitter)
+}
+
+/// One hostile-client act on a throwaway connection. The server must shrug
+/// these off fast (bounded by its IO timeout) without poisoning the worker
+/// slot serving them; any outcome — error response, close, timeout — is
+/// acceptable to this client, so nothing here is an assertion.
+fn chaos_act(addr: SocketAddr, rng: &mut rand::rngs::StdRng) {
+    let kind = rng.gen_range(0..4u32);
+    let Ok(mut s) = TcpStream::connect_timeout(&addr, Duration::from_millis(500)) else {
+        return;
+    };
+    let _ = s.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+    match kind {
+        // Slow-loris: drip half a request line byte by byte, then vanish.
+        0 => {
+            for b in b"GET /met" {
+                if s.write_all(&[*b]).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        // Truncated body: promise 100 bytes, deliver 9, hang up.
+        1 => {
+            let _ = s.write_all(
+                b"POST /estimate HTTP/1.1\r\nHost: l\r\nContent-Length: 100\r\n\r\n{\"law\": \"",
+            );
+        }
+        // Mid-response abort: ask, read a few bytes, slam the door.
+        2 => {
+            if s.write_all(b"GET /metrics HTTP/1.1\r\nHost: l\r\n\r\n")
+                .is_ok()
+            {
+                let mut buf = [0u8; 16];
+                let _ = s.read(&mut buf);
+            }
+        }
+        // Garbage pipelining: bytes that never were HTTP.
+        _ => {
+            let _ = s.write_all(b"\x16\x03\x01\x02\x00garbage\r\n\r\n\r\njunk");
+        }
+    }
+    drop(s);
 }
 
 /// One-shot GET that returns the response body — used for the mid-run
@@ -358,33 +456,83 @@ pub fn run(cfg: &LoadtestConfig) -> Result<String, String> {
                         if Instant::now() >= deadline {
                             break;
                         }
+                        // A chaos act is *extra* misbehavior on a throwaway
+                        // connection; the logical request still follows.
+                        if cfg.chaos && rng.gen_range(0..8u32) == 0 {
+                            tally.resilience.chaos_acts += 1;
+                            chaos_act(cfg.addr, &mut rng);
+                        }
                         let ep = pick(&cfg.mix, &mut rng);
                         let raw = build_request(ep, &cfg.law, &mut rng);
-                        let c = match conn {
-                            Some(ref mut c) => c,
-                            None => match Conn::open(cfg.addr) {
-                                Ok(c) => conn.insert(c),
+                        // One logical request = up to 1 + retries attempts.
+                        let mut attempt: u32 = 0;
+                        loop {
+                            // Would-retry outcomes land here; `true` means a
+                            // retry slot was available and the backoff slept.
+                            let mut retry = |tally: &mut WorkerTally,
+                                             rng: &mut rand::rngs::StdRng,
+                                             hint: Option<u64>|
+                             -> bool {
+                                if attempt >= cfg.retries {
+                                    return false;
+                                }
+                                let delay = backoff_delay(attempt, hint, rng);
+                                attempt += 1;
+                                tally.resilience.retries += 1;
+                                if Instant::now() + delay >= deadline {
+                                    return false;
+                                }
+                                std::thread::sleep(delay);
+                                true
+                            };
+                            let c = match conn {
+                                Some(ref mut c) => c,
+                                None => match Conn::open(cfg.addr) {
+                                    Ok(c) => conn.insert(c),
+                                    Err(_) => {
+                                        tally.transport_errors += 1;
+                                        if retry(&mut tally, &mut rng, None) {
+                                            continue;
+                                        }
+                                        tally.endpoint(ep.label()).transport_failed += 1;
+                                        break;
+                                    }
+                                },
+                            };
+                            match c.roundtrip(&raw) {
+                                Ok((status, retry_after)) => {
+                                    if status == 429 {
+                                        tally.resilience.shed_responses += 1;
+                                        if retry_after.is_none() {
+                                            tally.resilience.shed_missing_retry_after += 1;
+                                        }
+                                    }
+                                    if (status == 429 || status == 503)
+                                        && retry(&mut tally, &mut rng, retry_after)
+                                    {
+                                        continue;
+                                    }
+                                    // Open loop: latency from the scheduled
+                                    // send, so server-side queueing (and any
+                                    // retries) is charged to the request that
+                                    // suffered it.
+                                    let lat = due.elapsed().as_nanos() as u64;
+                                    let t = tally.endpoint(ep.label());
+                                    t.latencies_ns.push(lat);
+                                    if status >= 400 {
+                                        t.errors += 1;
+                                    }
+                                    break;
+                                }
                                 Err(_) => {
                                     tally.transport_errors += 1;
-                                    continue;
+                                    conn = None; // reconnect before any retry
+                                    if retry(&mut tally, &mut rng, None) {
+                                        continue;
+                                    }
+                                    tally.endpoint(ep.label()).transport_failed += 1;
+                                    break;
                                 }
-                            },
-                        };
-                        match c.roundtrip(&raw) {
-                            Ok(status) => {
-                                // Open loop: latency from the scheduled send,
-                                // so server-side queueing is charged to the
-                                // request that suffered it.
-                                let lat = due.elapsed().as_nanos() as u64;
-                                let t = tally.endpoint(ep.label());
-                                t.latencies_ns.push(lat);
-                                if status >= 400 {
-                                    t.errors += 1;
-                                }
-                            }
-                            Err(_) => {
-                                tally.transport_errors += 1;
-                                conn = None; // reconnect on the next request
                             }
                         }
                     }
@@ -413,13 +561,19 @@ pub fn run(cfg: &LoadtestConfig) -> Result<String, String> {
     // Merge workers.
     let mut merged: Vec<(&'static str, EndpointTally)> = Vec::new();
     let mut transport_errors = 0u64;
+    let mut resilience = Resilience::default();
     for w in tallies {
         transport_errors += w.transport_errors;
+        resilience.retries += w.resilience.retries;
+        resilience.shed_responses += w.resilience.shed_responses;
+        resilience.shed_missing_retry_after += w.resilience.shed_missing_retry_after;
+        resilience.chaos_acts += w.resilience.chaos_acts;
         for (label, t) in w.per_endpoint {
             match merged.iter_mut().find(|(l, _)| *l == label) {
                 Some((_, m)) => {
                     m.latencies_ns.extend_from_slice(&t.latencies_ns);
                     m.errors += t.errors;
+                    m.transport_failed += t.transport_failed;
                 }
                 None => merged.push((label, t)),
             }
@@ -434,15 +588,27 @@ pub fn run(cfg: &LoadtestConfig) -> Result<String, String> {
         return Err("loadtest issued no successful requests (all transport errors?)".to_owned());
     }
 
-    let report = render_report(cfg, wall, &mut merged, transport_errors, total_requests);
+    let report = render_report(
+        cfg,
+        wall,
+        &mut merged,
+        transport_errors,
+        total_requests,
+        &resilience,
+    );
     std::fs::write(&cfg.out, report.as_bytes()).map_err(|e| format!("{}: {e}", cfg.out))?;
 
     let total_errors: u64 = merged.iter().map(|(_, t)| t.errors).sum();
+    let total_failed: u64 = merged
+        .iter()
+        .map(|(_, t)| t.errors + t.transport_failed)
+        .sum();
     Ok(format!(
         "loadtest: {total_requests} requests in {wall:.2?} \
-         ({:.0} req/s, {total_errors} HTTP errors, {transport_errors} transport errors) \
-         -> {}{profile_note}",
+         ({:.0} req/s, {total_errors} HTTP errors, {transport_errors} transport errors, \
+         {} retries, {total_failed} client-visible failures) -> {}{profile_note}",
         total_requests as f64 / wall.as_secs_f64(),
+        resilience.retries,
         cfg.out
     ))
 }
@@ -462,12 +628,14 @@ fn render_report(
     merged: &mut [(&'static str, EndpointTally)],
     transport_errors: u64,
     total_requests: u64,
+    resilience: &Resilience,
 ) -> String {
     use std::fmt::Write as _;
     let secs = wall.as_secs_f64();
     let mut series = String::new();
     let mut throughput = String::new();
     let mut endpoints = String::new();
+    let mut error_rates = String::new();
     for (i, (label, t)) in merged.iter_mut().enumerate() {
         t.latencies_ns.sort_unstable();
         let n = t.latencies_ns.len() as u64;
@@ -502,11 +670,31 @@ fn render_report(
             t.errors,
             t.errors as f64 / n.max(1) as f64,
         );
+        // Client-visible failure rate: a request only counts against this
+        // after its retries are spent, and transport deaths count too.
+        let logical = n + t.transport_failed;
+        let _ = write!(
+            error_rates,
+            "{}    {{\"name\": \"serve/{label}\", \"error_rate\": {:.6}}}",
+            if i == 0 { "" } else { ",\n" },
+            (t.errors + t.transport_failed) as f64 / logical.max(1) as f64,
+        );
     }
     let total_rps = total_requests as f64 / secs;
     let _ = write!(
         throughput,
         ",\n    {{\"name\": \"serve/total\", \"rps\": {total_rps:.2}}}"
+    );
+    let failed_requests: u64 = merged
+        .iter()
+        .map(|(_, t)| t.errors + t.transport_failed)
+        .sum();
+    let total_logical: u64 =
+        total_requests + merged.iter().map(|(_, t)| t.transport_failed).sum::<u64>();
+    let failure_rate = failed_requests as f64 / total_logical.max(1) as f64;
+    let _ = write!(
+        error_rates,
+        ",\n    {{\"name\": \"serve/total\", \"error_rate\": {failure_rate:.6}}}"
     );
     let mix: Vec<String> = cfg
         .mix
@@ -517,10 +705,15 @@ fn render_report(
         "{{\n  \"schema\": 1,\n  \"kind\": \"serve-loadtest\",\n  \"meta\": {{\n    \
          \"addr\": \"{addr}\",\n    \"duration_s\": {dur:.3},\n    \
          \"connections\": {conns},\n    \"rate\": {rate},\n    \"seed\": {seed},\n    \
-         \"mix\": \"{mix}\",\n    \"law\": \"{law}\"\n  }},\n  \
+         \"mix\": \"{mix}\",\n    \"law\": \"{law}\",\n    \
+         \"retries\": {retries},\n    \"chaos\": {chaos}\n  }},\n  \
          \"summary\": {{\"schema\": 1, \"series\": [\n{series}\n  ]}},\n  \
          \"throughput\": [\n{throughput}\n  ],\n  \
+         \"error_rates\": [\n{error_rates}\n  ],\n  \
          \"endpoints\": [\n{endpoints}\n  ],\n  \
+         \"resilience\": {{\"retries\": {rretries}, \"shed_responses\": {shed}, \
+         \"shed_missing_retry_after\": {shed_bare}, \"chaos_acts\": {chaos_acts}, \
+         \"failed_requests\": {failed_requests}, \"failure_rate\": {failure_rate:.6}}},\n  \
          \"transport_errors\": {transport_errors}\n}}\n",
         addr = cfg.addr,
         dur = wall.as_secs_f64(),
@@ -532,6 +725,12 @@ fn render_report(
         seed = cfg.seed,
         mix = mix.join(","),
         law = cfg.law,
+        retries = cfg.retries,
+        chaos = cfg.chaos,
+        rretries = resilience.retries,
+        shed = resilience.shed_responses,
+        shed_bare = resilience.shed_missing_retry_after,
+        chaos_acts = resilience.chaos_acts,
     )
 }
 
@@ -618,6 +817,8 @@ mod tests {
             law: "uniform".to_owned(),
             out: "unused".to_owned(),
             profile_out: None,
+            retries: 3,
+            chaos: true,
         };
         let mut merged = vec![
             (
@@ -625,6 +826,7 @@ mod tests {
                 EndpointTally {
                     latencies_ns: vec![300, 100, 200, 5000],
                     errors: 1,
+                    transport_failed: 1,
                 },
             ),
             (
@@ -632,10 +834,17 @@ mod tests {
                 EndpointTally {
                     latencies_ns: vec![50],
                     errors: 0,
+                    transport_failed: 0,
                 },
             ),
         ];
-        let text = render_report(&cfg, Duration::from_secs(2), &mut merged, 3, 5);
+        let res = Resilience {
+            retries: 7,
+            shed_responses: 2,
+            shed_missing_retry_after: 0,
+            chaos_acts: 4,
+        };
+        let text = render_report(&cfg, Duration::from_secs(2), &mut merged, 3, 5, &res);
         let doc = sjpl_obs::json::Json::parse(&text).unwrap_or_else(|e| panic!("{e}:\n{text}"));
         assert_eq!(doc.get("kind").unwrap().as_str(), Some("serve-loadtest"));
         let series = doc
@@ -669,5 +878,75 @@ mod tests {
             doc.get("meta").unwrap().get("mix").unwrap().as_str(),
             Some("estimate=8,healthz=1,metrics=1")
         );
+        // The resilience section the chaos CI job asserts on.
+        let res = doc.get("resilience").unwrap();
+        assert_eq!(res.get("retries").unwrap().as_f64(), Some(7.0));
+        assert_eq!(res.get("shed_responses").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            res.get("shed_missing_retry_after").unwrap().as_f64(),
+            Some(0.0)
+        );
+        assert_eq!(res.get("chaos_acts").unwrap().as_f64(), Some(4.0));
+        // 1 HTTP error + 1 transport-final death out of 6 logical requests.
+        assert_eq!(res.get("failed_requests").unwrap().as_f64(), Some(2.0));
+        let rate = res.get("failure_rate").unwrap().as_f64().unwrap();
+        assert!((rate - 2.0 / 6.0).abs() < 1e-6, "{rate}");
+        // The error_rates array the regress gate reads.
+        let ers = doc.get("error_rates").unwrap().as_array().unwrap();
+        assert_eq!(ers.len(), 3); // estimate, healthz, total
+        let by_name = |n: &str| {
+            ers.iter()
+                .find(|e| e.get("name").unwrap().as_str() == Some(n))
+                .unwrap()
+                .get("error_rate")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        };
+        assert!((by_name("serve/estimate") - 2.0 / 5.0).abs() < 1e-6);
+        assert_eq!(by_name("serve/healthz"), 0.0);
+        assert!((by_name("serve/total") - rate).abs() < 1e-9);
+        assert_eq!(
+            doc.get("meta").unwrap().get("retries").unwrap().as_f64(),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_retry_after_aware() {
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            (0..8).map(|a| backoff_delay(a, None, &mut rng)).collect()
+        };
+        // Same seed, same schedule — chaos runs are reproducible.
+        assert_eq!(schedule(42), schedule(42));
+        assert_ne!(schedule(42), schedule(43));
+        // Every delay is bounded and non-zero past the first attempt.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for attempt in 0..32 {
+            let d = backoff_delay(attempt, None, &mut rng);
+            assert!(d <= Duration::from_millis(240), "attempt {attempt}: {d:?}");
+            assert!(d >= Duration::from_millis(2), "attempt {attempt}: {d:?}");
+        }
+        // A Retry-After hint wins outright, capped for short runs.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        assert_eq!(
+            backoff_delay(0, Some(1), &mut rng),
+            Duration::from_millis(250)
+        );
+        assert_eq!(
+            backoff_delay(5, Some(0), &mut rng),
+            Duration::from_millis(0)
+        );
+    }
+
+    #[test]
+    fn chaos_acts_against_a_dead_address_are_harmless() {
+        // Nothing listening: every act must degrade to a no-op rather than
+        // panic or hang — the harness's own resilience.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..8 {
+            chaos_act("127.0.0.1:1".parse().unwrap(), &mut rng);
+        }
     }
 }

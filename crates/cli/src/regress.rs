@@ -13,7 +13,9 @@
 //!   (latency quantiles) from `summary.series`, throughput from the
 //!   top-level `throughput` array (`rps` per series name) — throughput is
 //!   gated in the *opposite* direction: a **decrease** beyond the perf
-//!   threshold fails.
+//!   threshold fails — and client-visible error rates from the top-level
+//!   `error_rates` array (`error_rate` per series name), gated like
+//!   accuracy: absolute growth beyond `--max-error-regress` fails.
 //!
 //! Comparison is by name: series present in only one file are reported but
 //! never fail the gate (benches come and go); a name present in both fails
@@ -73,6 +75,8 @@ pub struct Report {
     pub accuracy_compared: usize,
     /// Number of throughput series compared in both files.
     pub throughput_compared: usize,
+    /// Number of error-rate series compared in both files.
+    pub error_rate_compared: usize,
 }
 
 impl Report {
@@ -152,6 +156,21 @@ fn throughput_series(doc: &Json) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// Extracts error-rate series `(name, error_rate)` from a loadtest report.
+fn error_rate_series(doc: &Json) -> Vec<(String, f64)> {
+    let Some(items) = doc.get("error_rates").and_then(Json::as_array) else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|it| {
+            let name = it.get("name")?.as_str()?.to_owned();
+            let rate = it.get("error_rate")?.as_f64()?;
+            Some((name, rate))
+        })
+        .collect()
+}
+
 /// Compares two parsed report documents under the given thresholds.
 pub fn compare(old: &Json, new: &Json, t: &Thresholds) -> Report {
     let mut rep = Report::default();
@@ -216,6 +235,36 @@ pub fn compare(old: &Json, new: &Json, t: &Thresholds) -> Report {
         }
     }
 
+    // Error rates gate like accuracy: absolute growth beyond the error
+    // threshold fails. A loadtest run that stops retrying (or a server
+    // that starts failing) shows up here even when latency looks fine.
+    let old_err = error_rate_series(old);
+    let new_err = error_rate_series(new);
+    for (name, old_rate) in &old_err {
+        let Some(new_rate) = lookup(&new_err, name) else {
+            rep.notes
+                .push(format!("error-rate {name}: gone from new report"));
+            continue;
+        };
+        rep.error_rate_compared += 1;
+        let growth = new_rate - old_rate;
+        if growth > t.max_error {
+            rep.regressions.push(format!(
+                "error-rate {name}: {old_rate:.4} -> {new_rate:.4} \
+                 (+{growth:.4} > allowed +{:.4})",
+                t.max_error
+            ));
+        } else if growth < -t.max_error {
+            rep.notes
+                .push(format!("error-rate {name}: improved by {:.4}", -growth));
+        }
+    }
+    for (name, _) in &new_err {
+        if lookup(&old_err, name).is_none() {
+            rep.notes.push(format!("error-rate {name}: new series"));
+        }
+    }
+
     let old_acc = accuracy_series(old);
     let new_acc = accuracy_series(new);
     for (key, old_err) in &old_acc {
@@ -255,12 +304,14 @@ fn check_usable(path: &str, doc: &Json) -> Result<(), CliError> {
         || doc.get("spans").and_then(Json::as_array).is_some();
     let has_accuracy = doc.get("accuracy").and_then(Json::as_array).is_some();
     let has_throughput = doc.get("throughput").and_then(Json::as_array).is_some();
-    if has_perf || has_accuracy || has_throughput {
+    let has_error_rates = doc.get("error_rates").and_then(Json::as_array).is_some();
+    if has_perf || has_accuracy || has_throughput || has_error_rates {
         Ok(())
     } else {
         Err(CliError::bad_report(format!(
             "{path}: unusable report: no perf section (`summary.series`, `results`, or \
-             `spans`), no `throughput` section, and no `accuracy` section"
+             `spans`), no `throughput` section, no `error_rates` section, and no \
+             `accuracy` section"
         )))
     }
 }
@@ -413,6 +464,10 @@ mod tests {
       "throughput": [
         {"name": "serve/estimate", "rps": 2000.0},
         {"name": "serve/total", "rps": 2500.0}
+      ],
+      "error_rates": [
+        {"name": "serve/estimate", "error_rate": 0.001},
+        {"name": "serve/total", "error_rate": 0.002}
       ]
     }"#;
 
@@ -447,6 +502,61 @@ mod tests {
         let rep = compare(&doc(LOADTEST), &doc(&tail), &t);
         assert_eq!(rep.regressions.len(), 1);
         assert!(rep.regressions[0].contains("serve/estimate/p99"));
+    }
+
+    #[test]
+    fn error_rate_growth_beyond_threshold_fails() {
+        let t = Thresholds::default();
+        // Identical inputs compare both error-rate series and pass.
+        let rep = compare(&doc(LOADTEST), &doc(LOADTEST), &t);
+        assert!(rep.passed(), "{:?}", rep.regressions);
+        assert_eq!(rep.error_rate_compared, 2);
+
+        // Total error rate jumping 0.002 -> 0.20 blows the 0.05 absolute
+        // budget — the signature of a loadtest run with retries disabled.
+        let worse = LOADTEST.replace("\"error_rate\": 0.002", "\"error_rate\": 0.20");
+        let rep = compare(&doc(LOADTEST), &doc(&worse), &t);
+        assert_eq!(rep.regressions.len(), 1, "{:?}", rep.regressions);
+        assert!(rep.regressions[0].contains("error-rate serve/total"));
+
+        // Growth inside the budget passes; a big improvement is a note.
+        let slight = LOADTEST.replace("\"error_rate\": 0.002", "\"error_rate\": 0.01");
+        assert!(compare(&doc(LOADTEST), &doc(&slight), &t).passed());
+        let tight = Thresholds {
+            max_perf: 0.10,
+            max_error: 0.005,
+        };
+        assert!(!compare(&doc(LOADTEST), &doc(&slight), &tight).passed());
+        let better = LOADTEST.replace("\"error_rate\": 0.002", "\"error_rate\": 0.0");
+        let old_high = LOADTEST.replace("\"error_rate\": 0.002", "\"error_rate\": 0.9");
+        let rep = compare(&doc(&old_high), &doc(&better), &t);
+        assert!(rep.passed());
+        assert!(rep
+            .notes
+            .iter()
+            .any(|n| n.contains("error-rate serve/total") && n.contains("improved")));
+    }
+
+    #[test]
+    fn error_rate_only_reports_are_usable() {
+        let dir =
+            std::env::temp_dir().join(format!("sjpl_regress_err_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("err.json");
+        std::fs::write(
+            &p,
+            "{\"error_rates\": [{\"name\": \"serve/total\", \"error_rate\": 0.0}]}",
+        )
+        .unwrap();
+        let rep = compare_files(
+            p.to_str().unwrap(),
+            p.to_str().unwrap(),
+            &Thresholds::default(),
+        )
+        .unwrap();
+        assert!(rep.passed());
+        assert_eq!(rep.error_rate_compared, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

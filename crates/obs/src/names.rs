@@ -58,15 +58,19 @@ pub const COUNTERS: &[&str] = &[
     "prof.dropped_samples",
     "prof.overhead_ns",
     "prof.samples",
+    "serve.deadline.exceeded",
     "serve.drift.breaches",
     "serve.drift.checks",
     "serve.errors",
+    "serve.faults.injected",
+    "serve.panics",
     "serve.requests",
     "serve.responses.2xx",
     "serve.responses.3xx",
     "serve.responses.4xx",
     "serve.responses.5xx",
     "serve.scrape.total",
+    "serve.shed.total",
     "serve.slo.breaches",
     "serve.slow_requests",
     "streaming.rejected_points",
@@ -85,23 +89,36 @@ pub const GAUGES: &[&str] = &[
     "prof.live.samples",
     "serve.connections",
     "serve.inflight",
+    "serve.queue.depth",
 ];
 
 /// Every stable event name, sorted.
-pub const EVENTS: &[&str] = &["bops.engine", "datagen.generated", "serve.drift.breach"];
+pub const EVENTS: &[&str] = &[
+    "bops.engine",
+    "datagen.generated",
+    "serve.drift.breach",
+    "serve.fault",
+    "serve.panic",
+];
 
 /// Stable prefixes of runtime-built names: the full name is the prefix
 /// followed by a catalog law name (e.g. `serve.drift.rel_error.uniform`),
-/// an endpoint label plus status class (`serve.endpoint.estimate.2xx`), or
-/// an SLO endpoint label (`serve.slo.compliance.estimate`). Endpoint labels
-/// come from the fixed route table (`estimate`, `metrics`, `snapshot`,
-/// `timeline`, `healthz`, `readyz`, `profile`, `exemplars`, `other`) —
-/// never from raw client paths, which would be a cardinality/injection
-/// hazard.
+/// an endpoint label plus status class (`serve.endpoint.estimate.2xx`), an
+/// SLO endpoint label (`serve.slo.compliance.estimate`), a shed/deadline
+/// endpoint label (`serve.shed.snapshot`, `serve.deadline.estimate`), or a
+/// fault-rule scope and kind (`serve.faults.accept.reset`). Endpoint
+/// labels come from the fixed route table (`estimate`, `metrics`,
+/// `snapshot`, `timeline`, `healthz`, `readyz`, `profile`, `exemplars`,
+/// `other`) — never from raw client paths, which would be a
+/// cardinality/injection hazard; fault scopes/kinds come from the fault
+/// plan grammar's fixed vocabulary.
 pub const DYNAMIC_PREFIXES: &[&str] = &[
+    "serve.deadline.",
     "serve.drift.breached.",
     "serve.drift.rel_error.",
     "serve.endpoint.",
+    "serve.faults.",
+    "serve.shed.",
     "serve.slo.breached.",
     "serve.slo.breaches.",
     "serve.slo.burn_rate.",
@@ -154,9 +171,21 @@ mod tests {
         assert!(is_stable("prof.samples"));
         assert!(is_stable("prof.overhead_ns"));
         assert!(is_stable("prof.live.samples"));
+        assert!(is_stable("serve.panics"));
+        assert!(is_stable("serve.shed.total"));
+        assert!(is_stable("serve.shed.snapshot"));
+        assert!(is_stable("serve.deadline.exceeded"));
+        assert!(is_stable("serve.deadline.estimate"));
+        assert!(is_stable("serve.faults.injected"));
+        assert!(is_stable("serve.faults.accept.reset"));
+        assert!(is_stable("serve.queue.depth"));
+        assert!(is_stable("serve.fault"));
+        assert!(is_stable("serve.panic"));
         assert!(!is_stable("bops.sort2"));
         assert!(!is_stable("serve.drift.rel_error"));
         assert!(!is_stable("serve.endpoint"));
+        assert!(!is_stable("serve.shed"));
+        assert!(!is_stable("serve.faults"));
         assert!(!is_stable("totally.made.up"));
     }
 }

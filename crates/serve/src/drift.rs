@@ -124,7 +124,20 @@ impl DriftMonitor {
             .name("sjpl-drift".to_owned())
             .spawn(move || loop {
                 for st in &mut states {
-                    tick(&catalog, st, &cfg);
+                    // A panicking truth oracle must cost one tick, not the
+                    // whole monitor: uncontained, the thread dies and the
+                    // drift gauges silently freeze at their last values.
+                    let tick_result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            tick(&catalog, st, &cfg)
+                        }));
+                    if tick_result.is_err() {
+                        sjpl_obs::counter_add("serve.panics", 1);
+                        sjpl_obs::event(
+                            "serve.panic",
+                            format!("drift tick for law {:?} panicked", st.probe.law_name),
+                        );
+                    }
                 }
                 let (lock, cv) = &*stop2;
                 let guard = lock.lock().unwrap_or_else(|p| p.into_inner());
@@ -316,6 +329,66 @@ mod tests {
         };
         tick(&catalog, &mut st, &DriftConfig::default());
         assert!(st.recent.is_empty());
+    }
+
+    #[test]
+    fn panicking_probe_is_contained_and_others_keep_ticking() {
+        sjpl_obs::set_enabled(true);
+        let catalog = Arc::new(Mutex::new({
+            let mut c = LawCatalog::new();
+            c.insert("good", toy_law(1000.0, 1.5));
+            c.insert("bad", toy_law(1000.0, 1.5));
+            c
+        }));
+        let truth_law = toy_law(1000.0, 1.5);
+        // The panicking probe runs *first* every tick; if its panic killed
+        // the thread, the good probe would never publish.
+        let probes = vec![
+            DriftProbe {
+                law_name: "bad".into(),
+                radii: vec![0.1],
+                truth: Arc::new(|_| panic!("oracle exploded")),
+            },
+            DriftProbe {
+                law_name: "good".into(),
+                radii: vec![0.1, 0.3],
+                truth: Arc::new(move |r| truth_law.pair_count(r)),
+            },
+        ];
+        let mon = DriftMonitor::spawn(
+            Arc::clone(&catalog),
+            probes,
+            DriftConfig {
+                interval: Duration::from_millis(50),
+                error_budget: 0.5,
+                window: 4,
+            },
+        );
+        let t0 = std::time::Instant::now();
+        loop {
+            let snap = sjpl_obs::snapshot();
+            if snap
+                .gauges
+                .iter()
+                .any(|(n, _)| n == "serve.drift.rel_error.good")
+            {
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "the good probe never ticked — the monitor died with the bad one"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let snap = sjpl_obs::snapshot();
+        assert!(
+            snap.counters
+                .iter()
+                .any(|(n, v)| n == "serve.panics" && *v > 0),
+            "contained panics must be counted"
+        );
+        assert!(snap.events.iter().any(|e| e.name == "serve.panic"));
+        mon.shutdown();
     }
 
     #[test]

@@ -268,6 +268,7 @@ impl Response {
             405 => "Method Not Allowed",
             411 => "Length Required",
             413 => "Payload Too Large",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Response",
@@ -395,6 +396,18 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(!text.contains("Connection: close"));
+    }
+
+    #[test]
+    fn shed_responses_carry_the_429_reason_and_retry_after() {
+        let mut out = Vec::new();
+        Response::text(429, "overloaded")
+            .with_header("Retry-After", 1)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
     }
 
     #[test]

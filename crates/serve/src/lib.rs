@@ -57,20 +57,41 @@
 //! configured budget. `/metrics` therefore surfaces estimator
 //! *trustworthiness*, not just traffic.
 //!
+//! ## Overload protection & failure containment
+//!
+//! Every request passes bounded admission control before its handler
+//! runs: past [`ServeConfig::max_inflight`] concurrent requests (plus a
+//! short bounded queue), the server sheds with `429 + Retry-After`.
+//! Shedding is tiered — debug/observability endpoints (`/snapshot`,
+//! `/timeline`, `/debug/*`) shed first, `/estimate` and `/metrics` queue
+//! briefly, health probes are always admitted. Requests can carry a
+//! deadline budget (`X-Deadline-Ms` header or [`ServeConfig::deadline_ms`])
+//! enforced at dispatch, in the queue, and before expensive work
+//! (`503 + Retry-After`). Handlers and drift ticks run under
+//! `catch_unwind`, so a panic costs one `500` (counted in `serve.panics`)
+//! instead of a worker thread or the drift oracle. A seeded [`fault`] plan
+//! injects deterministic latency / resets / torn writes / panics for chaos
+//! testing, with exact-count observability.
+//!
 //! ## Shutdown
 //!
-//! [`Server::shutdown`] raises a stop flag, wakes every worker blocked in
-//! `accept`, and joins them; workers complete their in-flight request
-//! first, so the join doubles as the connection drain.
+//! [`Server::begin_drain`] flips `/readyz` to `503 + Retry-After` so load
+//! balancers stop routing; [`Server::shutdown`] does that, optionally
+//! waits out [`ServeConfig::drain_grace`], then raises a stop flag, wakes
+//! every worker blocked in `accept`, and joins them; workers complete
+//! their in-flight request first, so the join doubles as the connection
+//! drain.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod drift;
+pub mod fault;
 pub mod http;
 mod server;
 pub mod slo;
 
 pub use drift::{DriftConfig, DriftMonitor, DriftProbe};
+pub use fault::FaultPlan;
 pub use server::{ServeConfig, Server};
 pub use slo::SloSpec;

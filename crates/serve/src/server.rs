@@ -22,11 +22,34 @@
 //! [`ServeConfig::profile_hz`] set the daemon also runs the continuous
 //! [sampling profiler](sjpl_obs::prof); `GET /debug/profile?seconds=N`
 //! returns a collapsed-stack (flamegraph-ready) window either way.
+//!
+//! # Overload behavior
+//!
+//! Every parsed request passes **admission control** before its handler
+//! runs: at most [`ServeConfig::max_inflight`] requests hold a slot at
+//! once, a short bounded queue ([`ServeConfig::queue_depth`] deep,
+//! [`ServeConfig::queue_wait`] long) absorbs bursts, and everything past
+//! that is shed with `429 + Retry-After` (`serve.shed.*` counters).
+//! Shedding is tiered: debug/observability endpoints (`/snapshot`,
+//! `/timeline`, `/debug/*`, unknown paths) shed first — they never queue
+//! and yield to any waiting work — `/estimate` and `/metrics` queue before
+//! shedding, and health probes (`/healthz`, `/readyz`) are always
+//! admitted. Requests may carry a **deadline budget** (`X-Deadline-Ms`
+//! header, default [`ServeConfig::deadline_ms`]), enforced at dispatch,
+//! while queued, and before expensive work (`503 + Retry-After`,
+//! `serve.deadline.*` counters). A panicking handler is contained with
+//! `catch_unwind`: the client gets a `500`, `serve.panics` increments, and
+//! the worker keeps serving. [`Server::begin_drain`] flips `/readyz` to
+//! `503 + Retry-After` so load balancers stop routing before the listener
+//! closes. A seeded [fault plan](crate::fault) can deterministically
+//! inject latency, connection resets, torn writes, and handler panics at
+//! every lifecycle stage.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fs::File;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -37,12 +60,16 @@ use sjpl_core::LawCatalog;
 use sjpl_obs::json::{escape, Json};
 
 use crate::drift::{DriftConfig, DriftMonitor, DriftProbe};
+use crate::fault::{FaultKind, FaultPlan, Stage as FaultStage};
 use crate::http::{read_request, Request, Response};
 use crate::slo::SloSpec;
 
-/// Socket timeout while actually parsing/writing a request: a stalled peer
-/// must not pin a worker.
+/// Default socket timeout while actually parsing/writing a request
+/// ([`ServeConfig::io_timeout`]): a stalled peer must not pin a worker.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The `Retry-After` hint (seconds) on every shed/deadline/drain response.
+const RETRY_AFTER_SECS: u64 = 1;
 
 /// Poll granularity while a keep-alive connection is idle — short, so a
 /// worker parked on a quiet connection notices the stop flag quickly.
@@ -74,6 +101,31 @@ pub struct ServeConfig {
     /// server's lifetime; `None` leaves the profiler off (a
     /// `/debug/profile` request can still take an on-demand window).
     pub profile_hz: Option<f64>,
+    /// Admission-control capacity: how many requests may be past admission
+    /// at once. `0` (the default) means "same as `threads`", which never
+    /// sheds organically — an arriving request's own worker is free, so at
+    /// most `threads - 1` others can be active. Set it below `threads` to
+    /// shed under load.
+    pub max_inflight: usize,
+    /// Bounded wait-queue depth for normal-tier requests at capacity.
+    pub queue_depth: usize,
+    /// Longest a normal-tier request waits for a slot before being shed.
+    pub queue_wait: Duration,
+    /// Default per-request deadline budget in milliseconds, overridable
+    /// per request via the `X-Deadline-Ms` header; `None` means requests
+    /// without the header have no deadline.
+    pub deadline_ms: Option<u64>,
+    /// Deterministic fault-injection plan ([`crate::fault::FaultPlan`]);
+    /// `None` injects nothing.
+    pub faults: Option<FaultPlan>,
+    /// Socket/parse timeout for one request: total header+body parse time
+    /// and each response write are bounded by this, so a slow-loris peer
+    /// cannot pin a worker past it.
+    pub io_timeout: Duration,
+    /// How long [`Server::shutdown`] keeps serving after flipping
+    /// `/readyz` to 503, giving load balancers time to drain. Zero (the
+    /// default) stops as soon as the flag flips.
+    pub drain_grace: Duration,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +139,13 @@ impl Default for ServeConfig {
             access_log: None,
             slow_ns: 100_000_000, // 100 ms
             profile_hz: None,
+            max_inflight: 0,
+            queue_depth: 4,
+            queue_wait: Duration::from_millis(100),
+            deadline_ms: None,
+            faults: None,
+            io_timeout: IO_TIMEOUT,
+            drain_grace: Duration::ZERO,
         }
     }
 }
@@ -156,6 +215,10 @@ impl LiveGauge {
         self.add(1);
         LiveGaugeGuard(self)
     }
+
+    fn get(&self) -> i64 {
+        *self.value.lock().unwrap_or_else(|p| p.into_inner())
+    }
 }
 
 struct LiveGaugeGuard<'a>(&'a LiveGauge);
@@ -163,6 +226,187 @@ struct LiveGaugeGuard<'a>(&'a LiveGauge);
 impl Drop for LiveGaugeGuard<'_> {
     fn drop(&mut self) {
         self.0.add(-1);
+    }
+}
+
+/// Shed-priority tier of an endpoint. Debug endpoints shed first (they
+/// never queue and yield to any queued work), normal endpoints queue
+/// briefly before shedding, critical probes are always admitted — so
+/// under overload the paying traffic (`/estimate`) and the load
+/// balancer's health view degrade last.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Tier {
+    /// `/healthz`, `/readyz` — always admitted (tiny, and the thing a
+    /// load balancer needs most under stress).
+    Critical,
+    /// `/estimate`, `/metrics` — the service itself; queues then sheds.
+    Normal,
+    /// `/snapshot`, `/timeline`, `/debug/*`, unknown paths — sheds first.
+    Debug,
+}
+
+fn tier_of(endpoint: &str) -> Tier {
+    match endpoint {
+        "healthz" | "readyz" => Tier::Critical,
+        "estimate" | "metrics" => Tier::Normal,
+        _ => Tier::Debug,
+    }
+}
+
+/// Bounded in-flight admission: `active` counts requests past admission,
+/// `queued` counts normal-tier requests parked on the condvar waiting for
+/// a slot. Publishes `serve.queue.depth` whenever the queue changes.
+struct Admission {
+    max_inflight: usize,
+    queue_depth: usize,
+    queue_wait: Duration,
+    state: Mutex<AdmissionState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct AdmissionState {
+    active: usize,
+    queued: usize,
+}
+
+/// What admission decided for one request.
+enum Admit<'a> {
+    /// A slot was granted; holding the guard holds the slot.
+    Granted(AdmissionGuard<'a>),
+    /// Past capacity — respond `429 + Retry-After`.
+    Shed,
+    /// The request's deadline expired while it was queued — respond
+    /// `503 + Retry-After`.
+    DeadlineExceeded,
+}
+
+impl Admission {
+    fn new(max_inflight: usize, queue_depth: usize, queue_wait: Duration) -> Admission {
+        Admission {
+            max_inflight: max_inflight.max(1),
+            queue_depth,
+            queue_wait,
+            state: Mutex::new(AdmissionState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn admit(&self, tier: Tier, deadline: Option<Instant>) -> Admit<'_> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        match tier {
+            Tier::Critical => {
+                st.active += 1;
+                Admit::Granted(AdmissionGuard(self))
+            }
+            Tier::Debug => {
+                if st.active < self.max_inflight && st.queued == 0 {
+                    st.active += 1;
+                    Admit::Granted(AdmissionGuard(self))
+                } else {
+                    Admit::Shed
+                }
+            }
+            Tier::Normal => {
+                if st.active < self.max_inflight && st.queued == 0 {
+                    st.active += 1;
+                    return Admit::Granted(AdmissionGuard(self));
+                }
+                if st.queued >= self.queue_depth {
+                    return Admit::Shed;
+                }
+                st.queued += 1;
+                sjpl_obs::gauge_set("serve.queue.depth", st.queued as f64);
+                let wait_until = {
+                    let q = Instant::now() + self.queue_wait;
+                    deadline.map_or(q, |d| q.min(d))
+                };
+                loop {
+                    if st.active < self.max_inflight {
+                        st.queued -= 1;
+                        sjpl_obs::gauge_set("serve.queue.depth", st.queued as f64);
+                        st.active += 1;
+                        return Admit::Granted(AdmissionGuard(self));
+                    }
+                    let now = Instant::now();
+                    if now >= wait_until {
+                        st.queued -= 1;
+                        sjpl_obs::gauge_set("serve.queue.depth", st.queued as f64);
+                        return if deadline.is_some_and(|d| now >= d) {
+                            Admit::DeadlineExceeded
+                        } else {
+                            Admit::Shed
+                        };
+                    }
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(st, wait_until - now)
+                        .unwrap_or_else(|p| p.into_inner());
+                    st = guard;
+                }
+            }
+        }
+    }
+}
+
+/// Releases the admission slot and wakes a queued waiter.
+struct AdmissionGuard<'a>(&'a Admission);
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.active = st.active.saturating_sub(1);
+        self.0.cv.notify_all();
+    }
+}
+
+/// A readable view of the connection whose reads honor a *total* parse
+/// deadline. The per-read socket timeout alone doesn't bound a request: a
+/// slow-loris peer dripping one byte per `io_timeout - ε` resets the
+/// timer on every byte, pinning the worker indefinitely. Arming this
+/// wrapper clamps every subsequent read's socket timeout to the time
+/// remaining, so the whole header+body parse completes (or fails with
+/// `TimedOut`) within one `io_timeout` of the first byte.
+struct DeadlineStream {
+    stream: TcpStream,
+    io_timeout: Duration,
+    deadline: Option<Instant>,
+}
+
+impl DeadlineStream {
+    fn new(stream: TcpStream, io_timeout: Duration) -> DeadlineStream {
+        DeadlineStream {
+            stream,
+            io_timeout,
+            deadline: None,
+        }
+    }
+
+    /// Starts the parse clock: all reads must complete within
+    /// `io_timeout` from now.
+    fn arm(&mut self) {
+        self.deadline = Some(Instant::now() + self.io_timeout);
+    }
+
+    /// Back to plain socket-timeout reads (idle keep-alive polling).
+    fn disarm(&mut self) {
+        self.deadline = None;
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if let Some(deadline) = self.deadline {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    "request parse exceeded the io timeout",
+                ));
+            }
+            self.stream.set_read_timeout(Some(left))?;
+        }
+        self.stream.read(buf)
     }
 }
 
@@ -177,6 +421,7 @@ pub struct Server {
     /// Whether `start` launched the continuous profiler (and `shutdown`
     /// should therefore stop it).
     profiler_started: bool,
+    drain_grace: Duration,
 }
 
 /// One tail-latency exemplar: the most recent request that landed in a
@@ -210,6 +455,18 @@ struct Shared {
     slow_ns: u64,
     /// series name → inclusive `le` bucket bound → most recent exemplar.
     exemplars: Mutex<HashMap<String, BTreeMap<u64, Exemplar>>>,
+    admission: Admission,
+    deadline_ms: Option<u64>,
+    faults: Option<FaultPlan>,
+    /// Raised by [`Server::begin_drain`]; `/readyz` answers 503 while set.
+    draining: AtomicBool,
+    io_timeout: Duration,
+}
+
+impl Shared {
+    fn fire_fault(&self, stage: FaultStage, endpoint: Option<&str>) -> Option<FaultKind> {
+        self.faults.as_ref().and_then(|p| p.fire(stage, endpoint))
+    }
 }
 
 impl Server {
@@ -227,6 +484,11 @@ impl Server {
             None => None,
         };
         let stop = Arc::new(StopFlag::new());
+        let max_inflight = if cfg.max_inflight == 0 {
+            cfg.threads.max(1)
+        } else {
+            cfg.max_inflight
+        };
         let shared = Arc::new(Shared {
             catalog: Arc::clone(&catalog),
             stop: Arc::clone(&stop),
@@ -238,6 +500,11 @@ impl Server {
             access_log,
             slow_ns: cfg.slow_ns,
             exemplars: Mutex::new(HashMap::new()),
+            admission: Admission::new(max_inflight, cfg.queue_depth, cfg.queue_wait),
+            deadline_ms: cfg.deadline_ms,
+            faults: cfg.faults,
+            draining: AtomicBool::new(false),
+            io_timeout: cfg.io_timeout,
         });
         let profiler_started = match cfg.profile_hz {
             Some(hz) => sjpl_obs::prof::start(hz),
@@ -269,6 +536,7 @@ impl Server {
             drift,
             shared,
             profiler_started,
+            drain_grace: cfg.drain_grace,
         })
     }
 
@@ -277,10 +545,28 @@ impl Server {
         self.addr
     }
 
-    /// Graceful shutdown: raises the stop flag, wakes every worker blocked
-    /// in `accept`, and joins them. Workers finish their in-flight request
-    /// before exiting, so joining *is* the connection drain.
+    /// Starts a graceful drain without stopping anything: `/readyz`
+    /// immediately answers `503 + Retry-After` so load balancers route
+    /// new traffic elsewhere, while every other endpoint keeps serving.
+    /// [`Server::shutdown`] calls this first; call it earlier to drain
+    /// ahead of the actual stop.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful shutdown: flips `/readyz` to 503 (waiting up to
+    /// [`ServeConfig::drain_grace`] for in-flight work to finish), raises
+    /// the stop flag, wakes every worker blocked in `accept`, and joins
+    /// them. Workers finish their in-flight request before exiting, so
+    /// joining *is* the connection drain.
     pub fn shutdown(mut self) {
+        self.begin_drain();
+        if self.drain_grace > Duration::ZERO {
+            let t0 = Instant::now();
+            while t0.elapsed() < self.drain_grace && self.shared.inflight.get() > 0 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
         self.stop.raise();
         for w in self.workers.drain(..) {
             // `accept` has no timeout; poke the listener until the worker
@@ -333,6 +619,11 @@ fn worker_loop(listener: TcpListener, shared: Arc<Shared>) {
         if shared.stop.is_raised() {
             return; // the accepted connection was the shutdown wake-up
         }
+        match shared.fire_fault(FaultStage::Accept, None) {
+            Some(FaultKind::Latency(d)) => std::thread::sleep(d),
+            Some(FaultKind::Reset) => continue, // drop the fresh connection
+            _ => {}
+        }
         let _conn = shared.connections.enter();
         handle_connection(stream, &shared);
     }
@@ -349,10 +640,11 @@ enum ConnEvent {
 
 /// Parks on the connection until the next request arrives, with a short
 /// read timeout so the stop flag and the idle limit are honored promptly.
-/// On `Ready` the socket timeout has been restored to [`IO_TIMEOUT`] for
-/// actual request parsing.
-fn wait_for_request(reader: &mut BufReader<TcpStream>, shared: &Shared) -> ConnEvent {
-    let _ = reader.get_ref().set_read_timeout(Some(IDLE_POLL));
+/// On `Ready` the parse deadline has been armed: the whole request must
+/// parse within [`ServeConfig::io_timeout`] of its first byte.
+fn wait_for_request(reader: &mut BufReader<DeadlineStream>, shared: &Shared) -> ConnEvent {
+    reader.get_mut().disarm();
+    let _ = reader.get_ref().stream.set_read_timeout(Some(IDLE_POLL));
     let idle_since = Instant::now();
     loop {
         if shared.stop.is_raised() {
@@ -361,7 +653,7 @@ fn wait_for_request(reader: &mut BufReader<TcpStream>, shared: &Shared) -> ConnE
         match reader.fill_buf() {
             Ok([]) => return ConnEvent::Done, // EOF
             Ok(_) => {
-                let _ = reader.get_ref().set_read_timeout(Some(IO_TIMEOUT));
+                reader.get_mut().arm();
                 return ConnEvent::Ready;
             }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
@@ -378,12 +670,12 @@ fn wait_for_request(reader: &mut BufReader<TcpStream>, shared: &Shared) -> ConnE
 /// forces a close, the idle window expires, or the server stops.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let peer = stream.peer_addr().ok();
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(shared.io_timeout));
     // Keep-alive turns Nagle + delayed ACK into a ~40ms stall per
     // response; estimation answers are a few hundred bytes, so just send.
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
+        Ok(s) => DeadlineStream::new(s, shared.io_timeout),
         Err(_) => return,
     });
     let mut writer = stream;
@@ -391,6 +683,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     loop {
         if matches!(wait_for_request(&mut reader, shared), ConnEvent::Done) {
             return;
+        }
+        match shared.fire_fault(FaultStage::Read, None) {
+            Some(FaultKind::Latency(d)) => std::thread::sleep(d),
+            Some(FaultKind::Reset) => return,
+            _ => {}
         }
         let _inflight = shared.inflight.enter();
         let t0 = Instant::now();
@@ -408,9 +705,20 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 // Remembered by the exemplar store so a tail bucket can
                 // point back into the flight-recorder timeline.
                 let span_id = span.context().span_id();
-                let routed = route(&req, shared, request_id);
+                let dispatched = dispatch(&req, shared, request_id, t0);
                 drop(span);
-                (routed, req.keep_alive, req.method, req.path, span_id)
+                match dispatched {
+                    Dispatched::Reply(routed, force_close) => (
+                        routed,
+                        req.keep_alive && !force_close,
+                        req.method,
+                        req.path,
+                        span_id,
+                    ),
+                    // An injected handler reset: drop the connection with
+                    // no response (the fault counters already recorded it).
+                    Dispatched::Hangup => return,
+                }
             }
             // Parse failures have no usable framing; always close.
             Err(e) => (
@@ -422,6 +730,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             ),
         };
 
+        let endpoint = endpoint_label(&path);
         let response = routed
             .response
             .keep_alive(keep_alive)
@@ -434,11 +743,27 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         }
         let write_ok = {
             let _s = sjpl_obs::span("serve.write");
-            response.write_to(&mut writer).is_ok()
+            match shared.fire_fault(FaultStage::Write, Some(endpoint)) {
+                Some(FaultKind::Latency(d)) => {
+                    std::thread::sleep(d);
+                    response.write_to(&mut writer).is_ok()
+                }
+                Some(FaultKind::Reset) => false,
+                Some(FaultKind::Torn) => {
+                    // Serialize fully, send roughly half, drop the rest:
+                    // the client sees a framed-but-short response.
+                    let mut buf = Vec::new();
+                    let _ = response.write_to(&mut buf);
+                    let _ = writer
+                        .write_all(&buf[..buf.len() / 2])
+                        .and_then(|()| writer.flush());
+                    false
+                }
+                _ => response.write_to(&mut writer).is_ok(),
+            }
         };
 
         let dur_ns = t0.elapsed().as_nanos() as u64;
-        let endpoint = endpoint_label(&path);
         let series = format!("serve.endpoint.{endpoint}.{}", status_class(status));
         sjpl_obs::record_ns_named(series.clone(), dur_ns);
         record_exemplar(shared, series, request_id, span_id, dur_ns);
@@ -695,10 +1020,113 @@ impl Routed {
     }
 }
 
-fn route(req: &Request, shared: &Shared, request_id: u64) -> Routed {
+/// The outcome of dispatching one parsed request.
+enum Dispatched {
+    /// A response to send; `true` forces the connection closed afterwards.
+    Reply(Routed, bool),
+    /// An injected reset: drop the connection without a response.
+    Hangup,
+}
+
+/// The request's deadline budget: the `X-Deadline-Ms` header when present
+/// and parseable (must be a positive integer), else the server default.
+/// Measured from the request's first byte.
+fn request_deadline(req: &Request, shared: &Shared, t0: Instant) -> Option<Instant> {
+    req.header("x-deadline-ms")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .or(shared.deadline_ms)
+        .map(|ms| t0 + Duration::from_millis(ms))
+}
+
+fn deadline_expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// `429 + Retry-After`: past capacity, counted under `serve.shed.*`.
+fn shed_response(endpoint: &str) -> Response {
+    sjpl_obs::counter_add("serve.shed.total", 1);
+    sjpl_obs::counter_add_named(format!("serve.shed.{endpoint}"), 1);
+    Response::text(429, "server overloaded; retry later")
+        .with_header("Retry-After", RETRY_AFTER_SECS)
+}
+
+/// `503 + Retry-After`: the request's deadline budget ran out before the
+/// work could finish, counted under `serve.deadline.*`.
+fn deadline_response(endpoint: &str) -> Response {
+    sjpl_obs::counter_add("serve.deadline.exceeded", 1);
+    sjpl_obs::counter_add_named(format!("serve.deadline.{endpoint}"), 1);
+    Response::text(503, "deadline exceeded").with_header("Retry-After", RETRY_AFTER_SECS)
+}
+
+/// Admission control, deadline enforcement, handle-stage fault injection,
+/// and panic containment around [`route`]. The admission slot is held for
+/// the handler's duration (not the response write, which is bounded by
+/// the write timeout instead).
+fn dispatch(req: &Request, shared: &Shared, request_id: u64, t0: Instant) -> Dispatched {
+    let endpoint = endpoint_label(&req.path);
+    let deadline = request_deadline(req, shared, t0);
+    // Enforced at dispatch: a budget the read already consumed (slow peer,
+    // injected read latency) fails before any work happens.
+    if deadline_expired(deadline) {
+        return Dispatched::Reply(Routed::plain(deadline_response(endpoint)), false);
+    }
+    let _slot = match shared.admission.admit(tier_of(endpoint), deadline) {
+        Admit::Granted(guard) => guard,
+        Admit::Shed => {
+            return Dispatched::Reply(Routed::plain(shed_response(endpoint)), false);
+        }
+        Admit::DeadlineExceeded => {
+            return Dispatched::Reply(Routed::plain(deadline_response(endpoint)), false);
+        }
+    };
+    let fault = shared.fire_fault(FaultStage::Handle, Some(endpoint));
+    if let Some(FaultKind::Latency(d)) = fault {
+        std::thread::sleep(d);
+    }
+    if matches!(fault, Some(FaultKind::Reset)) {
+        return Dispatched::Hangup;
+    }
+    // Re-checked past the queue wait and any injected stall: both consume
+    // the budget.
+    if deadline_expired(deadline) {
+        return Dispatched::Reply(Routed::plain(deadline_response(endpoint)), false);
+    }
+    let inject_panic = matches!(fault, Some(FaultKind::Panic));
+    // One panicking handler must cost one response, not a worker thread:
+    // without this the fixed accept pool shrinks permanently.
+    match catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            panic!("injected panic fault");
+        }
+        route(req, shared, request_id, deadline)
+    })) {
+        Ok(routed) => Dispatched::Reply(routed, false),
+        Err(_) => {
+            sjpl_obs::counter_add("serve.panics", 1);
+            sjpl_obs::event(
+                "serve.panic",
+                format!("handler for {endpoint} panicked (#{request_id})"),
+            );
+            // The handler died at an unknown point; close the connection
+            // rather than trust its keep-alive state.
+            Dispatched::Reply(
+                Routed::plain(Response::text(500, "internal error: handler panicked")),
+                true,
+            )
+        }
+    }
+}
+
+fn route(req: &Request, shared: &Shared, request_id: u64, deadline: Option<Instant>) -> Routed {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/estimate") => {
             let _s = sjpl_obs::span("serve.estimate");
+            // Checked before the catalog lock + law math, the "expensive
+            // work" of this endpoint.
+            if deadline_expired(deadline) {
+                return Routed::plain(deadline_response("estimate"));
+            }
             estimate(req, shared, request_id)
         }
         ("GET", "/metrics") => {
@@ -752,6 +1180,15 @@ fn route(req: &Request, shared: &Shared, request_id: u64) -> Routed {
                     return Routed::plain(Response::text(400, "hz must be a positive number"))
                 }
             };
+            // A capture window that cannot finish inside the deadline
+            // budget is refused up front rather than blocking the worker
+            // past it.
+            if let Some(d) = deadline {
+                let left = d.saturating_duration_since(Instant::now());
+                if left < Duration::from_secs_f64(seconds) {
+                    return Routed::plain(deadline_response("profile"));
+                }
+            }
             // Blocks this worker for the window; bounded by the 30s cap.
             // When the continuous sampler is running, the window is a diff
             // of its live profile and `hz` is ignored.
@@ -767,6 +1204,13 @@ fn route(req: &Request, shared: &Shared, request_id: u64) -> Routed {
         }
         ("GET", "/readyz") => {
             let _s = sjpl_obs::span("serve.readyz");
+            // Draining wins over everything: load balancers must stop
+            // routing here before the listener actually closes.
+            if shared.draining.load(Ordering::SeqCst) {
+                return Routed::plain(
+                    Response::text(503, "draining").with_header("Retry-After", RETRY_AFTER_SECS),
+                );
+            }
             let n = shared
                 .catalog
                 .lock()
@@ -775,7 +1219,7 @@ fn route(req: &Request, shared: &Shared, request_id: u64) -> Routed {
             Routed::plain(if n > 0 {
                 Response::text(200, format!("ready ({n} laws)"))
             } else {
-                Response::text(503, "no laws loaded")
+                Response::text(503, "no laws loaded").with_header("Retry-After", RETRY_AFTER_SECS)
             })
         }
         // Known path, wrong method: 405 with the allowed method advertised.
@@ -926,6 +1370,157 @@ fn jf(v: f64) -> String {
 mod tests {
     use super::*;
 
+    fn test_shared() -> Shared {
+        Shared {
+            catalog: Arc::new(Mutex::new(sjpl_core::LawCatalog::default())),
+            stop: Arc::new(StopFlag::new()),
+            request_seq: AtomicU64::new(0),
+            inflight: LiveGauge::new("serve.inflight"),
+            connections: LiveGauge::new("serve.connections"),
+            slos: Vec::new(),
+            slo_breached: Mutex::new(HashMap::new()),
+            access_log: None,
+            slow_ns: u64::MAX,
+            exemplars: Mutex::new(HashMap::new()),
+            admission: Admission::new(4, 4, Duration::from_millis(100)),
+            deadline_ms: None,
+            faults: None,
+            draining: AtomicBool::new(false),
+            io_timeout: IO_TIMEOUT,
+        }
+    }
+
+    #[test]
+    fn tiers_shed_debug_first_and_protect_probes() {
+        assert_eq!(tier_of("healthz"), Tier::Critical);
+        assert_eq!(tier_of("readyz"), Tier::Critical);
+        assert_eq!(tier_of("estimate"), Tier::Normal);
+        assert_eq!(tier_of("metrics"), Tier::Normal);
+        for debug in ["snapshot", "timeline", "profile", "exemplars", "other"] {
+            assert_eq!(tier_of(debug), Tier::Debug, "{debug}");
+        }
+    }
+
+    #[test]
+    fn admission_sheds_debug_immediately_and_queues_normal() {
+        let adm = Admission::new(1, 1, Duration::from_millis(40));
+        let slot = match adm.admit(Tier::Normal, None) {
+            Admit::Granted(g) => g,
+            _ => panic!("first normal request must be admitted"),
+        };
+        // Debug never queues: at capacity it sheds on the spot.
+        assert!(matches!(adm.admit(Tier::Debug, None), Admit::Shed));
+        // Critical is admitted past capacity (the guard drops right away).
+        assert!(matches!(adm.admit(Tier::Critical, None), Admit::Granted(_)));
+        // Normal queues for queue_wait, then sheds when nothing frees up.
+        let t0 = Instant::now();
+        assert!(matches!(adm.admit(Tier::Normal, None), Admit::Shed));
+        assert!(
+            t0.elapsed() >= Duration::from_millis(35),
+            "normal tier must wait out the queue before shedding"
+        );
+        drop(slot);
+        assert!(matches!(adm.admit(Tier::Normal, None), Admit::Granted(_)));
+    }
+
+    #[test]
+    fn queued_request_takes_a_freed_slot() {
+        let adm = Arc::new(Admission::new(1, 2, Duration::from_millis(500)));
+        let slot = match adm.admit(Tier::Normal, None) {
+            Admit::Granted(g) => g,
+            _ => panic!("admitted"),
+        };
+        let waiter = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let ok = matches!(adm.admit(Tier::Normal, None), Admit::Granted(_));
+                (ok, t0.elapsed())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        drop(slot);
+        let (granted, waited) = waiter.join().unwrap();
+        assert!(granted, "the queued request must get the freed slot");
+        assert!(
+            waited < Duration::from_millis(400),
+            "handoff should beat the queue timeout, waited {waited:?}"
+        );
+    }
+
+    #[test]
+    fn queue_overflow_sheds_without_waiting() {
+        let adm = Arc::new(Admission::new(1, 0, Duration::from_millis(500)));
+        let _slot = match adm.admit(Tier::Normal, None) {
+            Admit::Granted(g) => g,
+            _ => panic!("admitted"),
+        };
+        // queue_depth 0: the next normal request sheds instantly.
+        let t0 = Instant::now();
+        assert!(matches!(adm.admit(Tier::Normal, None), Admit::Shed));
+        assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn queued_deadline_expiry_is_reported_as_such() {
+        let adm = Admission::new(1, 2, Duration::from_millis(500));
+        let _slot = match adm.admit(Tier::Normal, None) {
+            Admit::Granted(g) => g,
+            _ => panic!("admitted"),
+        };
+        let deadline = Some(Instant::now() + Duration::from_millis(30));
+        let t0 = Instant::now();
+        assert!(matches!(
+            adm.admit(Tier::Normal, deadline),
+            Admit::DeadlineExceeded
+        ));
+        let waited = t0.elapsed();
+        assert!(
+            waited >= Duration::from_millis(25) && waited < Duration::from_millis(400),
+            "the deadline, not the queue timeout, must bound the wait ({waited:?})"
+        );
+    }
+
+    #[test]
+    fn request_deadline_prefers_the_header_over_the_default() {
+        let mut shared = test_shared();
+        shared.deadline_ms = Some(5_000);
+        let mut req = Request {
+            method: "GET".to_owned(),
+            path: "/healthz".to_owned(),
+            query: None,
+            headers: Vec::new(),
+            body: Vec::new(),
+            keep_alive: true,
+        };
+        let t0 = Instant::now();
+        // Default applies without the header.
+        let d = request_deadline(&req, &shared, t0).unwrap();
+        assert_eq!(d, t0 + Duration::from_millis(5_000));
+        // The header overrides it.
+        req.headers
+            .push(("x-deadline-ms".to_owned(), "250".to_owned()));
+        let d = request_deadline(&req, &shared, t0).unwrap();
+        assert_eq!(d, t0 + Duration::from_millis(250));
+        // Garbage and zero fall back to the default rather than erroring.
+        req.headers[0].1 = "soon".to_owned();
+        assert_eq!(
+            request_deadline(&req, &shared, t0),
+            Some(t0 + Duration::from_millis(5_000))
+        );
+        req.headers[0].1 = "0".to_owned();
+        assert_eq!(
+            request_deadline(&req, &shared, t0),
+            Some(t0 + Duration::from_millis(5_000))
+        );
+        // No header, no default: no deadline.
+        shared.deadline_ms = None;
+        req.headers.clear();
+        assert_eq!(request_deadline(&req, &shared, t0), None);
+        assert!(!deadline_expired(None));
+        assert!(deadline_expired(Some(t0)));
+    }
+
     #[test]
     fn stop_flag_wait_wakes_immediately_on_raise() {
         let flag = Arc::new(StopFlag::new());
@@ -1066,18 +1661,7 @@ sjpl_other_metric 1
 
     #[test]
     fn exemplar_buckets_keep_the_tail_and_stay_bounded() {
-        let shared = Shared {
-            catalog: Arc::new(Mutex::new(sjpl_core::LawCatalog::default())),
-            stop: Arc::new(StopFlag::new()),
-            request_seq: AtomicU64::new(0),
-            inflight: LiveGauge::new("serve.inflight"),
-            connections: LiveGauge::new("serve.connections"),
-            slos: Vec::new(),
-            slo_breached: Mutex::new(HashMap::new()),
-            access_log: None,
-            slow_ns: u64::MAX,
-            exemplars: Mutex::new(HashMap::new()),
-        };
+        let shared = test_shared();
         // Durations spread across > MAX_EXEMPLAR_BUCKETS distinct buckets:
         // powers of two land in distinct log-linear buckets.
         for i in 0..12u32 {

@@ -853,6 +853,423 @@ fn continuous_profiler_publishes_live_gauges() {
     server.shutdown();
 }
 
+/// Sends raw bytes and returns whatever comes back until EOF — possibly
+/// nothing, for requests whose connection the server drops.
+fn http_raw(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(raw).unwrap();
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response
+}
+
+/// Value of a plain counter/gauge sample line in a Prometheus exposition.
+fn counter(text: &str, name: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.starts_with(&format!("{name} ")))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+/// The overload contract: with the only admission slot held, debug
+/// endpoints shed immediately, normal-tier requests queue briefly then
+/// shed, health probes always pass — and every shed carries Retry-After.
+#[test]
+fn overload_sheds_debug_first_and_every_shed_carries_retry_after() {
+    let server = Server::start(
+        catalog_with("shedlaw", fitted_law(1_000, 37)),
+        ServeConfig {
+            threads: 4,
+            max_inflight: 1,
+            queue_depth: 1,
+            queue_wait: Duration::from_millis(100),
+            faults: Some(sjpl_serve::FaultPlan::parse("estimate:latency=700ms@1.0", 1).unwrap()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Occupy the only slot with a fault-delayed estimate.
+    let holder =
+        std::thread::spawn(move || post_estimate(addr, r#"{"law": "shedlaw", "radius": 0.1}"#));
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Debug tier sheds without waiting.
+    for path in ["/snapshot", "/timeline"] {
+        let t0 = Instant::now();
+        let (status, head, _) = get(addr, path);
+        assert_eq!(status, 429, "{path} must shed at capacity");
+        assert!(
+            head.to_lowercase().contains("retry-after:"),
+            "{path}: shed without Retry-After: {head}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_millis(80),
+            "debug shed must not queue"
+        );
+    }
+    // Normal tier waits its bounded turn, then sheds.
+    let t0 = Instant::now();
+    let (status, head, _) = post_estimate(addr, r#"{"law": "shedlaw", "radius": 0.1}"#);
+    assert_eq!(status, 429);
+    assert!(head.to_lowercase().contains("retry-after:"), "{head}");
+    assert!(
+        t0.elapsed() >= Duration::from_millis(80),
+        "normal tier should have queued before shedding"
+    );
+    // Health probes are never shed.
+    assert_eq!(get(addr, "/healthz").0, 200);
+    assert_eq!(get(addr, "/readyz").0, 200);
+
+    // The admitted request still completed normally.
+    let (status, _, body) = holder.join().unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // Shed and fault accounting is on /metrics (slot now free again).
+    let (_, _, text) = get(addr, "/metrics");
+    assert!(
+        counter(&text, "sjpl_serve_shed_total").unwrap_or(0.0) >= 3.0,
+        "{text}"
+    );
+    assert!(
+        counter(&text, "sjpl_serve_shed_snapshot").unwrap_or(0.0) >= 1.0,
+        "{text}"
+    );
+    assert!(
+        counter(&text, "sjpl_serve_shed_estimate").unwrap_or(0.0) >= 1.0,
+        "{text}"
+    );
+    assert!(
+        counter(&text, "sjpl_serve_faults_estimate_latency").unwrap_or(0.0) >= 1.0,
+        "{text}"
+    );
+    server.shutdown();
+}
+
+/// Deadline budgets: the config default rejects a slow (fault-delayed)
+/// request with `503 + Retry-After`; a per-request `X-Deadline-Ms` header
+/// overrides the default in both directions.
+#[test]
+fn deadline_budgets_reject_slow_work_and_the_header_wins() {
+    let server = Server::start(
+        catalog_with("dlinelaw", fitted_law(1_000, 39)),
+        ServeConfig {
+            deadline_ms: Some(50),
+            faults: Some(sjpl_serve::FaultPlan::parse("exemplars:latency=300ms@1.0", 2).unwrap()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Fast endpoints fit inside the 50 ms default budget.
+    assert_eq!(get(addr, "/healthz").0, 200);
+    assert_eq!(
+        post_estimate(addr, r#"{"law": "dlinelaw", "radius": 0.1}"#).0,
+        200
+    );
+
+    // The fault-injected 300 ms exemplars handler blows the default.
+    let (status, head, body) = get(addr, "/debug/exemplars");
+    assert_eq!(status, 503, "{body}");
+    assert!(head.to_lowercase().contains("retry-after:"), "{head}");
+    assert!(body.contains("deadline"), "{body}");
+
+    // A generous per-request header overrides the default...
+    let (status, _, body) = http(
+        addr,
+        "GET /debug/exemplars HTTP/1.1\r\nHost: t\r\nX-Deadline-Ms: 5000\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200, "{body}");
+    // ...and a stingy one fails even a fast endpoint's admission-time check
+    // once the budget is already spent mid-flight (here: it's simply
+    // tighter than the injected latency).
+    let (status, _, _) = http(
+        addr,
+        "GET /debug/exemplars HTTP/1.1\r\nHost: t\r\nX-Deadline-Ms: 20\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 503);
+
+    let (_, _, text) = get(addr, "/metrics");
+    assert!(
+        counter(&text, "sjpl_serve_deadline_exceeded").unwrap_or(0.0) >= 2.0,
+        "{text}"
+    );
+    assert!(
+        counter(&text, "sjpl_serve_deadline_exemplars").unwrap_or(0.0) >= 2.0,
+        "{text}"
+    );
+    server.shutdown();
+}
+
+/// The fault plan's determinism contract: rules at probability 1 fire on
+/// every matching request and nowhere else, so the per-rule counters match
+/// the request counts exactly; a probability-0 rule never counts.
+#[test]
+fn injected_fault_counters_match_the_seeded_plan_exactly() {
+    let server = Server::start(
+        catalog_with("faultlaw", fitted_law(1_000, 43)),
+        ServeConfig {
+            faults: Some(
+                sjpl_serve::FaultPlan::parse(
+                    "readyz:latency=1ms@1.0,timeline:reset@1.0,healthz:latency=5ms@0.0",
+                    3,
+                )
+                .unwrap(),
+            ),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // 5 readyz requests, each taking the injected 1 ms latency (and still
+    // answering 200).
+    for _ in 0..5 {
+        assert_eq!(get(addr, "/readyz").0, 200);
+    }
+    // 3 timeline requests, each reset mid-handle: the connection just dies.
+    for _ in 0..3 {
+        let resp = http_raw(
+            addr,
+            b"GET /timeline HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert!(
+            resp.is_empty(),
+            "reset fault must drop the connection: {resp:?}"
+        );
+    }
+    // 4 healthz requests; the probability-0 rule must never fire.
+    for _ in 0..4 {
+        assert_eq!(get(addr, "/healthz").0, 200);
+    }
+
+    let (_, _, text) = get(addr, "/metrics");
+    assert_eq!(
+        counter(&text, "sjpl_serve_faults_readyz_latency"),
+        Some(5.0),
+        "{text}"
+    );
+    assert_eq!(
+        counter(&text, "sjpl_serve_faults_timeline_reset"),
+        Some(3.0),
+        "{text}"
+    );
+    assert_eq!(
+        counter(&text, "sjpl_serve_faults_healthz_latency"),
+        None,
+        "a probability-0 rule must never count: {text}"
+    );
+
+    // Every injection is also an observable event.
+    let (_, _, snap) = get(addr, "/snapshot");
+    let doc = Json::parse(&snap).unwrap();
+    assert!(doc
+        .get("events")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|e| e.get("name").unwrap().as_str() == Some("serve.fault")));
+    server.shutdown();
+}
+
+/// Panic containment: a handler panic costs one 500 and a counter, never a
+/// worker. After six forced panics the pool still serves four concurrent
+/// fault-delayed estimates in a single round.
+#[test]
+fn panic_containment_keeps_the_worker_pool_at_full_capacity() {
+    let server = Server::start(
+        catalog_with("panlaw", fitted_law(1_000, 41)),
+        ServeConfig {
+            threads: 4,
+            faults: Some(
+                sjpl_serve::FaultPlan::parse("snapshot:panic@1.0,estimate:latency=400ms@1.0", 5)
+                    .unwrap(),
+            ),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    for _ in 0..6 {
+        let (status, _, body) = get(addr, "/snapshot");
+        assert_eq!(status, 500, "{body}");
+        assert!(body.contains("panicked"), "{body}");
+    }
+
+    // Four concurrent estimates, each carrying 400 ms of injected latency:
+    // with all four workers alive they finish in about one round; a lost
+    // worker would force a second round (>= 800 ms).
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| s.spawn(move || post_estimate(addr, r#"{"law": "panlaw", "radius": 0.1}"#)))
+            .collect();
+        for h in handles {
+            let (status, _, body) = h.join().unwrap();
+            assert_eq!(status, 200, "{body}");
+        }
+    });
+    let wall = t0.elapsed();
+    assert!(
+        wall < Duration::from_millis(750),
+        "pool degraded after panics: 4 estimates took {wall:?}"
+    );
+
+    let (_, _, text) = get(addr, "/metrics");
+    assert!(
+        counter(&text, "sjpl_serve_panics").unwrap_or(0.0) >= 6.0,
+        "{text}"
+    );
+    assert_eq!(
+        counter(&text, "sjpl_serve_faults_snapshot_panic"),
+        Some(6.0),
+        "{text}"
+    );
+    server.shutdown();
+}
+
+/// Graceful drain: `begin_drain` flips `/readyz` to `503 + Retry-After`
+/// so load balancers stop routing, while live traffic keeps being served.
+#[test]
+fn readyz_flips_to_503_with_retry_after_during_drain() {
+    let server = Server::start(
+        catalog_with("drainlaw", fitted_law(1_000, 45)),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let addr = server.addr();
+    assert_eq!(get(addr, "/readyz").0, 200);
+
+    server.begin_drain();
+    let (status, head, body) = get(addr, "/readyz");
+    assert_eq!(status, 503);
+    assert!(head.to_lowercase().contains("retry-after:"), "{head}");
+    assert!(body.contains("draining"), "{body}");
+    // Draining refuses new placement, not existing traffic.
+    assert_eq!(get(addr, "/healthz").0, 200);
+    assert_eq!(
+        post_estimate(addr, r#"{"law": "drainlaw", "radius": 0.1}"#).0,
+        200
+    );
+    server.shutdown();
+}
+
+/// Hostile peers must be bounded by the configured IO timeout — a
+/// byte-dripping or half-finished request costs one worker at most that
+/// long, and the slot serves well-behaved traffic right afterwards.
+#[test]
+fn hostile_peers_fail_fast_without_poisoning_the_slot() {
+    let server = Server::start(
+        catalog_with("hostlaw", fitted_law(1_000, 47)),
+        ServeConfig {
+            threads: 2,
+            io_timeout: Duration::from_millis(300),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let assert_healthy = || {
+        let t0 = Instant::now();
+        assert_eq!(get(addr, "/healthz").0, 200);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "healthz slow after hostile peer"
+        );
+    };
+
+    // Slow-loris: drip header bytes forever. The *total* parse budget cuts
+    // it off, even though every per-byte gap is short.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let t0 = Instant::now();
+        for b in b"GET /healthz HTTP/1.1\r\nHost: t\r\nX-Drip: "
+            .iter()
+            .cycle()
+        {
+            if s.write_all(&[*b]).is_err() {
+                break; // server gave up on us — exactly the point
+            }
+            std::thread::sleep(Duration::from_millis(20));
+            if t0.elapsed() > Duration::from_secs(3) {
+                break;
+            }
+        }
+        let mut resp = String::new();
+        let _ = s.read_to_string(&mut resp);
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "slow-loris pinned the worker: {:?}",
+            t0.elapsed()
+        );
+        assert!(
+            resp.is_empty() || resp.contains("400"),
+            "unexpected slow-loris response: {resp:?}"
+        );
+    }
+    assert_healthy();
+
+    // Content-Length promises more than the peer ever sends.
+    {
+        let t0 = Instant::now();
+        let resp = http_raw(
+            addr,
+            b"POST /estimate HTTP/1.1\r\nHost: t\r\nContent-Length: 50\r\n\r\nshort",
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "starved body read must time out at io_timeout"
+        );
+        assert!(resp.contains("400"), "{resp:?}");
+    }
+    assert_healthy();
+
+    // Oversized header line: rejected as 413, not buffered forever.
+    {
+        let raw = format!(
+            "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Big: {}\r\nConnection: close\r\n\r\n",
+            "x".repeat(9_000)
+        );
+        let (status, _, _) = http(addr, &raw);
+        assert_eq!(status, 413);
+    }
+    assert_healthy();
+
+    // Abrupt mid-body disconnect: EOF inside the body fails immediately.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"POST /estimate HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n\r\npartial")
+            .unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let t0 = Instant::now();
+        let mut resp = String::new();
+        let _ = s.read_to_string(&mut resp);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "EOF body must fail fast"
+        );
+        assert!(resp.contains("400"), "{resp:?}");
+    }
+    // Both workers still alive: two concurrent probes succeed promptly.
+    std::thread::scope(|s| {
+        let a = s.spawn(assert_healthy);
+        let b = s.spawn(assert_healthy);
+        a.join().unwrap();
+        b.join().unwrap();
+    });
+    server.shutdown();
+}
+
 #[test]
 fn shutdown_is_prompt_and_final() {
     let server = Server::start(

@@ -196,6 +196,14 @@ fn registry_covers_the_serve_names_too() {
         "prof.live.samples",
         "prof.live.dropped_samples",
         "prof.live.overhead_ns",
+        // Overload-protection and fault-injection names.
+        "serve.panics",
+        "serve.shed.total",
+        "serve.deadline.exceeded",
+        "serve.faults.injected",
+        "serve.queue.depth",
+        "serve.fault",
+        "serve.panic",
     ] {
         assert!(names::is_stable(name), "{name:?} missing from the registry");
     }
@@ -227,9 +235,24 @@ fn registry_covers_the_serve_names_too() {
         assert!(names::is_stable(&format!("serve.slo.burn_rate.{endpoint}")));
         assert!(names::is_stable(&format!("serve.slo.breached.{endpoint}")));
         assert!(names::is_stable(&format!("serve.slo.breaches.{endpoint}")));
+        // Shed/deadline counters are per-endpoint families too.
+        assert!(names::is_stable(&format!("serve.shed.{endpoint}")));
+        assert!(names::is_stable(&format!("serve.deadline.{endpoint}")));
+    }
+    // Per-rule fault counters: `serve.faults.<scope>.<kind>` where the
+    // scope is a lifecycle stage or endpoint label and the kind comes from
+    // the fault-plan grammar.
+    for scope in ["accept", "read", "handle", "write", "estimate", "healthz"] {
+        for kind in ["latency", "reset", "torn", "panic"] {
+            assert!(names::is_stable(&format!("serve.faults.{scope}.{kind}")));
+        }
     }
     // Typos stay un-stable.
     assert!(!names::is_stable("serve.endpoints.estimate.2xx"));
     assert!(!names::is_stable("serve.slo"));
     assert!(!names::is_stable("serve.responses.7xx"));
+    assert!(!names::is_stable("serve.shed"));
+    assert!(!names::is_stable("serve.deadline"));
+    assert!(!names::is_stable("serve.faults"));
+    assert!(!names::is_stable("serve.panic.count"));
 }
