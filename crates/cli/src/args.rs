@@ -105,6 +105,20 @@ pub struct Options {
     pub chaos: bool,
     /// `--retries <n>` (loadtest: retry budget per logical request).
     pub retries: Option<u32>,
+    /// `--metrics-interval <secs>` (serve: time between telemetry
+    /// self-scrapes into the in-process TSDB).
+    pub metrics_interval: Option<f64>,
+    /// `--alert <rule>` (serve: declarative alert rule, repeatable; e.g.
+    /// `hot: rate(serve.requests[30s]) > 100 for 30s`).
+    pub alerts: Vec<String>,
+    /// `--alerts-out <file>` (loadtest: fetch `/alerts` when the run ends
+    /// and write the JSON here).
+    pub alerts_out: Option<String>,
+    /// `--refresh <secs>` (dash: seconds between frames).
+    pub refresh: Option<f64>,
+    /// `--frames <n>` (dash: render this many frames then exit; omit to
+    /// run until interrupted).
+    pub frames: Option<u64>,
 }
 
 /// Parses `argv` into [`Options`].
@@ -150,6 +164,11 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
         fault_seed: None,
         chaos: false,
         retries: None,
+        metrics_interval: None,
+        alerts: Vec::new(),
+        alerts_out: None,
+        refresh: None,
+        frames: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -352,6 +371,38 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
             "--retries" => {
                 let v = take_value("--retries")?;
                 o.retries = Some(v.parse().map_err(|_| format!("bad retries {v:?}"))?);
+            }
+            "--metrics-interval" => {
+                let v = take_value("--metrics-interval")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad metrics interval {v:?}"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(format!("metrics interval {v:?} must be finite and > 0"));
+                }
+                o.metrics_interval = Some(secs);
+            }
+            "--alert" => {
+                o.alerts.push(take_value("--alert")?);
+            }
+            "--alerts-out" => {
+                o.alerts_out = Some(take_value("--alerts-out")?);
+            }
+            "--refresh" => {
+                let v = take_value("--refresh")?;
+                let secs: f64 = v.parse().map_err(|_| format!("bad refresh {v:?}"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(format!("refresh {v:?} must be finite and > 0"));
+                }
+                o.refresh = Some(secs);
+            }
+            "--frames" => {
+                let v = take_value("--frames")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad frames {v:?}"))?;
+                if n == 0 {
+                    return Err("frames must be >= 1".to_owned());
+                }
+                o.frames = Some(n);
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}"));
@@ -614,6 +665,37 @@ mod tests {
         assert!(parse(&sv(&["--max-inflight", "-1"])).is_err());
         assert!(parse(&sv(&["--fault"])).is_err());
         assert!(parse(&sv(&["--retries", "-2"])).is_err());
+    }
+
+    #[test]
+    fn telemetry_and_dash_flags_parse() {
+        let o = parse(&sv(&[
+            "--metrics-interval",
+            "0.25",
+            "--alert",
+            "hot: rate(serve.requests[30s]) > 100 for 30s",
+            "--alert",
+            "queue: serve.queue.depth >= 4",
+            "--alerts-out",
+            "alerts.json",
+            "--refresh",
+            "0.5",
+            "--frames",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(o.metrics_interval, Some(0.25));
+        assert_eq!(o.alerts.len(), 2);
+        assert!(o.alerts[0].starts_with("hot:"));
+        assert_eq!(o.alerts_out.as_deref(), Some("alerts.json"));
+        assert_eq!(o.refresh, Some(0.5));
+        assert_eq!(o.frames, Some(3));
+        assert!(parse(&sv(&["--metrics-interval", "0"])).is_err());
+        assert!(parse(&sv(&["--metrics-interval", "inf"])).is_err());
+        assert!(parse(&sv(&["--refresh", "-1"])).is_err());
+        assert!(parse(&sv(&["--frames", "0"])).is_err());
+        assert!(parse(&sv(&["--alert"])).is_err());
+        assert!(parse(&sv(&["--alerts-out"])).is_err());
     }
 
     #[test]

@@ -52,11 +52,21 @@ commands:
                                                  /estimate answers O(1) from the
                                                  stored laws; GET /metrics
                                                  (Prometheus), /snapshot,
-                                                 /timeline, /healthz, /readyz.
-                                                 Each data.csv whose file stem
-                                                 names a catalog law gets an
-                                                 online drift probe (sampled
-                                                 ground truth vs. the law)
+                                                 /timeline, /healthz, /readyz,
+                                                 /alerts, /query. Each data.csv
+                                                 whose file stem names a catalog
+                                                 law gets an online drift probe
+                                                 (sampled ground truth vs. the
+                                                 law). A telemetry thread
+                                                 self-scrapes the recorder into
+                                                 an in-process TSDB and
+                                                 evaluates alert rules on it
+  dash [host:port]                               live ANSI dashboard over a
+                                                 running serve daemon: per-
+                                                 endpoint req/s sparklines,
+                                                 p50/p99, error rates, drift
+                                                 status and alert states,
+                                                 polled from /query + /alerts
 
 options:
   -r, --radius <r>     query radius (estimate, join)
@@ -114,6 +124,16 @@ options:
                        (kinds: latency=<dur>, reset, torn, panic); every
                        injection is counted on /metrics
   --fault-seed <n>     serve: RNG seed for the fault plan [default 42]
+  --metrics-interval <s>  serve: seconds between telemetry self-scrapes into
+                       the in-process ring-buffer TSDB that answers GET
+                       /query and feeds the alert engine [default 5]
+  --alert <rule>       serve: declarative alert rule, repeatable;
+                       'name: expr op threshold [for <dur>]' where expr is
+                       the /query grammar, e.g.
+                       'hot: rate(serve.requests[30s]) > 100 for 30s'.
+                       Multi-window SLO burn-rate and drift-breach rules are
+                       built in for every --slo and drift probe; states show
+                       on GET /alerts and as ALERTS{...} on /metrics
   --connections <n>    loadtest: concurrent keep-alive connections; keep at
                        or below the server's --threads [default 2]
   --rate <r>           loadtest: open-loop target req/s (latency measured
@@ -135,6 +155,12 @@ options:
   --chaos              loadtest: interleave hostile-client acts on throwaway
                        connections (slow-loris header drip, truncated bodies,
                        mid-response aborts, garbage pipelining)
+  --alerts-out <file>  loadtest: fetch GET /alerts when the run ends and
+                       write the JSON here; the report's alerts_fired rollup
+                       is filled either way and `sjpl regress` prints fired
+                       alerts as notes
+  --refresh <s>        dash: seconds between frames [default 1]
+  --frames <n>         dash: render n frames then exit [default: until ^C]
 
 exit codes:
   0  success
@@ -171,6 +197,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "regress" => cmd_regress(&opts),
         "loadtest" => cmd_loadtest(&opts).map_err(CliError::from),
         "serve" => cmd_serve(&opts).map_err(CliError::from),
+        "dash" => cmd_dash(&opts).map_err(CliError::from),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -279,20 +306,7 @@ fn cmd_regress(o: &Options) -> Result<(), CliError> {
 /// gate consumes.
 fn cmd_loadtest(o: &Options) -> Result<(), String> {
     use crate::loadtest::{default_mix, parse_mix, LoadtestConfig};
-    let addr = match o.positional.as_slice() {
-        [] => format!("127.0.0.1:{}", o.port.unwrap_or(9090)),
-        [a] => {
-            if a.contains(':') {
-                a.clone()
-            } else {
-                format!("127.0.0.1:{a}")
-            }
-        }
-        more => return Err(format!("loadtest takes one target, got {more:?}")),
-    };
-    let addr = addr
-        .parse()
-        .map_err(|_| format!("bad target address {addr:?} (use host:port)"))?;
+    let addr = parse_target(o, "loadtest")?;
     let cfg = LoadtestConfig {
         addr,
         duration: std::time::Duration::from_secs_f64(o.duration.unwrap_or(10.0)),
@@ -311,10 +325,40 @@ fn cmd_loadtest(o: &Options) -> Result<(), String> {
         profile_out: o.profile_out.clone(),
         retries: o.retries.unwrap_or(0),
         chaos: o.chaos,
+        alerts_out: o.alerts_out.clone(),
     };
     let summary = crate::loadtest::run(&cfg)?;
     println!("{summary}");
     Ok(())
+}
+
+/// Resolves the `[host:port]` positional shared by `loadtest` and `dash`:
+/// a full address, a bare port, or nothing (`--port`, default 9090).
+fn parse_target(o: &Options, what: &str) -> Result<std::net::SocketAddr, String> {
+    let addr = match o.positional.as_slice() {
+        [] => format!("127.0.0.1:{}", o.port.unwrap_or(9090)),
+        [a] => {
+            if a.contains(':') {
+                a.clone()
+            } else {
+                format!("127.0.0.1:{a}")
+            }
+        }
+        more => return Err(format!("{what} takes one target, got {more:?}")),
+    };
+    addr.parse()
+        .map_err(|_| format!("bad target address {addr:?} (use host:port)"))
+}
+
+/// `dash [host:port]` — the live terminal dashboard over a running serve
+/// daemon's `/query` + `/alerts` surface.
+fn cmd_dash(o: &Options) -> Result<(), String> {
+    let cfg = crate::dash::DashConfig {
+        addr: parse_target(o, "dash")?,
+        refresh: std::time::Duration::from_secs_f64(o.refresh.unwrap_or(1.0)),
+        frames: o.frames,
+    };
+    crate::dash::run(&cfg)
 }
 
 /// `serve --catalog <cat.tsv> [data.csv…]` — the live estimation daemon.
@@ -353,6 +397,10 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         Some(spec) => Some(sjpl_serve::FaultPlan::parse(spec, fault_seed)?),
         None => None,
     };
+    let mut alerts = Vec::with_capacity(o.alerts.len());
+    for rule in &o.alerts {
+        alerts.push(sjpl_serve::AlertRule::parse(rule)?);
+    }
     let defaults_cfg = ServeConfig::default();
     let cfg = ServeConfig {
         addr: SocketAddr::from(([127, 0, 0, 1], o.port.unwrap_or(9090))),
@@ -368,11 +416,18 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         max_inflight: o.max_inflight.unwrap_or(0),
         deadline_ms: o.deadline_ms,
         faults,
+        metrics_interval: o.metrics_interval.map_or(defaults_cfg.metrics_interval, {
+            std::time::Duration::from_secs_f64
+        }),
+        alerts,
         ..defaults_cfg
     };
     let n_laws = catalog.len();
     let n_probes = cfg.probes.len();
     let n_slos = cfg.slos.len();
+    let n_alerts = cfg.alerts.len();
+    let metrics_interval = cfg.metrics_interval;
+    let tsdb_capacity = cfg.tsdb_capacity;
     let access_log = cfg.access_log.clone();
     let profile_hz = cfg.profile_hz;
     let interval = cfg.drift.interval;
@@ -400,7 +455,12 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     );
     println!(
         "endpoints: POST /estimate | GET /metrics /snapshot /timeline /healthz /readyz \
-         /debug/profile /debug/exemplars"
+         /alerts /query /debug/profile /debug/exemplars"
+    );
+    println!(
+        "telemetry: self-scrape every {metrics_interval:?} into a {tsdb_capacity}-sample \
+         ring per series; {n_alerts} user alert rule(s) plus built-in SLO burn-rate and \
+         drift rules (watch with `sjpl dash`)"
     );
     if n_probes > 0 {
         println!("drift monitor: {n_probes} probe(s), every {interval:?}, error budget {budget}");
@@ -1083,7 +1143,7 @@ mod tests {
         // The recorder is process-global and other tests run concurrently,
         // so assert presence of this run's keys, not exact values.
         for needle in [
-            "\"schema\": 4",
+            "\"schema\": 5",
             "bops.quantize",
             "bops.sort",
             "bops.scan",

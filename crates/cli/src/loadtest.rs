@@ -70,6 +70,9 @@ pub struct LoadtestConfig {
     pub retries: u32,
     /// Interleave hostile-client acts on throwaway connections.
     pub chaos: bool,
+    /// When set, write the `/alerts` JSON fetched at the end of the run to
+    /// this path (the report's `alerts_fired` rollup is filled either way).
+    pub alerts_out: Option<String>,
 }
 
 /// The endpoints the harness knows how to exercise.
@@ -327,9 +330,14 @@ fn chaos_act(addr: SocketAddr, rng: &mut rand::rngs::StdRng) {
 }
 
 /// One-shot GET that returns the response body — used for the mid-run
-/// `/debug/profile` fetch, which (unlike the workload requests) needs the
-/// body, and whose response is delayed by the profiling window itself.
-fn fetch_body(addr: SocketAddr, target: &str, timeout: Duration) -> std::io::Result<String> {
+/// `/debug/profile` fetch (which, unlike the workload requests, needs the
+/// body, and whose response is delayed by the profiling window itself),
+/// the end-of-run `/alerts` fetch, and the `sjpl dash` frame loop.
+pub(crate) fn fetch_body(
+    addr: SocketAddr,
+    target: &str,
+    timeout: Duration,
+) -> std::io::Result<String> {
     let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
@@ -588,6 +596,26 @@ pub fn run(cfg: &LoadtestConfig) -> Result<String, String> {
         return Err("loadtest issued no successful requests (all transport errors?)".to_owned());
     }
 
+    // End-of-run alert rollup: which of the daemon's alert rules fired
+    // while (or before) the workload ran. An older daemon without /alerts
+    // degrades to an empty rollup rather than a failed run — unless the
+    // caller explicitly asked for the file with --alerts-out.
+    let mut alerts_fired: Vec<(String, String)> = Vec::new();
+    let mut alerts_note = String::new();
+    match fetch_body(cfg.addr, "/alerts", Duration::from_secs(5)) {
+        Ok(body) => {
+            if let Some(path) = &cfg.alerts_out {
+                std::fs::write(path, body.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+                alerts_note = format!(", alerts -> {path}");
+            }
+            alerts_fired = parse_alerts_fired(&body);
+        }
+        Err(e) if cfg.alerts_out.is_some() => {
+            return Err(format!("alerts fetch failed: {e}"));
+        }
+        Err(e) => eprintln!("note: alerts fetch failed: {e} (is the target serving /alerts?)"),
+    }
+
     let report = render_report(
         cfg,
         wall,
@@ -595,6 +623,7 @@ pub fn run(cfg: &LoadtestConfig) -> Result<String, String> {
         transport_errors,
         total_requests,
         &resilience,
+        &alerts_fired,
     );
     std::fs::write(&cfg.out, report.as_bytes()).map_err(|e| format!("{}: {e}", cfg.out))?;
 
@@ -606,11 +635,33 @@ pub fn run(cfg: &LoadtestConfig) -> Result<String, String> {
     Ok(format!(
         "loadtest: {total_requests} requests in {wall:.2?} \
          ({:.0} req/s, {total_errors} HTTP errors, {transport_errors} transport errors, \
-         {} retries, {total_failed} client-visible failures) -> {}{profile_note}",
+         {} retries, {total_failed} client-visible failures, {} alert(s) fired) \
+         -> {}{profile_note}{alerts_note}",
         total_requests as f64 / wall.as_secs_f64(),
         resilience.retries,
+        alerts_fired.len(),
         cfg.out
     ))
+}
+
+/// Extracts `(name, state)` of every rule that has fired — currently
+/// firing or already resolved — from an `/alerts` response body. Pending
+/// and inactive rules are not "fired".
+fn parse_alerts_fired(body: &str) -> Vec<(String, String)> {
+    let Ok(doc) = sjpl_obs::json::Json::parse(body) else {
+        return Vec::new();
+    };
+    let Some(items) = doc.get("alerts").and_then(sjpl_obs::json::Json::as_array) else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|a| {
+            let name = a.get("name")?.as_str()?.to_owned();
+            let state = a.get("state")?.as_str()?.to_owned();
+            (state == "firing" || state == "resolved").then_some((name, state))
+        })
+        .collect()
 }
 
 /// Exact quantile of a sorted latency array (nearest-rank).
@@ -629,6 +680,7 @@ fn render_report(
     transport_errors: u64,
     total_requests: u64,
     resilience: &Resilience,
+    alerts_fired: &[(String, String)],
 ) -> String {
     use std::fmt::Write as _;
     let secs = wall.as_secs_f64();
@@ -701,6 +753,17 @@ fn render_report(
         .iter()
         .map(|(e, w)| format!("{}={w}", e.label()))
         .collect();
+    let alerts: String = alerts_fired
+        .iter()
+        .enumerate()
+        .map(|(i, (name, state))| {
+            let name = name.replace('\\', "\\\\").replace('"', "\\\"");
+            format!(
+                "{}    {{\"name\": \"{name}\", \"state\": \"{state}\"}}",
+                if i == 0 { "" } else { ",\n" }
+            )
+        })
+        .collect();
     format!(
         "{{\n  \"schema\": 1,\n  \"kind\": \"serve-loadtest\",\n  \"meta\": {{\n    \
          \"addr\": \"{addr}\",\n    \"duration_s\": {dur:.3},\n    \
@@ -711,6 +774,7 @@ fn render_report(
          \"throughput\": [\n{throughput}\n  ],\n  \
          \"error_rates\": [\n{error_rates}\n  ],\n  \
          \"endpoints\": [\n{endpoints}\n  ],\n  \
+         \"alerts_fired\": [\n{alerts}\n  ],\n  \
          \"resilience\": {{\"retries\": {rretries}, \"shed_responses\": {shed}, \
          \"shed_missing_retry_after\": {shed_bare}, \"chaos_acts\": {chaos_acts}, \
          \"failed_requests\": {failed_requests}, \"failure_rate\": {failure_rate:.6}}},\n  \
@@ -819,6 +883,7 @@ mod tests {
             profile_out: None,
             retries: 3,
             chaos: true,
+            alerts_out: None,
         };
         let mut merged = vec![
             (
@@ -844,7 +909,11 @@ mod tests {
             shed_missing_retry_after: 0,
             chaos_acts: 4,
         };
-        let text = render_report(&cfg, Duration::from_secs(2), &mut merged, 3, 5, &res);
+        let fired = vec![
+            ("slo-burn-estimate".to_owned(), "firing".to_owned()),
+            ("drift-uniform".to_owned(), "resolved".to_owned()),
+        ];
+        let text = render_report(&cfg, Duration::from_secs(2), &mut merged, 3, 5, &res, &fired);
         let doc = sjpl_obs::json::Json::parse(&text).unwrap_or_else(|e| panic!("{e}:\n{text}"));
         assert_eq!(doc.get("kind").unwrap().as_str(), Some("serve-loadtest"));
         let series = doc
@@ -910,6 +979,37 @@ mod tests {
             doc.get("meta").unwrap().get("retries").unwrap().as_f64(),
             Some(3.0)
         );
+        // The alerts_fired rollup the regress gate surfaces as notes.
+        let fired = doc.get("alerts_fired").unwrap().as_array().unwrap();
+        assert_eq!(fired.len(), 2);
+        assert_eq!(
+            fired[0].get("name").unwrap().as_str(),
+            Some("slo-burn-estimate")
+        );
+        assert_eq!(fired[0].get("state").unwrap().as_str(), Some("firing"));
+        assert_eq!(fired[1].get("state").unwrap().as_str(), Some("resolved"));
+    }
+
+    #[test]
+    fn alerts_rollup_keeps_fired_rules_only() {
+        let body = r#"{
+          "schema": 1,
+          "alerts": [
+            {"name": "a", "state": "inactive", "expr": "x > 1"},
+            {"name": "b", "state": "pending", "expr": "x > 1"},
+            {"name": "c", "state": "firing", "expr": "x > 1"},
+            {"name": "d", "state": "resolved", "expr": "x > 1"}
+          ]
+        }"#;
+        assert_eq!(
+            parse_alerts_fired(body),
+            vec![
+                ("c".to_owned(), "firing".to_owned()),
+                ("d".to_owned(), "resolved".to_owned())
+            ]
+        );
+        assert!(parse_alerts_fired("not json").is_empty());
+        assert!(parse_alerts_fired("{}").is_empty());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 mod args;
 mod commands;
+mod dash;
 mod error;
 mod loadtest;
 mod regress;

@@ -265,6 +265,22 @@ pub fn compare(old: &Json, new: &Json, t: &Thresholds) -> Report {
         }
     }
 
+    // Alerts that fired during the *new* measured run are surfaced as
+    // notes: context for why a latency or error-rate series moved, never
+    // a gate failure of their own (the alert engine already judged them).
+    if let Some(items) = new.get("alerts_fired").and_then(Json::as_array) {
+        for a in items {
+            if let (Some(name), Some(state)) = (
+                a.get("name").and_then(Json::as_str),
+                a.get("state").and_then(Json::as_str),
+            ) {
+                rep.notes.push(format!(
+                    "alert {name} fired during the measured run (now {state})"
+                ));
+            }
+        }
+    }
+
     let old_acc = accuracy_series(old);
     let new_acc = accuracy_series(new);
     for (key, old_err) in &old_acc {
@@ -535,6 +551,30 @@ mod tests {
             .notes
             .iter()
             .any(|n| n.contains("error-rate serve/total") && n.contains("improved")));
+    }
+
+    #[test]
+    fn fired_alerts_in_the_new_report_are_notes_not_failures() {
+        let t = Thresholds::default();
+        let with_alerts = LOADTEST.replacen(
+            "\"throughput\": [",
+            "\"alerts_fired\": [\n        {\"name\": \"slo-burn-estimate\", \
+             \"state\": \"resolved\"}\n      ],\n      \"throughput\": [",
+            1,
+        );
+        // Alerts in the *new* report annotate the comparison...
+        let rep = compare(&doc(LOADTEST), &doc(&with_alerts), &t);
+        assert!(rep.passed(), "{:?}", rep.regressions);
+        assert!(
+            rep.notes
+                .iter()
+                .any(|n| n.contains("alert slo-burn-estimate fired") && n.contains("resolved")),
+            "{:?}",
+            rep.notes
+        );
+        // ...while alerts only in the *old* report say nothing about it.
+        let rep = compare(&doc(&with_alerts), &doc(LOADTEST), &t);
+        assert!(rep.notes.iter().all(|n| !n.contains("alert ")));
     }
 
     #[test]

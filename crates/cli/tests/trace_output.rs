@@ -51,7 +51,7 @@ fn trace_json_goes_to_stderr_not_stdout() {
     // The snapshot went to stderr, complete and parseable.
     let start = stderr.find('{').expect("snapshot JSON on stderr");
     let snap = sjpl_obs::json::Json::parse(stderr[start..].trim()).unwrap();
-    assert_eq!(snap.get("schema").unwrap().as_f64(), Some(4.0));
+    assert_eq!(snap.get("schema").unwrap().as_f64(), Some(5.0));
     assert!(snap.get("timeline").is_some());
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -77,7 +77,7 @@ fn obs_out_keeps_both_streams_clean_of_json() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(!stdout.contains("\"schema\""), "snapshot leaked to stdout");
     let snap = sjpl_obs::json::Json::parse(&std::fs::read_to_string(&obs).unwrap()).unwrap();
-    assert_eq!(snap.get("schema").unwrap().as_f64(), Some(4.0));
+    assert_eq!(snap.get("schema").unwrap().as_f64(), Some(5.0));
     std::fs::remove_dir_all(&dir).ok();
 }
 

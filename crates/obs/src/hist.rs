@@ -84,6 +84,20 @@ impl LogLinearHistogram {
         }
     }
 
+    /// The per-bucket difference `self - earlier`, saturating at zero.
+    ///
+    /// For two snapshots of the same cumulative histogram this yields the
+    /// samples recorded in between; saturation makes a recorder reset (the
+    /// later snapshot smaller than the earlier one) degrade to an empty
+    /// window instead of wrapping.
+    pub fn diff(&self, earlier: &LogLinearHistogram) -> LogLinearHistogram {
+        let mut out = LogLinearHistogram::new();
+        for (i, (a, b)) in self.counts.iter().zip(earlier.counts.iter()).enumerate() {
+            out.counts[i] = a.saturating_sub(*b);
+        }
+        out
+    }
+
     /// Occupied buckets as `(upper_bound_exclusive, count)` pairs, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.counts
@@ -254,6 +268,23 @@ mod tests {
         // Same-bucket samples aggregate.
         let nz = ab_c.nonzero_buckets();
         assert!(nz.iter().any(|&(ub, c)| ub == 6 && c == 2));
+    }
+
+    #[test]
+    fn diff_recovers_the_window_and_saturates_on_reset() {
+        let mut earlier = LogLinearHistogram::new();
+        for v in [5u64, 900] {
+            earlier.record(v);
+        }
+        let mut later = earlier.clone();
+        for v in [5u64, 70_000] {
+            later.record(v);
+        }
+        let window = later.diff(&earlier);
+        assert_eq!(window.count(), 2);
+        assert!(window.nonzero_buckets().iter().any(|&(ub, c)| ub == 6 && c == 1));
+        // A reset (earlier bigger than later) saturates to empty, not wraps.
+        assert_eq!(earlier.diff(&later).count(), 0);
     }
 
     proptest! {

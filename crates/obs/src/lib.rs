@@ -7,7 +7,7 @@
 //! [flight-recorder timeline](timeline) of every closed span (id, parent
 //! id, thread id, duration), and a [sampling profiler](prof) over the live
 //! span stacks — all feeding one global recorder that can
-//! [snapshot](snapshot) to structured JSON (schema 4) or export the
+//! [snapshot](snapshot) to structured JSON (schema 5) or export the
 //! timeline in [Chrome Trace Event Format](chrome) for Perfetto.
 //!
 //! Design constraints (and how they are met):
@@ -52,7 +52,7 @@
 //! let child = &snap.timeline.by_name("demo.child")[0];
 //! let stage = &snap.timeline.by_name("demo.stage")[0];
 //! assert_eq!(child.parent, stage.id);
-//! let json = snap.to_json(); // schema 4, embeds the timeline
+//! let json = snap.to_json(); // schema 5, embeds the timeline
 //! assert!(json.contains("\"demo.stage\""));
 //! let trace = snap.to_chrome_trace(); // open in Perfetto
 //! assert!(trace.contains("\"traceEvents\""));
@@ -71,6 +71,7 @@ pub mod prof;
 pub mod prometheus;
 pub mod snapshot;
 pub mod timeline;
+pub mod tsdb;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -79,7 +80,7 @@ use std::time::Instant;
 
 pub use hist::LogLinearHistogram;
 pub use prof::{Profile, SpanProfile};
-pub use snapshot::{EventSnapshot, Snapshot, TimingSnapshot};
+pub use snapshot::{AlertSnapshot, EventSnapshot, Snapshot, TimingSnapshot};
 pub use timeline::{set_timeline_capacity, TimelineEvent, TimelineSnapshot};
 
 /// Maximum events retained per snapshot window; later events are counted in
@@ -512,6 +513,8 @@ pub fn snapshot() -> Snapshot {
         accuracy_dropped,
         timeline: timeline::snapshot(),
         profile: prof::current_profile(),
+        tsdb: None,
+        alerts: Vec::new(),
     }
 }
 
@@ -620,7 +623,7 @@ mod tests {
         });
         let j = snap.to_json();
         for needle in [
-            "\"schema\": 4",
+            "\"schema\": 5",
             "\"profile\": ",
             "\"spans\": [",
             "\"name\": \"t.json\"",

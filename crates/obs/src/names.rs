@@ -23,11 +23,13 @@ pub const SPANS: &[&str] = &[
     "join.partition",
     "join.sweep",
     "join.sweep.worker",
+    "serve.alerts",
     "serve.estimate",
     "serve.exemplars",
     "serve.healthz",
     "serve.metrics",
     "serve.profile",
+    "serve.query",
     "serve.read",
     "serve.readyz",
     "serve.request",
@@ -40,6 +42,8 @@ pub const SPANS: &[&str] = &[
 
 /// Every stable counter name, sorted.
 pub const COUNTERS: &[&str] = &[
+    "alert.evaluations",
+    "alert.transitions",
     "bops.fallbacks",
     "bops.plots",
     "bops.points",
@@ -75,10 +79,15 @@ pub const COUNTERS: &[&str] = &[
     "serve.slow_requests",
     "streaming.rejected_points",
     "streaming.updates",
+    "tsdb.evicted",
+    "tsdb.samples",
+    "tsdb.scrapes",
 ];
 
 /// Every stable gauge name, sorted.
 pub const GAUGES: &[&str] = &[
+    "alert.firing",
+    "alert.pending",
     "bops.levels",
     "fit.exponent",
     "fit.points_used",
@@ -90,6 +99,8 @@ pub const GAUGES: &[&str] = &[
     "serve.connections",
     "serve.inflight",
     "serve.queue.depth",
+    "serve.uptime_seconds",
+    "tsdb.series",
 ];
 
 /// Every stable event name, sorted.
@@ -106,13 +117,17 @@ pub const EVENTS: &[&str] = &[
 /// an endpoint label plus status class (`serve.endpoint.estimate.2xx`), an
 /// SLO endpoint label (`serve.slo.compliance.estimate`), a shed/deadline
 /// endpoint label (`serve.shed.snapshot`, `serve.deadline.estimate`), or a
-/// fault-rule scope and kind (`serve.faults.accept.reset`). Endpoint
+/// fault-rule scope and kind (`serve.faults.accept.reset`), or an alert
+/// rule name (`alert.state.slo-estimate`,
+/// `alert.transitions.slo-estimate`). Endpoint
 /// labels come from the fixed route table (`estimate`, `metrics`,
 /// `snapshot`, `timeline`, `healthz`, `readyz`, `profile`, `exemplars`,
 /// `other`) — never from raw client paths, which would be a
 /// cardinality/injection hazard; fault scopes/kinds come from the fault
 /// plan grammar's fixed vocabulary.
 pub const DYNAMIC_PREFIXES: &[&str] = &[
+    "alert.state.",
+    "alert.transitions.",
     "serve.deadline.",
     "serve.drift.breached.",
     "serve.drift.rel_error.",
@@ -181,11 +196,20 @@ mod tests {
         assert!(is_stable("serve.queue.depth"));
         assert!(is_stable("serve.fault"));
         assert!(is_stable("serve.panic"));
+        assert!(is_stable("serve.uptime_seconds"));
+        assert!(is_stable("tsdb.scrapes"));
+        assert!(is_stable("tsdb.series"));
+        assert!(is_stable("alert.evaluations"));
+        assert!(is_stable("alert.firing"));
+        assert!(is_stable("alert.state.slo-estimate"));
+        assert!(is_stable("alert.transitions"));
+        assert!(is_stable("alert.transitions.slo-estimate"));
         assert!(!is_stable("bops.sort2"));
         assert!(!is_stable("serve.drift.rel_error"));
         assert!(!is_stable("serve.endpoint"));
         assert!(!is_stable("serve.shed"));
         assert!(!is_stable("serve.faults"));
+        assert!(!is_stable("alert.state"));
         assert!(!is_stable("totally.made.up"));
     }
 }

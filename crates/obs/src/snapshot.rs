@@ -49,6 +49,28 @@ pub struct EventSnapshot {
     pub detail: String,
 }
 
+/// One alert's externally visible state, as captured by the daemon's alert
+/// engine at snapshot time (schema 5 `alerts` section).
+#[derive(Clone, Debug, Default)]
+pub struct AlertSnapshot {
+    /// Rule name (`alertname` on the Prometheus export).
+    pub name: String,
+    /// `inactive`, `pending`, `firing`, or `resolved`.
+    pub state: String,
+    /// The rule expression, in the grammar it was declared with.
+    pub expr: String,
+    /// The expression's value at the last evaluation.
+    pub value: f64,
+    /// The threshold the value is compared against.
+    pub threshold: f64,
+    /// Milliseconds (wall clock) the alert entered its current state.
+    pub since_ms: u64,
+    /// Hold duration: how long the condition must persist before firing.
+    pub for_ms: u64,
+    /// State transitions since the daemon started.
+    pub transitions: u64,
+}
+
 /// A point-in-time copy of every metric the recorder holds.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
@@ -73,6 +95,11 @@ pub struct Snapshot {
     /// accumulation, or the last completed window (`None` if the profiler
     /// has never run).
     pub profile: Option<crate::prof::Profile>,
+    /// The in-process time-series store's accounting (`None` outside the
+    /// daemon — batch commands run no scraper).
+    pub tsdb: Option<crate::tsdb::TsdbSnapshot>,
+    /// Alert states at snapshot time (empty outside the daemon).
+    pub alerts: Vec<AlertSnapshot>,
 }
 
 impl Default for TimingSnapshot {
@@ -141,10 +168,13 @@ impl Snapshot {
     /// `hist`, same `[[upper_bound_ns, count], ...]` shape, ~16× finer);
     /// schema 4 added `p999_ns` to the span quantiles and the `profile`
     /// section (the sampling profiler's folded profile, `null` when the
-    /// profiler has never run):
+    /// profiler has never run); schema 5 added the `tsdb` section (the
+    /// daemon's time-series store accounting, `null` when no scraper runs)
+    /// and the `alerts` section (alert-engine states, empty outside the
+    /// daemon):
     /// ```json
     /// {
-    ///   "schema": 4,
+    ///   "schema": 5,
     ///   "spans":    [{"name", "count", "total_ns", "mean_ns", "min_ns",
     ///                 "max_ns", "p50_ns", "p95_ns", "p99_ns", "p999_ns",
     ///                 "hist": [[upper_bound_ns, count], ...]}],
@@ -165,11 +195,15 @@ impl Snapshot {
     ///     "samples", "idle", "dropped", "overhead_ns",
     ///     "folded": [{"stack": "a;b;c", "count"}],
     ///     "spans":  [{"name", "self", "total"}]
-    ///   }
+    ///   },
+    ///   "tsdb": {"capacity", "series", "samples", "evicted", "scrapes",
+    ///            "interval_ms"},
+    ///   "alerts": [{"name", "state", "expr", "value", "threshold",
+    ///               "since_ms", "for_ms", "transitions"}]
     /// }
     /// ```
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": 4,\n  \"spans\": [\n");
+        let mut out = String::from("{\n  \"schema\": 5,\n  \"spans\": [\n");
         for (i, s) in self.spans.iter().enumerate() {
             let hist: Vec<String> = s
                 .hist
@@ -266,13 +300,39 @@ impl Snapshot {
             ));
         }
         out.push_str(&format!(
-            "    ],\n    \"dropped_events\": {}\n  }},\n  \"profile\": {}\n}}\n",
+            "    ],\n    \"dropped_events\": {}\n  }},\n  \"profile\": {},\n",
             self.timeline.dropped_events,
             match &self.profile {
                 Some(p) => p.to_json(),
                 None => "null".to_owned(),
             }
         ));
+        match &self.tsdb {
+            Some(t) => out.push_str(&format!(
+                "  \"tsdb\": {{\"capacity\": {}, \"series\": {}, \"samples\": {}, \
+                 \"evicted\": {}, \"scrapes\": {}, \"interval_ms\": {}}},\n",
+                t.capacity, t.series, t.samples, t.evicted, t.scrapes, t.interval_ms
+            )),
+            None => out.push_str("  \"tsdb\": null,\n"),
+        }
+        out.push_str("  \"alerts\": [\n");
+        for (i, a) in self.alerts.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"state\": \"{}\", \"expr\": \"{}\", \
+                 \"value\": {}, \"threshold\": {}, \"since_ms\": {}, \
+                 \"for_ms\": {}, \"transitions\": {}}}{}\n",
+                json_escape(&a.name),
+                json_escape(&a.state),
+                json_escape(&a.expr),
+                json_f64(a.value),
+                json_f64(a.threshold),
+                a.since_ms,
+                a.for_ms,
+                a.transitions,
+                comma(i, self.alerts.len()),
+            ));
+        }
+        out.push_str("  ]\n}\n");
         out
     }
 
@@ -480,6 +540,24 @@ mod tests {
                 overhead_ns: 2_500,
                 folded: vec![("bops.plot;bops.scan".into(), 6), ("bops.plot".into(), 2)],
             }),
+            tsdb: Some(crate::tsdb::TsdbSnapshot {
+                capacity: 512,
+                series: 3,
+                samples: 40,
+                evicted: 7,
+                scrapes: 15,
+                interval_ms: 5_000,
+            }),
+            alerts: vec![AlertSnapshot {
+                name: "slo-estimate".into(),
+                state: "firing".into(),
+                expr: "burn_rate(estimate)".into(),
+                value: 3.5,
+                threshold: 1.0,
+                since_ms: 1_234,
+                for_ms: 10_000,
+                transitions: 2,
+            }],
         }
     }
 
@@ -489,7 +567,7 @@ mod tests {
         let snap = sample_snapshot();
         let doc = Json::parse(&snap.to_json()).unwrap();
 
-        assert_eq!(doc.get("schema").unwrap().as_f64(), Some(4.0));
+        assert_eq!(doc.get("schema").unwrap().as_f64(), Some(5.0));
         let spans = doc.get("spans").unwrap().as_array().unwrap();
         assert_eq!(spans.len(), 1);
         let s = &spans[0];
@@ -551,8 +629,22 @@ mod tests {
                 && s.get("total").unwrap().as_f64() == Some(8.0)
                 && s.get("self").unwrap().as_f64() == Some(2.0)));
 
-        // A profiler-less snapshot renders `"profile": null`.
+        let tsdb = doc.get("tsdb").unwrap();
+        assert_eq!(tsdb.get("capacity").unwrap().as_f64(), Some(512.0));
+        assert_eq!(tsdb.get("evicted").unwrap().as_f64(), Some(7.0));
+        assert_eq!(tsdb.get("interval_ms").unwrap().as_f64(), Some(5000.0));
+        let alerts = doc.get("alerts").unwrap().as_array().unwrap();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].get("name").unwrap().as_str(), Some("slo-estimate"));
+        assert_eq!(alerts[0].get("state").unwrap().as_str(), Some("firing"));
+        assert_eq!(alerts[0].get("value").unwrap().as_f64(), Some(3.5));
+        assert_eq!(alerts[0].get("transitions").unwrap().as_f64(), Some(2.0));
+
+        // A profiler-less snapshot renders `"profile": null` and an empty
+        // daemon-less snapshot renders `"tsdb": null` with no alerts.
         let none = Snapshot::default().to_json();
         assert!(none.contains("\"profile\": null"), "{none}");
+        assert!(none.contains("\"tsdb\": null"), "{none}");
+        assert!(none.contains("\"alerts\": [\n  ]"), "{none}");
     }
 }

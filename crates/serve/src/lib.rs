@@ -18,6 +18,8 @@
 //! | `GET /timeline` | the flight-recorder timeline as a Chrome trace |
 //! | `GET /healthz` | liveness (always `200 ok`) |
 //! | `GET /readyz` | readiness (`503` until the catalog has laws) |
+//! | `GET /alerts` | every alert rule's state machine as JSON |
+//! | `GET /query?expr=...` | one [`sjpl_obs::tsdb`] query (rate/avg/max/quantile/latest) |
 //!
 //! Connections are HTTP/1.1 keep-alive (honoring `Connection:` headers
 //! and the HTTP/1.0 default-close rule); a worker serves requests off one
@@ -45,6 +47,18 @@
 //! histograms on each `/metrics` scrape, publishing
 //! `serve.slo.compliance.<endpoint>`, `serve.slo.burn_rate.<endpoint>`,
 //! `serve.slo.breached.<endpoint>` gauges and breach-transition counters.
+//!
+//! ## Telemetry pipeline
+//!
+//! A background scraper thread snapshots the recorder every
+//! [`ServeConfig::metrics_interval`] into a fixed-capacity
+//! [`sjpl_obs::tsdb::Tsdb`] ring store (memory bound: capacity × series
+//! samples), queryable over `GET /query`. The [`alerts::AlertEngine`]
+//! evaluates declarative rules (`--alert 'name: expr op threshold for
+//! 30s'`) plus built-in multi-window SLO burn-rate and drift-breach rules
+//! on every scrape tick; alert states are served on `GET /alerts`, as
+//! `ALERTS{alertname,state}` series on `/metrics`, and in the `/snapshot`
+//! `alerts` section. `sjpl dash` is the human consumer.
 //!
 //! ## Drift monitoring
 //!
@@ -85,12 +99,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alerts;
 pub mod drift;
 pub mod fault;
 pub mod http;
 mod server;
 pub mod slo;
 
+pub use alerts::{AlertEngine, AlertRule};
 pub use drift::{DriftConfig, DriftMonitor, DriftProbe};
 pub use fault::FaultPlan;
 pub use server::{ServeConfig, Server};

@@ -58,11 +58,14 @@ use std::time::{Duration, Instant, SystemTime};
 
 use sjpl_core::LawCatalog;
 use sjpl_obs::json::{escape, Json};
+use sjpl_obs::tsdb::{QueryExpr, SeriesKind, Tsdb, TsdbStats};
+use sjpl_obs::Snapshot;
 
+use crate::alerts::{AlertEngine, AlertRule, SLO_GOOD_PREFIX, SLO_TOTAL_PREFIX};
 use crate::drift::{DriftConfig, DriftMonitor, DriftProbe};
 use crate::fault::{FaultKind, FaultPlan, Stage as FaultStage};
 use crate::http::{read_request, Request, Response};
-use crate::slo::SloSpec;
+use crate::slo::{SloSpec, STATUS_CLASSES};
 
 /// Default socket timeout while actually parsing/writing a request
 /// ([`ServeConfig::io_timeout`]): a stalled peer must not pin a worker.
@@ -126,6 +129,15 @@ pub struct ServeConfig {
     /// `/readyz` to 503, giving load balancers time to drain. Zero (the
     /// default) stops as soon as the flag flips.
     pub drain_grace: Duration,
+    /// How often the telemetry scraper thread snapshots the recorder into
+    /// the time-series store and runs the alert engine.
+    pub metrics_interval: Duration,
+    /// Samples retained per time series (memory bound: `tsdb_capacity ×
+    /// series × 16` bytes).
+    pub tsdb_capacity: usize,
+    /// Declarative alert rules (`--alert`), evaluated alongside the
+    /// built-in SLO burn-rate and drift-breach rules.
+    pub alerts: Vec<AlertRule>,
 }
 
 impl Default for ServeConfig {
@@ -146,6 +158,9 @@ impl Default for ServeConfig {
             faults: None,
             io_timeout: IO_TIMEOUT,
             drain_grace: Duration::ZERO,
+            metrics_interval: Duration::from_secs(5),
+            tsdb_capacity: 512,
+            alerts: Vec::new(),
         }
     }
 }
@@ -410,13 +425,15 @@ impl Read for DeadlineStream {
     }
 }
 
-/// A running server: N worker threads sharing one listener, plus an
-/// optional drift-monitor thread. Stop it with [`Server::shutdown`].
+/// A running server: N worker threads sharing one listener, a telemetry
+/// scraper thread, plus an optional drift-monitor thread. Stop it with
+/// [`Server::shutdown`].
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<StopFlag>,
     workers: Vec<JoinHandle<()>>,
     drift: Option<DriftMonitor>,
+    scraper: Option<Scraper>,
     shared: Arc<Shared>,
     /// Whether `start` launched the continuous profiler (and `shutdown`
     /// should therefore stop it).
@@ -461,6 +478,14 @@ struct Shared {
     /// Raised by [`Server::begin_drain`]; `/readyz` answers 503 while set.
     draining: AtomicBool,
     io_timeout: Duration,
+    /// The in-process time-series store the scraper thread feeds.
+    tsdb: Arc<Tsdb>,
+    /// The alert engine (evaluated by the scraper, read by handlers).
+    alerts: Arc<AlertEngine>,
+    /// Configured scrape cadence (reported in the snapshot tsdb section).
+    metrics_interval: Duration,
+    /// Daemon start time, for `serve.uptime_seconds`.
+    started: Instant,
 }
 
 impl Shared {
@@ -489,6 +514,17 @@ impl Server {
         } else {
             cfg.max_inflight
         };
+        // The full rule set: user rules, then one burn-rate rule per SLO
+        // and one drift-breach rule per probed law, windowed off the
+        // scrape cadence.
+        let interval_ms = (cfg.metrics_interval.as_millis() as u64).max(1);
+        let mut rules = cfg.alerts;
+        for spec in &cfg.slos {
+            rules.push(AlertRule::burn_rate(spec, interval_ms));
+        }
+        for probe in &cfg.probes {
+            rules.push(AlertRule::drift(&probe.law_name, interval_ms * 16));
+        }
         let shared = Arc::new(Shared {
             catalog: Arc::clone(&catalog),
             stop: Arc::clone(&stop),
@@ -505,6 +541,10 @@ impl Server {
             faults: cfg.faults,
             draining: AtomicBool::new(false),
             io_timeout: cfg.io_timeout,
+            tsdb: Arc::new(Tsdb::new(cfg.tsdb_capacity)),
+            alerts: Arc::new(AlertEngine::new(rules)),
+            metrics_interval: cfg.metrics_interval,
+            started: Instant::now(),
         });
         let profiler_started = match cfg.profile_hz {
             Some(hz) => sjpl_obs::prof::start(hz),
@@ -528,12 +568,14 @@ impl Server {
         } else {
             Some(DriftMonitor::spawn(catalog, cfg.probes, cfg.drift))
         };
+        let scraper = Some(Scraper::spawn(Arc::clone(&shared), cfg.metrics_interval));
 
         Ok(Server {
             addr,
             stop,
             workers,
             drift,
+            scraper,
             shared,
             profiler_started,
             drain_grace: cfg.drain_grace,
@@ -579,6 +621,9 @@ impl Server {
             }
             let _ = w.join();
         }
+        if let Some(s) = self.scraper.take() {
+            s.shutdown();
+        }
         if let Some(d) = self.drift.take() {
             d.shutdown();
         }
@@ -603,6 +648,136 @@ impl Server {
     pub fn wait(&self) {
         self.stop.wait();
     }
+}
+
+/// The telemetry scraper thread: every [`ServeConfig::metrics_interval`]
+/// it snapshots the recorder into the [`Tsdb`], maintains the synthetic
+/// per-SLO good/total series, and runs the alert engine. Same lifecycle
+/// discipline as [`DriftMonitor`]: ticks are panic-contained, the wait is
+/// condvar-backed (shutdown never waits out the interval), and dropping
+/// the handle signals the thread without blocking on the join.
+struct Scraper {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Scraper {
+    fn spawn(shared: Arc<Shared>, interval: Duration) -> Scraper {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = Arc::clone(&stop);
+        let interval = interval.max(Duration::from_millis(1));
+        let handle = std::thread::Builder::new()
+            .name("sjpl-scrape".to_owned())
+            .spawn(move || {
+                let mut prev = TsdbStats::default();
+                loop {
+                    // A panicking tick must cost one scrape, not the whole
+                    // pipeline: uncontained, alerts silently stop updating.
+                    let tick = catch_unwind(AssertUnwindSafe(|| {
+                        scrape_tick(&shared, &mut prev);
+                    }));
+                    if tick.is_err() {
+                        sjpl_obs::counter_add("serve.panics", 1);
+                        sjpl_obs::event("serve.panic", "telemetry scrape tick panicked");
+                    }
+                    let (lock, cv) = &*stop2;
+                    let guard = lock.lock().unwrap_or_else(|p| p.into_inner());
+                    let (guard, _) = cv
+                        .wait_timeout_while(guard, interval, |stopped| !*stopped)
+                        .unwrap_or_else(|p| p.into_inner());
+                    if *guard {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn scraper thread");
+        Scraper {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn shutdown(mut self) {
+        self.signal_stop();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn signal_stop(&self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        cv.notify_all();
+    }
+}
+
+impl Drop for Scraper {
+    fn drop(&mut self) {
+        self.signal_stop();
+    }
+}
+
+/// One scrape: uptime + SLO gauges, recorder snapshot → TSDB, synthetic
+/// SLO series, alert evaluation, and `tsdb.*` accounting (counters are
+/// published as deltas against `prev` so they stay monotonic).
+fn scrape_tick(shared: &Shared, prev: &mut TsdbStats) {
+    let now = now_ms();
+    sjpl_obs::gauge_set(
+        "serve.uptime_seconds",
+        shared.started.elapsed().as_secs_f64(),
+    );
+    publish_slos(shared);
+    let snap = sjpl_obs::snapshot();
+    shared.tsdb.ingest(&snap, now);
+    for spec in &shared.slos {
+        let (good, total) = slo_good_total(spec, &snap);
+        shared.tsdb.push(
+            &format!("{SLO_GOOD_PREFIX}{}", spec.endpoint),
+            SeriesKind::Counter,
+            now,
+            good as f64,
+        );
+        shared.tsdb.push(
+            &format!("{SLO_TOTAL_PREFIX}{}", spec.endpoint),
+            SeriesKind::Counter,
+            now,
+            total as f64,
+        );
+    }
+    shared.alerts.evaluate(&shared.tsdb, now);
+    let stats = shared.tsdb.stats();
+    sjpl_obs::counter_add("tsdb.scrapes", stats.scrapes.saturating_sub(prev.scrapes));
+    // "samples" counts everything ever pushed (retained + evicted), so the
+    // counter stays monotonic as rings wrap.
+    let pushed = stats.samples + stats.evicted;
+    sjpl_obs::counter_add(
+        "tsdb.samples",
+        pushed.saturating_sub(prev.samples + prev.evicted),
+    );
+    sjpl_obs::counter_add("tsdb.evicted", stats.evicted.saturating_sub(prev.evicted));
+    sjpl_obs::gauge_set("tsdb.series", stats.series as f64);
+    *prev = stats;
+}
+
+/// The cumulative `(good, total)` request counts behind one SLO's
+/// burn-rate series: `total` sums every per-endpoint × status-class
+/// histogram, `good` counts non-5xx responses at or under the latency
+/// target (every non-5xx response when the SLO has no latency clause).
+/// Both are monotone — computed from cumulative histograms, so the
+/// scraper can push them as counter samples without diffing.
+fn slo_good_total(spec: &SloSpec, snap: &Snapshot) -> (u64, u64) {
+    let target = spec.latency_ns.unwrap_or(u64::MAX);
+    let (mut good, mut total) = (0u64, 0u64);
+    for class in STATUS_CLASSES {
+        let Some(s) = snap.span(&format!("serve.endpoint.{}.{class}", spec.endpoint)) else {
+            continue;
+        };
+        total += s.count;
+        if *class != "5xx" {
+            good += s.hist.count_le(target).min(s.count);
+        }
+    }
+    (good, total)
 }
 
 fn worker_loop(listener: TcpListener, shared: Arc<Shared>) {
@@ -958,6 +1133,44 @@ fn publish_profiler_gauges() {
     }
 }
 
+/// Minimal percent-decoding for query values (`%5B` → `[`, `+` → space):
+/// enough for clients that URL-encode `/query?expr=` expressions. Bad
+/// escapes pass through literally — the expression parser rejects them
+/// with a better message than a decoder could.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
 /// First value of `key` in a raw `a=1&b=2` query string.
 fn query_param<'a>(query: Option<&'a str>, key: &str) -> Option<&'a str> {
     query?.split('&').find_map(|pair| {
@@ -977,6 +1190,8 @@ fn endpoint_label(path: &str) -> &'static str {
         "/timeline" => "timeline",
         "/healthz" => "healthz",
         "/readyz" => "readyz",
+        "/alerts" => "alerts",
+        "/query" => "query",
         "/debug/profile" => "profile",
         "/debug/exemplars" => "exemplars",
         _ => "other",
@@ -1138,11 +1353,22 @@ fn route(req: &Request, shared: &Shared, request_id: u64, deadline: Option<Insta
             sjpl_obs::counter_add("serve.scrape.total", 1);
             publish_slos(shared);
             publish_profiler_gauges();
+            sjpl_obs::gauge_set(
+                "serve.uptime_seconds",
+                shared.started.elapsed().as_secs_f64(),
+            );
             let text = sjpl_obs::snapshot().to_prometheus();
-            let decorated = {
+            let mut decorated = {
                 let store = shared.exemplars.lock().unwrap_or_else(|p| p.into_inner());
                 decorate_with_exemplars(&text, &store)
             };
+            decorated.push_str(&format!(
+                "# HELP sjpl_build_info Build metadata (constant 1).\n\
+                 # TYPE sjpl_build_info gauge\n\
+                 sjpl_build_info{{version=\"{}\"}} 1\n",
+                env!("CARGO_PKG_VERSION"),
+            ));
+            decorated.push_str(&shared.alerts.prometheus_lines());
             Routed::plain(Response::ok(
                 "text/plain; version=0.0.4; charset=utf-8",
                 decorated,
@@ -1150,7 +1376,49 @@ fn route(req: &Request, shared: &Shared, request_id: u64, deadline: Option<Insta
         }
         ("GET", "/snapshot") => {
             let _s = sjpl_obs::span("serve.snapshot");
-            Routed::plain(Response::json(sjpl_obs::snapshot().to_json()))
+            let mut snap = sjpl_obs::snapshot();
+            snap.tsdb = Some(
+                shared
+                    .tsdb
+                    .snapshot_section(shared.metrics_interval.as_millis() as u64),
+            );
+            snap.alerts = shared.alerts.snapshots();
+            Routed::plain(Response::json(snap.to_json()))
+        }
+        ("GET", "/alerts") => {
+            let _s = sjpl_obs::span("serve.alerts");
+            Routed::plain(Response::json(shared.alerts.to_json()))
+        }
+        ("GET", "/query") => {
+            let _s = sjpl_obs::span("serve.query");
+            let Some(raw) = query_param(req.query.as_deref(), "expr") else {
+                return Routed::plain(Response::text(400, "missing query parameter \"expr\""));
+            };
+            let expr = match QueryExpr::parse(&percent_decode(raw)) {
+                Ok(e) => e,
+                Err(e) => return Routed::plain(Response::text(400, format!("bad expr: {e}"))),
+            };
+            match shared.tsdb.query(&expr, now_ms()) {
+                Some(r) => {
+                    let samples: Vec<String> = r
+                        .samples
+                        .iter()
+                        .map(|&(ts, v)| format!("[{}, {}]", ts, jf(v)))
+                        .collect();
+                    Routed::plain(Response::json(format!(
+                        "{{\"expr\": \"{}\", \"series\": \"{}\", \"value\": {}, \
+                         \"samples\": [{}]}}\n",
+                        escape(&percent_decode(raw)),
+                        escape(expr.name()),
+                        jf(r.value),
+                        samples.join(", "),
+                    )))
+                }
+                None => Routed::plain(Response::text(
+                    404,
+                    format!("no such series {:?}", expr.name()),
+                )),
+            }
         }
         ("GET", "/timeline") => {
             let _s = sjpl_obs::span("serve.timeline");
@@ -1229,8 +1497,8 @@ fn route(req: &Request, shared: &Shared, request_id: u64, deadline: Option<Insta
         ),
         (
             _,
-            "/metrics" | "/snapshot" | "/timeline" | "/healthz" | "/readyz" | "/debug/profile"
-            | "/debug/exemplars",
+            "/metrics" | "/snapshot" | "/timeline" | "/healthz" | "/readyz" | "/alerts"
+            | "/query" | "/debug/profile" | "/debug/exemplars",
         ) => Routed::plain(
             Response::text(405, format!("method {} not allowed", req.method))
                 .with_header("Allow", "GET"),
@@ -1387,6 +1655,10 @@ mod tests {
             faults: None,
             draining: AtomicBool::new(false),
             io_timeout: IO_TIMEOUT,
+            tsdb: Arc::new(Tsdb::new(64)),
+            alerts: Arc::new(AlertEngine::new(Vec::new())),
+            metrics_interval: Duration::from_secs(5),
+            started: Instant::now(),
         }
     }
 

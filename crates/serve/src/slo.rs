@@ -158,8 +158,9 @@ impl SloSpec {
     }
 }
 
-/// `2ms` / `150us` / `3s` / `1500000ns` → nanoseconds.
-fn parse_duration_ns(s: &str) -> Result<u64, String> {
+/// `2ms` / `150us` / `3s` / `1500000ns` → nanoseconds. Shared with the
+/// alert-rule grammar (`for 30s` clauses).
+pub(crate) fn parse_duration_ns(s: &str) -> Result<u64, String> {
     let s = s.trim();
     let (num, mult) = if let Some(n) = s.strip_suffix("ns") {
         (n, 1.0)

@@ -293,7 +293,10 @@ fn endpoint_contract_and_concurrent_estimates() {
     let (status, _, snap) = get(addr, "/snapshot");
     assert_eq!(status, 200);
     let doc = Json::parse(&snap).unwrap();
-    assert_eq!(doc.get("schema").unwrap().as_f64(), Some(4.0));
+    assert_eq!(doc.get("schema").unwrap().as_f64(), Some(5.0));
+    // The daemon's snapshot carries the schema-5 telemetry sections.
+    assert!(doc.get("tsdb").unwrap().get("capacity").is_some());
+    assert!(doc.get("alerts").unwrap().as_array().is_some());
     let spans = doc.get("spans").unwrap().as_array().unwrap();
     assert!(spans
         .iter()
@@ -1293,4 +1296,133 @@ fn shutdown_is_prompt_and_final() {
             assert!(out.is_empty(), "served after shutdown: {out:?}");
         }
     }
+}
+
+/// Reads the state of one named alert from `GET /alerts`, if the rule
+/// exists.
+fn alert_state(addr: SocketAddr, name: &str) -> Option<String> {
+    let (code, _, body) = get(addr, "/alerts");
+    assert_eq!(code, 200, "GET /alerts: {body}");
+    let doc = Json::parse(&body).unwrap();
+    doc.get("alerts")?
+        .as_array()?
+        .iter()
+        .find(|a| a.get("name").and_then(|n| n.as_str()) == Some(name))
+        .and_then(|a| a.get("state"))
+        .and_then(|s| s.as_str())
+        .map(str::to_string)
+}
+
+/// End-to-end telemetry pipeline: planted latency faults on `/estimate`
+/// blow its latency SLO, the multi-window burn-rate alert goes firing
+/// (visible on `/alerts` and as `ALERTS{...}` on `/metrics`), and once
+/// the faulted traffic stops the alert resolves. The faulted scope is
+/// `estimate` (not `readyz`/`timeline`/`healthz`): the recorder's fault
+/// counters are process-global, and the determinism test pins those three
+/// scopes to exact counts.
+#[test]
+fn burn_rate_alert_fires_under_planted_latency_and_resolves() {
+    let server = Server::start(
+        catalog_with("alerting", fitted_law(1_000, 11)),
+        ServeConfig {
+            metrics_interval: Duration::from_millis(25),
+            slos: vec![sjpl_serve::SloSpec::parse("/estimate=1ms@p50").unwrap()],
+            faults: Some(
+                sjpl_serve::FaultPlan::parse("estimate:latency=15ms@1.0", 9).unwrap(),
+            ),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Phase 1: drive faulted traffic until the burn-rate alert fires.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut fired = false;
+    while Instant::now() < deadline {
+        for _ in 0..4 {
+            let (status, _, body) =
+                post_estimate(addr, r#"{"law": "alerting", "radius": 0.05}"#);
+            assert_eq!(status, 200, "{body}");
+        }
+        if alert_state(addr, "slo-burn-estimate").as_deref() == Some("firing") {
+            fired = true;
+            break;
+        }
+    }
+    assert!(fired, "burn-rate alert never fired under planted latency");
+
+    // While firing: ALERTS is on /metrics, the exposition (build info and
+    // uptime included) still parses.
+    let (code, _, metrics) = get(addr, "/metrics");
+    assert_eq!(code, 200);
+    assert_valid_exposition(&metrics);
+    assert!(
+        metrics.contains("ALERTS{alertname=\"slo-burn-estimate\",state=\"firing\"} 1"),
+        "no firing ALERTS sample:\n{metrics}"
+    );
+    assert!(metrics.contains("sjpl_build_info{version=\""), "missing build info");
+    assert!(metrics.contains("sjpl_serve_uptime_seconds"), "missing uptime gauge");
+
+    // Phase 2: the faulted traffic stops, the windows drain, the alert
+    // resolves, and the ALERTS family disappears (pending/firing only).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut resolved = false;
+    while Instant::now() < deadline {
+        if alert_state(addr, "slo-burn-estimate").as_deref() == Some("resolved") {
+            resolved = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(resolved, "alert did not resolve after faulted traffic stopped");
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(
+        !metrics.contains("ALERTS{"),
+        "resolved alert still exported:\n{metrics}"
+    );
+    server.shutdown();
+}
+
+/// `/query` contract: bad expressions are 400, unknown series 404, and a
+/// well-formed `rate()` over a scraped counter returns in-window samples
+/// (the `[` / `]` arrive percent-encoded, exercising the decoder).
+#[test]
+fn query_endpoint_serves_rate_over_scraped_counters() {
+    let server = Server::start(
+        catalog_with("query", fitted_law(1_000, 12)),
+        ServeConfig {
+            metrics_interval: Duration::from_millis(25),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    assert_eq!(get(addr, "/query").0, 400);
+    assert_eq!(get(addr, "/query?expr=rate(").0, 400);
+    assert_eq!(get(addr, "/query?expr=no.such.series").0, 404);
+
+    // Drive traffic until the scraper has ingested enough samples for
+    // rate() to difference over a live window.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        assert_eq!(get(addr, "/healthz").0, 200);
+        let (code, _, body) = get(addr, "/query?expr=rate(serve.requests%5B10s%5D)");
+        if code == 200 {
+            let doc = Json::parse(&body).unwrap();
+            assert_eq!(doc.get("series").unwrap().as_str(), Some("serve.requests"));
+            let samples = doc.get("samples").unwrap().as_array().unwrap();
+            let value = doc.get("value").unwrap().as_f64().unwrap();
+            if samples.len() >= 2 && value > 0.0 {
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "rate(serve.requests) never went positive: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
 }

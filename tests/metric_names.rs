@@ -247,6 +247,30 @@ fn registry_covers_the_serve_names_too() {
             assert!(names::is_stable(&format!("serve.faults.{scope}.{kind}")));
         }
     }
+    // Telemetry-pipeline names: the TSDB self-scraper's own accounting,
+    // the uptime gauge on /metrics, the alert engine's counters/gauges and
+    // the /alerts + /query request spans.
+    for name in [
+        "serve.uptime_seconds",
+        "tsdb.series",
+        "tsdb.samples",
+        "tsdb.evicted",
+        "tsdb.scrapes",
+        "alert.evaluations",
+        "alert.transitions",
+        "alert.firing",
+        "alert.pending",
+        "serve.alerts",
+        "serve.query",
+    ] {
+        assert!(names::is_stable(name), "{name:?} missing from the registry");
+    }
+    // Per-rule alert families take the rule name as a suffix.
+    assert!(names::is_stable("alert.state.slo-burn-estimate"));
+    assert!(names::is_stable("alert.transitions.drift-uniform"));
+    assert!(!names::is_stable("alert.state"));
+    assert!(!names::is_stable("tsdb.capacity"));
+
     // Typos stay un-stable.
     assert!(!names::is_stable("serve.endpoints.estimate.2xx"));
     assert!(!names::is_stable("serve.slo"));
